@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunPerfectMode(t *testing.T) {
+	args := []string{"-mode", "perfect", "-n", "4", "-runs", "5", "-failures", "2", "-steps", "300"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTUsefulMode(t *testing.T) {
+	args := []string{"-mode", "tuseful", "-n", "4", "-runs", "5", "-t", "1", "-steps", "400"}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-mode", "nonsense"}); err == nil {
+		t.Fatalf("expected an error for an unknown mode")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Fatalf("expected a flag parse error")
+	}
+}

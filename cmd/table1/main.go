@@ -1,0 +1,79 @@
+// Command table1 regenerates Table 1 of the paper empirically: for every
+// (channel regime, failure bound, problem) cell it runs the detector/protocol
+// combination the paper lists as sufficient (expecting success on every seed)
+// and, for cells the paper proves optimal, the next-weaker combination
+// (expecting at least one failing seed).
+//
+// Usage:
+//
+//	table1 [-n 6] [-seeds 20] [-steps 450] [-base-seed 1000] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/table1"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	params := table1.DefaultParams()
+	verbose := false
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.IntVar(&params.N, "n", params.N, "number of processes")
+	fs.IntVar(&params.Seeds, "seeds", params.Seeds, "seeds per scenario")
+	fs.IntVar(&params.MaxSteps, "steps", params.MaxSteps, "simulation horizon per run")
+	fs.Int64Var(&params.BaseSeed, "base-seed", params.BaseSeed, "first seed of the sweep")
+	fs.BoolVar(&verbose, "v", false, "print per-scenario sweep summaries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if params.N < 4 {
+		return fmt.Errorf("need at least 4 processes to separate the three failure regimes, got %d", params.N)
+	}
+
+	results, err := table1.Evaluate(params)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Table 1 (n=%d, %d seeds per scenario, horizon %d steps)\n\n", params.N, params.Seeds, params.MaxSteps)
+	fmt.Print(table1.Render(results))
+
+	if verbose {
+		fmt.Println("\nper-scenario details:")
+		for _, res := range results {
+			fmt.Println(" ", res.MinimalResult.String())
+			if res.WeakerResult != nil {
+				fmt.Println(" ", res.WeakerResult.String())
+			}
+		}
+	}
+
+	mismatches := 0
+	for _, res := range results {
+		if !res.MinimalOK() {
+			mismatches++
+			fmt.Printf("MISMATCH: %s/%s/%s: sufficient detector class failed\n",
+				res.Cell.Channel, res.Cell.Regime, res.Cell.Problem)
+		}
+		if !res.WeakerFails() {
+			mismatches++
+			fmt.Printf("MISMATCH: %s/%s/%s: weaker detector class did not fail\n",
+				res.Cell.Channel, res.Cell.Regime, res.Cell.Problem)
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d cells deviate from the paper's table", mismatches)
+	}
+	fmt.Println("\nall cells match the paper's characterisation")
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	if err := run([]string{"-seeds", "4", "-steps", "400", "-n", "6"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	if err := run([]string{"-seeds", "2", "-steps", "400", "-v"}); err != nil {
+		t.Fatalf("run -v: %v", err)
+	}
+}
+
+func TestRunRejectsTinySystems(t *testing.T) {
+	if err := run([]string{"-n", "3"}); err == nil {
+		t.Fatalf("expected an error for n < 4")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatalf("expected a flag parse error")
+	}
+}

@@ -1,0 +1,239 @@
+// Command udcsim runs a single simulated execution of any of the repository's
+// UDC, nUDC or consensus protocols under a configurable network regime,
+// failure pattern and failure detector, checks the relevant specification on
+// the recorded run, and prints a summary.
+//
+// Examples:
+//
+//	udcsim -protocol strong -oracle strong -n 6 -failures 4 -drop 0.3
+//	udcsim -protocol quorum -t 2 -n 7 -failures 2
+//	udcsim -protocol consensus-majority -oracle eventually-strong -n 7 -failures 3
+//	udcsim -protocol nudc -check nudc -failures 6 -json run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "udcsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	protocol  string
+	oracle    string
+	check     string
+	n         int
+	t         int
+	seed      int64
+	steps     int
+	actions   int
+	failures  int
+	exact     bool
+	drop      float64
+	reliable  bool
+	crashEnd  int
+	tick      int
+	suspect   int
+	jsonPath  string
+	timeline  int
+	quiet     bool
+	stabilize int
+}
+
+func parseOptions(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("udcsim", flag.ContinueOnError)
+	fs.StringVar(&o.protocol, "protocol", "strong",
+		"protocol: nudc | reliable | strong | tuseful | quorum | consensus-rotating | consensus-majority")
+	fs.StringVar(&o.oracle, "oracle", "",
+		"failure detector: none | perfect | strong | weak | impermanent-strong | impermanent-weak | eventually-strong | faulty-set | trivial (default chosen per protocol)")
+	fs.StringVar(&o.check, "check", "",
+		"specification to check: udc | nudc | consensus (default chosen per protocol)")
+	fs.IntVar(&o.n, "n", 6, "number of processes")
+	fs.IntVar(&o.t, "t", 2, "failure bound t used by tuseful/quorum protocols and the trivial detector")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.IntVar(&o.steps, "steps", 400, "simulation horizon in steps")
+	fs.IntVar(&o.actions, "actions", 6, "number of coordination actions to initiate")
+	fs.IntVar(&o.failures, "failures", 2, "maximum number of crashes to inject")
+	fs.BoolVar(&o.exact, "exact-failures", true, "inject exactly -failures crashes instead of a random number up to it")
+	fs.Float64Var(&o.drop, "drop", 0.3, "per-message drop probability on fair-lossy channels")
+	fs.BoolVar(&o.reliable, "reliable", false, "use reliable channels instead of fair-lossy ones")
+	fs.IntVar(&o.crashEnd, "crash-end", 0, "latest crash time (0 = steps/2)")
+	fs.IntVar(&o.tick, "tick", 2, "protocol tick period")
+	fs.IntVar(&o.suspect, "suspect-every", 3, "failure-detector query period")
+	fs.StringVar(&o.jsonPath, "json", "", "write the recorded run as JSON to this file")
+	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
+	fs.IntVar(&o.stabilize, "stabilize-at", 100, "stabilisation time for the eventually-strong detector")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+
+	proposals := make(map[model.ProcID]int, o.n)
+	for i := 0; i < o.n; i++ {
+		proposals[model.ProcID(i)] = 100 + i
+	}
+
+	factory, defaultOracle, defaultCheck, err := selectProtocol(o, proposals)
+	if err != nil {
+		return err
+	}
+	oracleName := o.oracle
+	if oracleName == "" {
+		oracleName = defaultOracle
+	}
+	oracle, err := selectOracle(oracleName, o)
+	if err != nil {
+		return err
+	}
+	checkName := o.check
+	if checkName == "" {
+		checkName = defaultCheck
+	}
+
+	net := sim.FairLossyNetwork(o.drop)
+	if o.reliable {
+		net = sim.ReliableNetwork()
+	}
+	spec := workload.Spec{
+		Name:          "udcsim/" + o.protocol,
+		N:             o.n,
+		MaxSteps:      o.steps,
+		TickEvery:     o.tick,
+		SuspectEvery:  o.suspect,
+		Network:       net,
+		Oracle:        oracle,
+		Protocol:      factory,
+		Actions:       o.actions,
+		MaxFailures:   o.failures,
+		ExactFailures: o.exact,
+		CrashEnd:      o.crashEnd,
+	}
+
+	res, err := workload.Execute(spec, o.seed)
+	if err != nil {
+		return err
+	}
+
+	violations, err := check(checkName, res.Run, proposals)
+	if err != nil {
+		return err
+	}
+
+	if !o.quiet {
+		fmt.Printf("protocol=%s oracle=%s check=%s seed=%d\n", o.protocol, oracleName, checkName, o.seed)
+		fmt.Print(trace.Summary(res.Run))
+		fmt.Printf("stats: sent=%d delivered=%d dropped=%d suspect-reports=%d\n",
+			res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.MessagesDropped, res.Stats.SuspectEvents)
+	}
+	if o.timeline >= 0 && o.timeline < o.n {
+		fmt.Printf("timeline of process %d:\n%s", o.timeline, trace.Timeline(res.Run, model.ProcID(o.timeline)))
+	}
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", o.jsonPath, err)
+		}
+		defer f.Close()
+		if err := trace.EncodeJSON(f, res.Run); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s\n", o.jsonPath)
+	}
+
+	if len(violations) > 0 {
+		fmt.Printf("%s check FAILED with %d violations:\n", strings.ToUpper(checkName), len(violations))
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+		return fmt.Errorf("%s violated", checkName)
+	}
+	fmt.Printf("%s check passed (%d actions, faulty=%s)\n", strings.ToUpper(checkName), len(res.Run.InitiatedActions()), res.Run.Faulty())
+	return nil
+}
+
+// selectProtocol maps the -protocol flag onto a factory plus sensible default
+// oracle and check names.
+func selectProtocol(o options, proposals map[model.ProcID]int) (sim.ProtocolFactory, string, string, error) {
+	switch o.protocol {
+	case "nudc":
+		return core.NewNUDC, "none", "nudc", nil
+	case "reliable":
+		return core.NewReliableUDC, "none", "udc", nil
+	case "strong":
+		return core.NewStrongFDUDC, "strong", "udc", nil
+	case "tuseful":
+		return core.NewTUsefulUDC(o.t), "faulty-set", "udc", nil
+	case "quorum":
+		return core.NewQuorumUDC(o.t), "none", "udc", nil
+	case "consensus-rotating":
+		return consensus.NewRotating(proposals), "strong", "consensus", nil
+	case "consensus-majority":
+		return consensus.NewMajority(proposals), "eventually-strong", "consensus", nil
+	default:
+		return nil, "", "", fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+}
+
+// selectOracle maps the -oracle flag onto a detector implementation.
+func selectOracle(name string, o options) (fd.Oracle, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "perfect":
+		return fd.PerfectOracle{}, nil
+	case "strong":
+		return fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: o.seed}, nil
+	case "weak":
+		return fd.GossipOracle{Inner: fd.WeakOracle{}, Delay: 3}, nil
+	case "impermanent-strong":
+		return fd.ImpermanentStrongOracle{Window: 4}, nil
+	case "impermanent-weak":
+		return fd.GossipOracle{Inner: fd.ImpermanentWeakOracle{Window: 4}, Delay: 3}, nil
+	case "eventually-strong":
+		return fd.EventuallyStrongOracle{StabilizeAt: o.stabilize, ChaosRate: 0.15, Seed: o.seed}, nil
+	case "faulty-set":
+		return fd.FaultySetOracle{}, nil
+	case "trivial":
+		return fd.TrivialGeneralizedOracle{T: o.t}, nil
+	default:
+		return nil, fmt.Errorf("unknown oracle %q", name)
+	}
+}
+
+// check runs the requested specification checker.
+func check(name string, r *model.Run, proposals map[model.ProcID]int) ([]model.Violation, error) {
+	switch name {
+	case "udc":
+		return core.CheckUDC(r), nil
+	case "nudc":
+		return core.CheckNUDC(r), nil
+	case "consensus":
+		return consensus.CheckConsensus(r, proposals), nil
+	default:
+		return nil, fmt.Errorf("unknown check %q", name)
+	}
+}

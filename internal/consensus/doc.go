@@ -1,0 +1,19 @@
+// Package consensus implements the Chandra-Toueg style consensus baselines
+// that Table 1 of the paper compares UDC against, together with checkers for
+// the uniform consensus properties.
+//
+// Two algorithms are provided:
+//
+//   - Rotating: a rotating-coordinator algorithm that solves uniform consensus
+//     with a strong failure detector (strong completeness + weak accuracy) for
+//     any number of failures up to n-1, the detector class Table 1 lists for
+//     consensus when n/2 <= t.
+//   - Majority: the classic Chandra-Toueg Diamond-S algorithm (four-phase
+//     rotating coordinator with majority locking), which solves uniform
+//     consensus with an eventually-strong detector provided t < n/2 — and
+//     which demonstrably loses termination when a majority cannot be
+//     assembled, reproducing the t >= n/2 boundary of Table 1.
+//
+// A process records its decision as a single do event whose ActionID.Seq field
+// carries the decided value; CheckConsensus reads decisions back from the run.
+package consensus

@@ -1,0 +1,169 @@
+package consensus
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Message kinds used by the consensus protocols.
+const (
+	// MsgEstimate is a coordinator's round estimate (Rotating) or a
+	// participant's estimate sent to the coordinator (Majority, phase 1).
+	MsgEstimate = "estimate"
+	// MsgProposal is the coordinator's phase-2 proposal (Majority).
+	MsgProposal = "proposal"
+	// MsgAck is a positive (Value=1) or negative (Value=0) phase-3 response
+	// (Majority).
+	MsgAck = "consensus-ack"
+	// MsgDecide announces a decision.
+	MsgDecide = "decide"
+)
+
+// DecisionSeq marks do events that record consensus decisions.
+const DecisionSeq = -1
+
+// DecisionAction encodes a decided value as the action recorded by the
+// deciding process.
+func DecisionAction(p model.ProcID, value int) model.ActionID {
+	return model.ActionID{Initiator: p, Seq: value}
+}
+
+// Rotating is a rotating-coordinator uniform-consensus algorithm for a strong
+// failure detector (strong completeness + weak accuracy), tolerating up to
+// n-1 crashes.
+//
+// The algorithm proceeds through rounds 1..n; the coordinator of round r is
+// process r-1.  The coordinator of a round broadcasts the estimate it held on
+// entering the round; every other process waits until it either receives that
+// estimate (and adopts it) or suspects the coordinator (and keeps its own).
+// After round n a process decides its estimate and gossips the decision.
+// Weak accuracy guarantees a round whose coordinator is a never-suspected
+// correct process; everyone adopts that coordinator's estimate, so all
+// decisions agree (uniformly, since even processes that later crash passed
+// through that round before deciding).
+type Rotating struct {
+	id    model.ProcID
+	n     int
+	value int
+
+	round         int // current round, 1-based; n+1 means ready to decide
+	coordEstimate map[int]int
+	received      map[int]int
+	hasReceived   map[int]bool
+	everSuspected model.ProcSet
+	decided       bool
+	decidedValue  int
+}
+
+// NewRotating returns a sim.ProtocolFactory for Rotating where each process
+// proposes the value given by proposals (defaulting to the process id).
+func NewRotating(proposals map[model.ProcID]int) sim.ProtocolFactory {
+	return func(id model.ProcID, n int) sim.Protocol {
+		v, ok := proposals[id]
+		if !ok {
+			v = int(id)
+		}
+		return &Rotating{
+			id:            id,
+			n:             n,
+			value:         v,
+			round:         1,
+			coordEstimate: make(map[int]int),
+			received:      make(map[int]int),
+			hasReceived:   make(map[int]bool),
+		}
+	}
+}
+
+// Name implements sim.Protocol.
+func (p *Rotating) Name() string { return "consensus-rotating" }
+
+// Init implements sim.Protocol.
+func (p *Rotating) Init(ctx sim.Context) { p.advance(ctx) }
+
+// OnInitiate implements sim.Protocol.  Consensus takes its input from the
+// proposal map, so workload initiations are ignored.
+func (p *Rotating) OnInitiate(sim.Context, model.ActionID) {}
+
+// OnMessage implements sim.Protocol.
+func (p *Rotating) OnMessage(ctx sim.Context, _ model.ProcID, msg model.Message) {
+	switch msg.Kind {
+	case MsgEstimate:
+		if !p.hasReceived[msg.Round] {
+			p.hasReceived[msg.Round] = true
+			p.received[msg.Round] = msg.Value
+		}
+		p.advance(ctx)
+	case MsgDecide:
+		p.decide(ctx, msg.Value)
+	}
+}
+
+// OnSuspect implements sim.Protocol.
+func (p *Rotating) OnSuspect(ctx sim.Context, rep model.SuspectReport) {
+	suspects, isStandard := rep.StandardSuspects(p.n)
+	if !isStandard {
+		return
+	}
+	p.everSuspected = p.everSuspected.Union(suspects)
+	p.advance(ctx)
+}
+
+// OnTick implements sim.Protocol.
+func (p *Rotating) OnTick(ctx sim.Context) {
+	if p.decided {
+		ctx.Broadcast(model.Message{Kind: MsgDecide, Value: p.decidedValue})
+		return
+	}
+	// Re-broadcast every estimate this process has issued as a coordinator so
+	// slower processes eventually hear it despite message loss.
+	for r := 1; r <= p.n; r++ {
+		if v, ok := p.coordEstimate[r]; ok {
+			ctx.Broadcast(model.Message{Kind: MsgEstimate, Round: r, Value: v})
+		}
+	}
+	p.advance(ctx)
+}
+
+// coordinator returns the coordinator of round r.
+func (p *Rotating) coordinator(r int) model.ProcID { return model.ProcID(r - 1) }
+
+// advance moves through as many rounds as currently possible and decides after
+// round n.
+func (p *Rotating) advance(ctx sim.Context) {
+	if p.decided {
+		return
+	}
+	for p.round <= p.n {
+		c := p.coordinator(p.round)
+		switch {
+		case c == p.id:
+			if _, ok := p.coordEstimate[p.round]; !ok {
+				p.coordEstimate[p.round] = p.value
+				ctx.Broadcast(model.Message{Kind: MsgEstimate, Round: p.round, Value: p.value})
+			}
+			p.round++
+		case p.hasReceived[p.round]:
+			p.value = p.received[p.round]
+			p.round++
+		case p.everSuspected.Has(c):
+			p.round++
+		default:
+			return
+		}
+	}
+	p.decide(ctx, p.value)
+}
+
+// decide records the decision and starts gossiping it.
+func (p *Rotating) decide(ctx sim.Context, v int) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.decidedValue = v
+	ctx.Do(DecisionAction(p.id, v))
+	ctx.Broadcast(model.Message{Kind: MsgDecide, Value: v})
+}
+
+var _ sim.Protocol = (*Rotating)(nil)

@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/model"
+
+// actionSet is an insertion-ordered set of actions.  Protocols iterate over
+// their active actions on every tick; using a plain map would make iteration
+// order (and therefore the simulator's RNG consumption) nondeterministic, so
+// protocols use this ordered set instead.
+type actionSet struct {
+	seen  map[model.ActionID]bool
+	order []model.ActionID
+}
+
+func newActionSet() *actionSet {
+	return &actionSet{seen: make(map[model.ActionID]bool)}
+}
+
+// add inserts a and reports whether it was newly added.
+func (s *actionSet) add(a model.ActionID) bool {
+	if s.seen[a] {
+		return false
+	}
+	s.seen[a] = true
+	s.order = append(s.order, a)
+	return true
+}
+
+// has reports membership.
+func (s *actionSet) has(a model.ActionID) bool { return s.seen[a] }
+
+// list returns the actions in insertion order.  The returned slice must not be
+// modified.
+func (s *actionSet) list() []model.ActionID { return s.order }
+
+// len returns the number of actions in the set.
+func (s *actionSet) len() int { return len(s.order) }

@@ -1,0 +1,16 @@
+// Package core implements the paper's central objects: the Uniform
+// Distributed Coordination (UDC) and non-uniform (nUDC) specifications of
+// Section 2.4, the protocols whose existence Propositions 2.3, 2.4, 3.1 and
+// 4.1 (and Corollary 4.2) assert, and the knowledge-based failure-detector
+// simulations of Theorems 3.6 and 4.3.
+//
+// Specifications are implemented as checkers over recorded runs (CheckUDC,
+// CheckNUDC).  Protocols implement sim.Protocol and are run by internal/sim.
+// The extraction functions SimulatePerfectDetector and SimulateTUsefulDetector
+// realise the constructions P1-P3 and P3' of Section 3 and Section 4: they
+// take a finite sampled system of runs of a UDC-attaining protocol, compute
+// the required knowledge with the epistemic model checker, and emit the
+// transformed system R^f whose suspect' events constitute the simulated
+// detector.  The detector's properties are then verified with the checkers in
+// internal/fd.
+package core

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"repro/internal/epistemic"
+	"repro/internal/model"
+)
+
+// This file implements the run transformations f and f' of Theorems 3.6 and
+// 4.3: a system that attains UDC can simulate a perfect failure detector (f,
+// conditions P1-P3) and, in a context with at most t failures, a t-useful
+// generalized failure detector (f', with P3 replaced by P3').
+//
+// Both constructions double time: the event that occurred at time m in r is
+// placed at time 2m in f(r), and at every odd time 2m+1 a new suspect' event
+// is inserted whose content is computed from what the process *knows* at the
+// corresponding point (r, m) of the original system.  Knowledge is computed by
+// the epistemic model checker over the sampled system; the resulting detector
+// events are then validated against ground truth by the fd package's property
+// checkers (see internal/core tests and cmd/fdextract).
+
+// SimulatePerfectDetector applies construction P1-P3 of Theorem 3.6 to every
+// run of the sampled system: original failure-detector events are removed and
+// at each odd step process p's new detector reports {q : K_p crash(q)}.
+// The returned runs form the system R^f of the theorem.
+func SimulatePerfectDetector(sys *epistemic.System) model.System {
+	out := make(model.System, 0, sys.Size())
+	for ri := 0; ri < sys.Size(); ri++ {
+		out = append(out, transformRun(sys, ri, func(p model.ProcID, pt epistemic.Point) model.SuspectReport {
+			return model.SuspectReport{Suspects: sys.KnownCrashed(p, pt)}
+		}))
+	}
+	return out
+}
+
+// SimulateTUsefulDetector applies construction P3' of Theorem 4.3: at the odd
+// step following a history of length l, process p's new detector reports
+// (S_l, k) where S_l is the l-th subset of Proc in the fixed enumeration
+// (l taken modulo 2^n) and k is the largest number of processes in S_l that p
+// knows to have crashed.
+func SimulateTUsefulDetector(sys *epistemic.System) model.System {
+	n := sys.N()
+	subsetCount := 1 << uint(n)
+	out := make(model.System, 0, sys.Size())
+	for ri := 0; ri < sys.Size(); ri++ {
+		run := sys.RunAt(ri)
+		out = append(out, transformRun(sys, ri, func(p model.ProcID, pt epistemic.Point) model.SuspectReport {
+			// P3' indexes the subset by the length of r_p(m+1).
+			next := pt.Time + 1
+			if next > run.Horizon {
+				next = run.Horizon
+			}
+			l := run.PrefixLen(p, next) % subsetCount
+			group := model.ProcSet(l)
+			return model.SuspectReport{
+				Generalized: true,
+				Group:       group,
+				MinFaulty:   sys.MaxKnownCrashedIn(p, pt, group),
+			}
+		}))
+	}
+	return out
+}
+
+// transformRun builds f(r) for one run: events of r at time m are copied to
+// time 2m (dropping r's own failure-detector events), and at every odd time
+// 2m+1 a suspect' event computed by report is inserted for every process that
+// has not crashed by m.
+func transformRun(sys *epistemic.System, ri int, report func(model.ProcID, epistemic.Point) model.SuspectReport) *model.Run {
+	r := sys.RunAt(ri)
+	out := model.NewRun(r.N)
+	for p := model.ProcID(0); int(p) < r.N; p++ {
+		crashTime, crashed := r.CrashTime(p)
+		evIdx := 0
+		evs := r.Events[p]
+		for m := 0; m <= r.Horizon; m++ {
+			// Copy the original events of time m to time 2m.
+			for evIdx < len(evs) && evs[evIdx].Time == m {
+				e := evs[evIdx].Event
+				evIdx++
+				if e.Kind == model.EventSuspect {
+					continue
+				}
+				// Errors are impossible here by construction (times are
+				// monotone and crash stays last); they would only indicate a
+				// corrupted input run, which Validate would already flag.
+				_ = out.Append(p, 2*m, e)
+			}
+			// Insert the simulated detector report at time 2m+1, unless the
+			// process has already crashed (histories do not extend past a
+			// crash, condition R4).
+			if crashed && crashTime <= m {
+				continue
+			}
+			rep := report(p, epistemic.Point{Run: ri, Time: m})
+			_ = out.Append(p, 2*m+1, model.Event{Kind: model.EventSuspect, Report: rep})
+		}
+	}
+	out.SetHorizon(2*r.Horizon + 1)
+	return out
+}
+
+// CheckA5 verifies assumption A5_t on a sampled system: for every subset S of
+// processes with |S| <= t there is a run whose faulty set is exactly S.  (The
+// remaining assumptions A1-A4 quantify over extensions of runs and over all
+// indistinguishable points, so they are properties of the generating context
+// rather than of any finite sample; DESIGN.md discusses how the simulator's
+// workloads are set up to respect them.)
+func CheckA5(runs model.System, t int) []model.Violation {
+	if len(runs) == 0 {
+		return []model.Violation{model.Violationf("A5", "empty system")}
+	}
+	n := runs[0].N
+	seen := make(map[model.ProcSet]bool, len(runs))
+	for _, r := range runs {
+		seen[r.Faulty()] = true
+	}
+	var out []model.Violation
+	for size := 0; size <= t && size <= n; size++ {
+		for _, s := range model.SubsetsOfSize(n, size) {
+			if !seen[s] {
+				out = append(out, model.Violationf("A5",
+					"no run in the sample has faulty set exactly %s", s))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/epistemic"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// buildUDCSystem runs a UDC-attaining protocol over many seeds and returns the
+// sampled system together with the recorded runs.  Crashes happen early and
+// actions keep being initiated afterwards, approximating the theorem's
+// "infinitely many actions are initiated" hypothesis on a finite horizon.
+func buildUDCSystem(t *testing.T, spec workload.Spec, seeds []int64) (model.System, *epistemic.System) {
+	t.Helper()
+	runs := make(model.System, 0, len(seeds))
+	for _, seed := range seeds {
+		res, err := workload.Execute(spec, seed)
+		if err != nil {
+			t.Fatalf("execute seed %d: %v", seed, err)
+		}
+		if vs := core.CheckUDC(res.Run); len(vs) > 0 {
+			t.Fatalf("seed %d: source protocol violated UDC: %v", seed, vs[0])
+		}
+		runs = append(runs, res.Run)
+	}
+	return runs, epistemic.NewSystem(runs)
+}
+
+// TestTheorem36PerfectDetectorSimulation reproduces Theorem 3.6: from a system
+// that attains UDC (here via a merely *strong* detector that falsely suspects
+// correct processes), the knowledge-based construction P1-P3 yields a detector
+// that is perfect — strongly accurate even though the source detector was not,
+// and strongly complete.
+func TestTheorem36PerfectDetectorSimulation(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "thm3.6-source",
+		N:             5,
+		MaxSteps:      400,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       sim.FairLossyNetwork(0.25),
+		Oracle:        fd.StrongOracle{FalseSuspicionRate: 0.3, Seed: 17},
+		Protocol:      core.NewStrongFDUDC,
+		Actions:       8,
+		LastInitTime:  250,
+		MaxFailures:   3,
+		ExactFailures: true,
+		CrashEnd:      100,
+	}
+	runs, sys := buildUDCSystem(t, spec, workload.Seeds(100, 20))
+
+	// The source detector is strong but not perfect: confirm that at least one
+	// source run contains a false suspicion, so the accuracy of the simulated
+	// detector below is not inherited trivially.
+	sourceFalse := 0
+	for _, r := range runs {
+		sourceFalse += len(fd.CheckStrongAccuracy(r))
+	}
+	if sourceFalse == 0 {
+		t.Fatalf("expected the source strong detector to produce false suspicions; adjust FalseSuspicionRate")
+	}
+
+	simulated := core.SimulatePerfectDetector(sys)
+	if len(simulated) != len(runs) {
+		t.Fatalf("expected %d transformed runs, got %d", len(runs), len(simulated))
+	}
+	for i, r := range simulated {
+		if vs := fd.CheckStrongAccuracy(r); len(vs) > 0 {
+			t.Errorf("run %d: simulated detector violates strong accuracy: %v", i, vs[0])
+		}
+		if vs := fd.CheckStrongCompleteness(r); len(vs) > 0 {
+			t.Errorf("run %d: simulated detector violates strong completeness: %v", i, vs[0])
+		}
+	}
+}
+
+// TestTheorem36PreservesEvents checks structural properties of the f
+// transformation: original non-detector events appear (in order, at doubled
+// times), original detector events are removed, and crashes stay final.
+func TestTheorem36PreservesEvents(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "thm3.6-structure",
+		N:             4,
+		MaxSteps:      200,
+		TickEvery:     2,
+		SuspectEvery:  4,
+		Network:       sim.FairLossyNetwork(0.2),
+		Oracle:        fd.StrongOracle{FalseSuspicionRate: 0.2, Seed: 3},
+		Protocol:      core.NewStrongFDUDC,
+		Actions:       4,
+		MaxFailures:   2,
+		ExactFailures: true,
+		CrashEnd:      60,
+	}
+	runs, sys := buildUDCSystem(t, spec, workload.Seeds(300, 6))
+	simulated := core.SimulatePerfectDetector(sys)
+
+	for i, orig := range runs {
+		xform := simulated[i]
+		if got, want := xform.Horizon, 2*orig.Horizon+1; got != want {
+			t.Fatalf("run %d: horizon %d, want %d", i, got, want)
+		}
+		for p := model.ProcID(0); int(p) < orig.N; p++ {
+			var origEvents, xformEvents []model.Event
+			for _, te := range orig.Events[p] {
+				if te.Event.Kind != model.EventSuspect {
+					origEvents = append(origEvents, te.Event)
+				}
+			}
+			for _, te := range xform.Events[p] {
+				if te.Event.Kind != model.EventSuspect {
+					xformEvents = append(xformEvents, te.Event)
+				}
+			}
+			if len(origEvents) != len(xformEvents) {
+				t.Fatalf("run %d process %d: %d non-detector events became %d", i, p, len(origEvents), len(xformEvents))
+			}
+			for j := range origEvents {
+				if origEvents[j].IdentityKey() != xformEvents[j].IdentityKey() {
+					t.Fatalf("run %d process %d: event %d changed under f", i, p, j)
+				}
+			}
+			if ct, ok := orig.CrashTime(p); ok {
+				xct, xok := xform.CrashTime(p)
+				if !xok || xct != 2*ct {
+					t.Fatalf("run %d process %d: crash time %d not doubled (got %d, ok=%v)", i, p, ct, xct, xok)
+				}
+			}
+			if vs := model.Validate(xform, model.ValidateOptions{}); len(vs) > 0 {
+				t.Fatalf("run %d: transformed run violates run conditions: %v", i, vs[0])
+			}
+		}
+	}
+}
+
+// TestTheorem43TUsefulDetectorSimulation reproduces Theorem 4.3: in a context
+// with at most t failures, the P3' construction yields a t-useful generalized
+// failure detector.
+func TestTheorem43TUsefulDetectorSimulation(t *testing.T) {
+	const failureBound = 2
+	spec := workload.Spec{
+		Name:          "thm4.3-source",
+		N:             5,
+		MaxSteps:      600,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       sim.FairLossyNetwork(0.25),
+		Oracle:        fd.FaultySetOracle{},
+		Protocol:      core.NewTUsefulUDC(failureBound),
+		Actions:       10,
+		LastInitTime:  400,
+		MaxFailures:   failureBound,
+		ExactFailures: true,
+		CrashEnd:      120,
+	}
+	_, sys := buildUDCSystem(t, spec, workload.Seeds(500, 15))
+
+	simulated := core.SimulateTUsefulDetector(sys)
+	for i, r := range simulated {
+		if vs := fd.CheckGeneralizedStrongAccuracy(r); len(vs) > 0 {
+			t.Errorf("run %d: simulated generalized detector violates accuracy: %v", i, vs[0])
+		}
+		if vs := fd.CheckTUseful(r, failureBound); len(vs) > 0 {
+			t.Errorf("run %d: simulated detector is not %d-useful: %v", i, failureBound, vs[0])
+		}
+	}
+}
+
+// TestCheckA5 exercises the A5_t sample check used to document the extraction
+// experiments' preconditions.
+func TestCheckA5(t *testing.T) {
+	mk := func(n int, crashed ...model.ProcID) *model.Run {
+		r := model.NewRun(n)
+		for _, p := range crashed {
+			if err := r.Append(p, 1, model.Event{Kind: model.EventCrash}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		r.SetHorizon(10)
+		return r
+	}
+	complete := model.System{
+		mk(3), mk(3, 0), mk(3, 1), mk(3, 2),
+	}
+	if vs := core.CheckA5(complete, 1); len(vs) != 0 {
+		t.Fatalf("expected A5_1 to hold, got %v", vs)
+	}
+	if vs := core.CheckA5(complete, 2); len(vs) == 0 {
+		t.Fatalf("expected A5_2 to fail on a sample with only singleton failure sets")
+	}
+	if vs := core.CheckA5(nil, 0); len(vs) == 0 {
+		t.Fatalf("expected empty system to be rejected")
+	}
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestUDCWithGStandardDetector exercises the paper's remark at the end of
+// Section 2.2 that every result applies to g-standard detectors: the
+// Proposition 3.1 protocol attains UDC when its detector reports "these
+// processes are correct" instead of "these processes are faulty".
+func TestUDCWithGStandardDetector(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "g-standard",
+		N:             6,
+		MaxSteps:      450,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       sim.FairLossyNetwork(0.3),
+		Oracle:        fd.CorrectSetOracle{Inner: fd.StrongOracle{FalseSuspicionRate: 0.2, Seed: 8}},
+		Protocol:      core.NewStrongFDUDC,
+		Actions:       6,
+		MaxFailures:   4,
+		ExactFailures: true,
+		CrashEnd:      110,
+	}
+	requireAllOK(t, sweep(t, spec, 20, workload.UDCEvaluator))
+}
+
+// TestConsensusWithGStandardDetector does the same for the consensus baseline.
+func TestConsensusWithGStandardDetector(t *testing.T) {
+	n := 6
+	proposals := make(map[model.ProcID]int, n)
+	for i := 0; i < n; i++ {
+		proposals[model.ProcID(i)] = 200 + i
+	}
+	spec := workload.Spec{
+		Name:          "g-standard-consensus",
+		N:             n,
+		MaxSteps:      450,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       sim.FairLossyNetwork(0.25),
+		Oracle:        fd.CorrectSetOracle{Inner: fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 21}},
+		Protocol:      consensus.NewRotating(proposals),
+		MaxFailures:   n - 2,
+		ExactFailures: true,
+		CrashEnd:      100,
+	}
+	res := sweep(t, spec, 15, func(r *model.Run) []model.Violation {
+		return consensus.CheckConsensus(r, proposals)
+	})
+	requireAllOK(t, res)
+}

@@ -1,0 +1,308 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// sweep runs the spec across seeds and returns the result, failing the test on
+// simulator errors.
+func sweep(t *testing.T, spec workload.Spec, seeds int, eval workload.Evaluator) workload.SweepResult {
+	t.Helper()
+	res, err := workload.Sweep(spec, workload.Seeds(1, seeds), eval)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return res
+}
+
+// requireAllOK asserts that every seed satisfied the evaluated property.
+func requireAllOK(t *testing.T, res workload.SweepResult) {
+	t.Helper()
+	for _, o := range res.Outcomes {
+		if !o.OK() {
+			t.Errorf("seed %d: %d violations, first: %v", o.Seed, len(o.Violations), o.Violations[0])
+		}
+	}
+}
+
+// TestProp23NUDCFairLossy reproduces Proposition 2.3: nUDC is attainable with
+// no failure detector over fair-lossy channels even if every process may
+// crash.
+func TestProp23NUDCFairLossy(t *testing.T) {
+	spec := workload.Spec{
+		Name:        "prop2.3",
+		N:           6,
+		MaxSteps:    400,
+		TickEvery:   2,
+		Network:     sim.FairLossyNetwork(0.3),
+		Protocol:    core.NewNUDC,
+		Actions:     6,
+		MaxFailures: 6,
+	}
+	requireAllOK(t, sweep(t, spec, 25, workload.NUDCEvaluator))
+}
+
+// TestProp23NUDCDoesNotGiveUDC shows the separation between nUDC and UDC: the
+// same protocol violates the uniform specification under crashes and lossy
+// channels in at least some runs.
+func TestProp23NUDCDoesNotGiveUDC(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "prop2.3-negative",
+		N:             6,
+		MaxSteps:      300,
+		TickEvery:     2,
+		Network:       sim.NetworkConfig{DropProbability: 0.85, MaxDelay: 6, FairnessBound: 200},
+		Protocol:      core.NewNUDC,
+		Actions:       6,
+		MaxFailures:   5,
+		ExactFailures: true,
+		CrashEnd:      30,
+	}
+	res := sweep(t, spec, 30, workload.UDCEvaluator)
+	if res.Successes() == len(res.Outcomes) {
+		t.Fatalf("expected the immediate-perform protocol to violate UDC in at least one of %d runs", len(res.Outcomes))
+	}
+}
+
+// TestProp24ReliableUDC reproduces Proposition 2.4: UDC is attainable with no
+// failure detector when channels are reliable, regardless of the number of
+// failures.
+func TestProp24ReliableUDC(t *testing.T) {
+	spec := workload.Spec{
+		Name:        "prop2.4",
+		N:           6,
+		MaxSteps:    400,
+		TickEvery:   2,
+		Network:     sim.ReliableNetwork(),
+		Protocol:    core.NewReliableUDC,
+		Actions:     8,
+		MaxFailures: 6,
+	}
+	requireAllOK(t, sweep(t, spec, 25, workload.UDCEvaluator))
+}
+
+// TestProp24NeedsReliableChannels shows that the same one-shot relay protocol
+// is not a UDC solution once channels may lose messages.
+func TestProp24NeedsReliableChannels(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "prop2.4-negative",
+		N:             6,
+		MaxSteps:      300,
+		TickEvery:     2,
+		Network:       sim.NetworkConfig{DropProbability: 0.8, MaxDelay: 6, FairnessBound: 200},
+		Protocol:      core.NewReliableUDC,
+		Actions:       6,
+		MaxFailures:   5,
+		ExactFailures: true,
+		CrashEnd:      30,
+	}
+	res := sweep(t, spec, 30, workload.UDCEvaluator)
+	if res.Successes() == len(res.Outcomes) {
+		t.Fatalf("expected message loss to break the reliable-channel protocol in at least one of %d runs", len(res.Outcomes))
+	}
+}
+
+// TestProp31StrongDetector reproduces Proposition 3.1: UDC is attainable over
+// fair-lossy channels with a strong failure detector, with no bound on the
+// number of failures (up to n-1 so that weak accuracy has a witness).
+func TestProp31StrongDetector(t *testing.T) {
+	spec := workload.Spec{
+		Name:         "prop3.1",
+		N:            6,
+		MaxSteps:     500,
+		TickEvery:    2,
+		SuspectEvery: 3,
+		Network:      sim.FairLossyNetwork(0.3),
+		Oracle:       fd.StrongOracle{FalseSuspicionRate: 0.2, Seed: 11},
+		Protocol:     core.NewStrongFDUDC,
+		Actions:      6,
+		MaxFailures:  5,
+		CrashEnd:     120,
+	}
+	requireAllOK(t, sweep(t, spec, 25, workload.UDCEvaluator))
+}
+
+// TestCor32ImpermanentWeakDetector reproduces Corollary 3.2: an
+// impermanent-weak detector suffices once it is amplified by gossip
+// (Proposition 2.1) and accumulation (Proposition 2.2), both of which the
+// protocol's "says or has said" rule provides.
+func TestCor32ImpermanentWeakDetector(t *testing.T) {
+	spec := workload.Spec{
+		Name:         "cor3.2",
+		N:            6,
+		MaxSteps:     500,
+		TickEvery:    2,
+		SuspectEvery: 3,
+		Network:      sim.FairLossyNetwork(0.3),
+		Oracle:       fd.GossipOracle{Inner: fd.ImpermanentWeakOracle{Window: 4}, Delay: 5},
+		Protocol:     core.NewStrongFDUDC,
+		Actions:      6,
+		MaxFailures:  5,
+		CrashEnd:     120,
+	}
+	requireAllOK(t, sweep(t, spec, 25, workload.UDCEvaluator))
+}
+
+// TestProp41TUsefulDetector reproduces Proposition 4.1: UDC is attainable with
+// a bound of t failures and a t-useful generalized detector.
+func TestProp41TUsefulDetector(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		t    int
+	}{
+		{name: "n7-t2", n: 7, t: 2},
+		{name: "n7-t4", n: 7, t: 4},
+		{name: "n7-t6", n: 7, t: 6},
+		{name: "n5-t4", n: 5, t: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := workload.Spec{
+				Name:          "prop4.1-" + tc.name,
+				N:             tc.n,
+				MaxSteps:      500,
+				TickEvery:     2,
+				SuspectEvery:  3,
+				Network:       sim.FairLossyNetwork(0.3),
+				Oracle:        fd.FaultySetOracle{},
+				Protocol:      core.NewTUsefulUDC(tc.t),
+				Actions:       tc.n,
+				MaxFailures:   tc.t,
+				ExactFailures: true,
+				CrashEnd:      120,
+			}
+			requireAllOK(t, sweep(t, spec, 15, workload.UDCEvaluator))
+		})
+	}
+}
+
+// TestCor42QuorumNoDetector reproduces Corollary 4.2: with t < n/2 failures,
+// UDC is attainable with no failure detector at all.
+func TestCor42QuorumNoDetector(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "cor4.2",
+		N:             7,
+		MaxSteps:      400,
+		TickEvery:     2,
+		Network:       sim.FairLossyNetwork(0.3),
+		Protocol:      core.NewQuorumUDC(3),
+		Actions:       7,
+		MaxFailures:   3,
+		ExactFailures: true,
+		CrashEnd:      100,
+	}
+	requireAllOK(t, sweep(t, spec, 25, workload.UDCEvaluator))
+}
+
+// TestQuorumFailsBeyondMinority shows that the no-detector quorum protocol is
+// no longer a UDC solution when half or more of the processes may crash, the
+// boundary Table 1 and Theorem 3.6 establish.
+func TestQuorumFailsBeyondMinority(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "cor4.2-negative",
+		N:             6,
+		MaxSteps:      300,
+		TickEvery:     2,
+		Network:       sim.NetworkConfig{DropProbability: 0.75, MaxDelay: 6, FairnessBound: 300},
+		Protocol:      core.NewQuorumUDC(5),
+		Actions:       6,
+		MaxFailures:   5,
+		ExactFailures: true,
+		CrashEnd:      25,
+	}
+	res := sweep(t, spec, 30, workload.UDCEvaluator)
+	if res.Successes() == len(res.Outcomes) {
+		t.Fatalf("expected the quorum protocol with t >= n/2 to violate UDC in at least one of %d runs", len(res.Outcomes))
+	}
+}
+
+// TestTrivialDetectorMatchesCor42 checks the paper's remark that the trivial
+// generalized detector (report (S, 0) for every |S| = t) is t-useful for
+// t < n/2 and lets the generic t-useful protocol attain UDC.
+func TestTrivialDetectorMatchesCor42(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "prop4.1-trivial-detector",
+		N:             7,
+		MaxSteps:      400,
+		TickEvery:     2,
+		SuspectEvery:  2,
+		Network:       sim.FairLossyNetwork(0.3),
+		Oracle:        fd.TrivialGeneralizedOracle{T: 3},
+		Protocol:      core.NewTUsefulUDC(3),
+		Actions:       7,
+		MaxFailures:   3,
+		ExactFailures: true,
+		CrashEnd:      100,
+	}
+	requireAllOK(t, sweep(t, spec, 15, workload.UDCEvaluator))
+}
+
+// TestRunsSatisfyModelConditions validates that simulator output satisfies the
+// run conditions R1-R5 of Section 2.1 across protocols and network regimes.
+func TestRunsSatisfyModelConditions(t *testing.T) {
+	specs := []workload.Spec{
+		{
+			Name: "r-check-nudc", N: 5, MaxSteps: 200, TickEvery: 2,
+			Network: sim.FairLossyNetwork(0.4), Protocol: core.NewNUDC, Actions: 4, MaxFailures: 5,
+		},
+		{
+			Name: "r-check-strong", N: 5, MaxSteps: 200, TickEvery: 2, SuspectEvery: 3,
+			Network: sim.FairLossyNetwork(0.2), Oracle: fd.StrongOracle{Seed: 3},
+			Protocol: core.NewStrongFDUDC, Actions: 4, MaxFailures: 4,
+		},
+		{
+			Name: "r-check-reliable", N: 5, MaxSteps: 200, TickEvery: 2,
+			Network: sim.ReliableNetwork(), Protocol: core.NewReliableUDC, Actions: 4, MaxFailures: 5,
+		},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, seed := range workload.Seeds(7, 5) {
+				res, err := workload.Execute(spec, seed)
+				if err != nil {
+					t.Fatalf("execute: %v", err)
+				}
+				if vs := model.Validate(res.Run, model.DefaultValidateOptions()); len(vs) > 0 {
+					t.Errorf("seed %d: run conditions violated: %v", seed, vs[0])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism checks that identical configurations reproduce identical
+// runs, which the rest of the suite and the benchmark harness rely on.
+func TestDeterminism(t *testing.T) {
+	spec := workload.Spec{
+		Name: "determinism", N: 6, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
+		Network: sim.FairLossyNetwork(0.3), Oracle: fd.StrongOracle{FalseSuspicionRate: 0.1, Seed: 5},
+		Protocol: core.NewStrongFDUDC, Actions: 5, MaxFailures: 4,
+	}
+	first, err := workload.Execute(spec, 42)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	second, err := workload.Execute(spec, 42)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if first.Run.EventCount() != second.Run.EventCount() {
+		t.Fatalf("event counts differ: %d vs %d", first.Run.EventCount(), second.Run.EventCount())
+	}
+	for p := model.ProcID(0); int(p) < spec.N; p++ {
+		h1, h2 := first.Run.FinalHistory(p), second.Run.FinalHistory(p)
+		if h1.Key() != h2.Key() {
+			t.Fatalf("process %d histories differ between identical configs", p)
+		}
+	}
+	if first.Stats != second.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", first.Stats, second.Stats)
+	}
+}

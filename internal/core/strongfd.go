@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// StrongFDUDC is the protocol of Proposition 3.1: it attains UDC in every
+// context with (impermanent-)strong failure detectors and fair-lossy
+// channels, even with no bound on the number of failures.
+//
+// A process in the UDC(alpha) state repeatedly sends alpha-messages to every
+// process from which it has not yet received an acknowledgment, and performs
+// alpha once every other process has either acknowledged or been (ever)
+// suspected by its failure detector.  Receivers of an alpha-message
+// acknowledge it and enter the UDC(alpha) state themselves.
+type StrongFDUDC struct {
+	id            model.ProcID
+	n             int
+	active        *actionSet
+	acked         map[model.ActionID]model.ProcSet
+	everSuspected model.ProcSet
+}
+
+// NewStrongFDUDC is the sim.ProtocolFactory for StrongFDUDC.
+func NewStrongFDUDC(id model.ProcID, n int) sim.Protocol {
+	return &StrongFDUDC{
+		id:     id,
+		n:      n,
+		active: newActionSet(),
+		acked:  make(map[model.ActionID]model.ProcSet),
+	}
+}
+
+// Name implements sim.Protocol.
+func (p *StrongFDUDC) Name() string { return "udc-strong-fd" }
+
+// Init implements sim.Protocol.
+func (p *StrongFDUDC) Init(sim.Context) {}
+
+// OnInitiate implements sim.Protocol.
+func (p *StrongFDUDC) OnInitiate(ctx sim.Context, a model.ActionID) { p.enter(ctx, a) }
+
+// OnMessage implements sim.Protocol.
+func (p *StrongFDUDC) OnMessage(ctx sim.Context, from model.ProcID, msg model.Message) {
+	switch msg.Kind {
+	case MsgAlpha:
+		// Acknowledge every alpha-message, then enter the UDC state.
+		ctx.Send(from, model.Message{Kind: MsgAck, Action: msg.Action})
+		p.enter(ctx, msg.Action)
+	case MsgAck:
+		if !p.active.has(msg.Action) {
+			return
+		}
+		p.acked[msg.Action] = p.acked[msg.Action].Add(from)
+		p.maybePerform(ctx, msg.Action)
+	}
+}
+
+// OnSuspect implements sim.Protocol.  Suspicions accumulate: the protocol
+// performs alpha if the detector "says or has said" a process is faulty, so
+// impermanent detectors work equally well (Corollary 3.2 via Prop. 2.2).
+func (p *StrongFDUDC) OnSuspect(ctx sim.Context, rep model.SuspectReport) {
+	suspects, isStandard := rep.StandardSuspects(p.n)
+	if !isStandard {
+		return
+	}
+	p.everSuspected = p.everSuspected.Union(suspects)
+	for _, a := range p.active.list() {
+		p.maybePerform(ctx, a)
+	}
+}
+
+// OnTick implements sim.Protocol.
+func (p *StrongFDUDC) OnTick(ctx sim.Context) {
+	for _, a := range p.active.list() {
+		p.resend(ctx, a)
+		p.maybePerform(ctx, a)
+	}
+}
+
+// enter moves the process into the UDC(a) state.
+func (p *StrongFDUDC) enter(ctx sim.Context, a model.ActionID) {
+	if !p.active.add(a) {
+		return
+	}
+	p.acked[a] = model.Singleton(p.id)
+	p.resend(ctx, a)
+	p.maybePerform(ctx, a)
+}
+
+// resend sends an alpha-message to every process that has not yet
+// acknowledged.  Per the proof of Proposition 3.1, this continues even after
+// the action has been performed.
+func (p *StrongFDUDC) resend(ctx sim.Context, a model.ActionID) {
+	acked := p.acked[a]
+	for q := model.ProcID(0); int(q) < p.n; q++ {
+		if q == p.id || acked.Has(q) {
+			continue
+		}
+		ctx.Send(q, model.Message{Kind: MsgAlpha, Action: a, KnownInits: true})
+	}
+}
+
+// maybePerform performs a once every other process has acknowledged or has
+// ever been suspected.
+func (p *StrongFDUDC) maybePerform(ctx sim.Context, a model.ActionID) {
+	if ctx.HasDone(a) {
+		return
+	}
+	acked := p.acked[a]
+	for q := model.ProcID(0); int(q) < p.n; q++ {
+		if q == p.id {
+			continue
+		}
+		if !acked.Has(q) && !p.everSuspected.Has(q) {
+			return
+		}
+	}
+	ctx.Do(a)
+}
+
+var (
+	_ sim.Protocol        = (*StrongFDUDC)(nil)
+	_ sim.ProtocolFactory = NewStrongFDUDC
+)

@@ -1,0 +1,25 @@
+// Package epistemic implements the knowledge-and-time logic of Section 2.3 of
+// the paper and a model checker for it over finite systems of recorded runs.
+//
+// Following Fagin, Halpern, Moses & Vardi, truth is defined at a point
+// (system, run, time).  The temporal operators Box (always from now on) and
+// Diamond (eventually) are interpreted on the finite horizon of each run, and
+// the epistemic operator K_p quantifies over all points of the system whose
+// local history for p is identical to the current one.
+//
+// The checker also exposes the two specialised knowledge queries the paper's
+// constructions need:
+//
+//   - KnownCrashed: the set {q : K_p crash(q)} used by construction P3 of
+//     Theorem 3.6 to simulate a perfect failure detector, and
+//   - MaxKnownCrashedIn: max{k : K_p "at least k processes in S have
+//     crashed"} used by construction P3' of Theorem 4.3 to simulate a t-useful
+//     generalized failure detector.
+//
+// Because the system handed to the checker is a finite sample of the
+// (generally infinite) system a protocol generates, knowledge computed here is
+// an over-approximation (fewer points means fewer ways to refute a formula).
+// The extraction pipeline in internal/core therefore re-validates every
+// extracted detector against ground truth, so sampling artefacts surface as
+// explicit property violations rather than silent unsoundness.
+package epistemic

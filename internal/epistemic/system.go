@@ -1,0 +1,348 @@
+package epistemic
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Point identifies a point (run, time) of a System.
+type Point struct {
+	// Run indexes into the system's run list.
+	Run int
+	// Time is the global time within that run.
+	Time int
+}
+
+// interval is a maximal range of times [Start, End] within one run during
+// which a process's local history is constant.
+type interval struct {
+	run        int
+	start, end int
+	// crashedByStart is the set of processes that have crashed in this run by
+	// time start.  Because crash(q) is stable, it is the minimal crashed set
+	// over the interval, which is what the knowledge fast paths need.
+	crashedByStart model.ProcSet
+}
+
+// localClass groups all points of the system at which a given process has the
+// same local history.
+type localClass struct {
+	intervals []interval
+}
+
+// System is a finite set of runs equipped with the indexes needed to answer
+// knowledge queries.
+type System struct {
+	runs model.System
+	n    int
+	// index[p][historyKey] groups indistinguishable points per process.
+	index []map[string]*localClass
+	// keys[p][runIdx] is the sequence of (boundary time, history key) pairs
+	// for process p in each run, used to locate a point's class quickly.
+	keys [][]boundarySeq
+}
+
+// boundarySeq is the step function time -> history key for one process in one
+// run.
+type boundarySeq struct {
+	// starts[i] is the first time at which keys[i] is the history key; the
+	// key applies until starts[i+1]-1 (or the horizon).
+	starts []int
+	keys   []string
+}
+
+// keyAt returns the history key in force at time m.
+func (b boundarySeq) keyAt(m int) string {
+	lo, hi := 0, len(b.starts)-1
+	ans := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if b.starts[mid] <= m {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return b.keys[ans]
+}
+
+// NewSystem indexes the given runs.  All runs must have the same number of
+// processes.
+func NewSystem(runs model.System) *System {
+	if len(runs) == 0 {
+		return &System{}
+	}
+	n := runs[0].N
+	sys := &System{
+		runs:  runs,
+		n:     n,
+		index: make([]map[string]*localClass, n),
+		keys:  make([][]boundarySeq, n),
+	}
+	for p := 0; p < n; p++ {
+		sys.index[p] = make(map[string]*localClass)
+		sys.keys[p] = make([]boundarySeq, len(runs))
+	}
+	for ri, r := range runs {
+		for p := model.ProcID(0); int(p) < n; p++ {
+			sys.indexProcess(ri, r, p)
+		}
+	}
+	return sys
+}
+
+// indexProcess builds the boundary sequence and local classes for one process
+// in one run.
+func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID) {
+	evs := r.Events[p]
+	hash := fnv.New64a()
+	var lastEventKey string
+	count := 0
+
+	currentKey := historyKey(hash.Sum64(), count, lastEventKey)
+	seq := boundarySeq{starts: []int{0}, keys: []string{currentKey}}
+
+	i := 0
+	for i < len(evs) {
+		t := evs[i].Time
+		for i < len(evs) && evs[i].Time == t {
+			k := evs[i].Event.IdentityKey()
+			_, _ = hash.Write([]byte(k))
+			_, _ = hash.Write([]byte{0})
+			lastEventKey = k
+			count++
+			i++
+		}
+		currentKey = historyKey(hash.Sum64(), count, lastEventKey)
+		if t == 0 {
+			// Events at time 0 are part of the initial observable state.
+			seq.keys[len(seq.keys)-1] = currentKey
+			continue
+		}
+		seq.starts = append(seq.starts, t)
+		seq.keys = append(seq.keys, currentKey)
+	}
+	sys.keys[p][ri] = seq
+
+	// Convert the step function into intervals and register them.
+	for j := range seq.starts {
+		start := seq.starts[j]
+		end := r.Horizon
+		if j+1 < len(seq.starts) {
+			end = seq.starts[j+1] - 1
+		}
+		if end < start {
+			continue
+		}
+		iv := interval{run: ri, start: start, end: end, crashedByStart: crashedBy(r, start)}
+		cls := sys.index[p][seq.keys[j]]
+		if cls == nil {
+			cls = &localClass{}
+			sys.index[p][seq.keys[j]] = cls
+		}
+		cls.intervals = append(cls.intervals, iv)
+	}
+}
+
+// historyKey mirrors model.History.Key's format so that keys computed
+// incrementally here agree with keys computed from materialised histories.
+func historyKey(hash uint64, length int, lastEventKey string) string {
+	return strconv.FormatUint(hash, 16) + "/" + strconv.Itoa(length) + "/" + lastEventKey
+}
+
+// crashedBy returns the set of processes crashed in r by time m.
+func crashedBy(r *model.Run, m int) model.ProcSet {
+	var s model.ProcSet
+	for q := model.ProcID(0); int(q) < r.N; q++ {
+		if r.CrashedBy(q, m) {
+			s = s.Add(q)
+		}
+	}
+	return s
+}
+
+// N returns the number of processes of the system.
+func (sys *System) N() int { return sys.n }
+
+// Size returns the number of runs in the system.
+func (sys *System) Size() int { return len(sys.runs) }
+
+// RunAt returns the i'th run.
+func (sys *System) RunAt(i int) *model.Run { return sys.runs[i] }
+
+// Runs returns the underlying runs.
+func (sys *System) Runs() model.System { return sys.runs }
+
+// KeyAt returns process p's local-history key at the given point.
+func (sys *System) KeyAt(p model.ProcID, pt Point) string {
+	return sys.keys[p][pt.Run].keyAt(pt.Time)
+}
+
+// forEachIndistinguishable invokes fn for every point of the system whose
+// local history for p equals that at pt (including pt itself), stopping early
+// if fn returns false.
+func (sys *System) forEachIndistinguishable(p model.ProcID, pt Point, fn func(Point) bool) {
+	cls := sys.index[p][sys.KeyAt(p, pt)]
+	if cls == nil {
+		return
+	}
+	for _, iv := range cls.intervals {
+		for m := iv.start; m <= iv.end; m++ {
+			if !fn(Point{Run: iv.run, Time: m}) {
+				return
+			}
+		}
+	}
+}
+
+// forEachGroupIndistinguishable invokes fn for every point of the system that
+// every process in procs finds indistinguishable from pt (the intersection of
+// the individual indistinguishability relations, i.e. the accessibility
+// relation of distributed knowledge).  An empty group degenerates to all
+// points of the system.
+func (sys *System) forEachGroupIndistinguishable(procs model.ProcSet, pt Point, fn func(Point) bool) {
+	members := procs.Members()
+	if len(members) == 0 {
+		for ri, r := range sys.runs {
+			for m := 0; m <= r.Horizon; m++ {
+				if !fn(Point{Run: ri, Time: m}) {
+					return
+				}
+			}
+		}
+		return
+	}
+	first := members[0]
+	rest := members[1:]
+	keys := make([]string, len(rest))
+	for i, p := range rest {
+		keys[i] = sys.KeyAt(p, pt)
+	}
+	sys.forEachIndistinguishable(first, pt, func(other Point) bool {
+		for i, p := range rest {
+			if sys.KeyAt(p, other) != keys[i] {
+				return true
+			}
+		}
+		return fn(other)
+	})
+}
+
+// DistributedKnows reports whether the group S has distributed knowledge of f
+// at the point (see footnote 4 of the paper).
+func (sys *System) DistributedKnows(procs model.ProcSet, f Formula, pt Point) bool {
+	return DistributedKnows(procs, f).Eval(sys, pt)
+}
+
+// Eval evaluates the formula at the point.
+func (sys *System) Eval(f Formula, pt Point) bool { return f.Eval(sys, pt) }
+
+// Valid reports whether the formula holds at every point of the system
+// (R |= phi).  The second return value is a witness point of failure when the
+// formula is not valid.
+func (sys *System) Valid(f Formula) (bool, Point) {
+	for ri, r := range sys.runs {
+		for m := 0; m <= r.Horizon; m++ {
+			pt := Point{Run: ri, Time: m}
+			if !f.Eval(sys, pt) {
+				return false, pt
+			}
+		}
+	}
+	return true, Point{}
+}
+
+// KnownCrashed returns {q : K_p crash(q)} at the given point: the set of
+// processes p knows to have crashed.  This is the report emitted by the
+// simulated perfect failure detector of Theorem 3.6 (construction P3).
+func (sys *System) KnownCrashed(p model.ProcID, pt Point) model.ProcSet {
+	cls := sys.index[p][sys.KeyAt(p, pt)]
+	if cls == nil {
+		return model.EmptySet()
+	}
+	known := model.FullSet(sys.n)
+	for _, iv := range cls.intervals {
+		known = known.Intersect(iv.crashedByStart)
+		if known.IsEmpty() {
+			break
+		}
+	}
+	return known
+}
+
+// MaxKnownCrashedIn returns max{k : K_p "at least k processes in S have
+// crashed"} at the given point, the quantity used by construction P3' of
+// Theorem 4.3.  Because crash(q) is stable, the minimum over an
+// indistinguishability class is attained at an interval's start.
+func (sys *System) MaxKnownCrashedIn(p model.ProcID, pt Point, s model.ProcSet) int {
+	cls := sys.index[p][sys.KeyAt(p, pt)]
+	if cls == nil {
+		return 0
+	}
+	best := -1
+	for _, iv := range cls.intervals {
+		c := iv.crashedByStart.Intersect(s).Count()
+		if best < 0 || c < best {
+			best = c
+		}
+		if best == 0 {
+			break
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// IsLocal reports whether the formula is local to process p in the system:
+// at every point p knows whether it holds, i.e. the formula has a constant
+// truth value on every indistinguishability class of p.
+func (sys *System) IsLocal(p model.ProcID, f Formula) bool {
+	for _, cls := range sys.index[p] {
+		first := true
+		var val bool
+		ok := true
+		for _, iv := range cls.intervals {
+			for m := iv.start; m <= iv.end; m++ {
+				v := f.Eval(sys, Point{Run: iv.run, Time: m})
+				if first {
+					val, first = v, false
+					continue
+				}
+				if v != val {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStable reports whether the formula is stable in the system: once true it
+// remains true (phi => Box phi is valid).
+func (sys *System) IsStable(f Formula) bool {
+	for ri, r := range sys.runs {
+		active := false
+		for m := 0; m <= r.Horizon; m++ {
+			v := f.Eval(sys, Point{Run: ri, Time: m})
+			if active && !v {
+				return false
+			}
+			if v {
+				active = true
+			}
+		}
+	}
+	return true
+}

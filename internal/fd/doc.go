@@ -1,0 +1,24 @@
+// Package fd implements failure detectors in the sense of Chandra & Toueg as
+// adapted by Halpern & Ricciardi (Section 2.2 and Section 4 of the paper).
+//
+// A failure detector is modelled as an Oracle: a function of the run's failure
+// pattern (exposed to the oracle as GroundTruth) that decides, at each query
+// time, which report (if any) to deliver to each process.  The simulator
+// (internal/sim) records each delivered report as a suspect event in the
+// process's history; everything downstream (property checkers, protocols, the
+// epistemic analysis) works only with those recorded events, exactly as in the
+// paper's history-based formulation.
+//
+// The package provides:
+//
+//   - Oracle implementations for every detector class the paper uses: perfect,
+//     strong, weak, impermanent-strong, impermanent-weak, eventually strong
+//     (Diamond-S, used by the consensus baseline), generalized (S, k)
+//     detectors including the trivial t-useful detector of Section 4, and the
+//     "no detector" oracle.
+//   - Property checkers for the six accuracy/completeness properties of
+//     Section 2.2 and the generalized properties of Section 4, operating on
+//     recorded runs.
+//   - The detector conversions of Propositions 2.1 and 2.2 and the
+//     generalized <-> perfect conversions of Section 4.
+package fd

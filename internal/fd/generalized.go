@@ -1,0 +1,129 @@
+package fd
+
+import "repro/internal/model"
+
+// FaultySetOracle is a generalized failure detector (Section 4) that reports
+// (F(r), k) where F(r) is the set of processes that are faulty in the run and
+// k is the number of them that have crashed so far.  It satisfies generalized
+// strong accuracy at all times and becomes t-useful for every t once all
+// faulty processes have crashed: then k = |S| = |F(r)| and
+// n - |S| > min(t, n-1) - k holds because n > min(t, n-1).
+//
+// It corresponds to a deployment where an operator knows which component is
+// failing but not the exact moment each member dies.
+type FaultySetOracle struct{}
+
+// Name implements Oracle.
+func (FaultySetOracle) Name() string { return "generalized-faulty-set" }
+
+// Report implements Oracle.
+func (FaultySetOracle) Report(_ model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	faulty := gt.Faulty()
+	return model.SuspectReport{
+		Generalized: true,
+		Group:       faulty,
+		MinFaulty:   crashedSet(gt, now).Count(),
+	}, true
+}
+
+// TrivialGeneralizedOracle is the trivial t-useful detector of Section 4 for
+// t < n/2: "for each S with |S| = t, output (S, 0) infinitely often".  It
+// cycles deterministically through all subsets of size T, staggered per
+// observer so that different processes see different subsets at the same
+// time.  Reporting zero faulty processes trivially satisfies generalized
+// strong accuracy, and whenever the reported S happens to contain F(r) the
+// report is t-useful (which is guaranteed to recur since the cycle visits
+// every subset).
+type TrivialGeneralizedOracle struct {
+	// T is the failure bound; subsets of exactly this size are reported.
+	T int
+}
+
+// Name implements Oracle.
+func (o TrivialGeneralizedOracle) Name() string { return "generalized-trivial" }
+
+// Report implements Oracle.
+func (o TrivialGeneralizedOracle) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	size := o.T
+	if size < 0 {
+		size = 0
+	}
+	if size > gt.N() {
+		size = gt.N()
+	}
+	subsets := model.SubsetsOfSize(gt.N(), size)
+	if len(subsets) == 0 {
+		return model.SuspectReport{Generalized: true}, true
+	}
+	idx := (now + int(p)) % len(subsets)
+	return model.SuspectReport{
+		Generalized: true,
+		Group:       subsets[idx],
+		MinFaulty:   0,
+	}, true
+}
+
+// ComponentOracle is a generalized detector that knows a static partition of
+// the system into components (e.g. racks) and reports, for one component at a
+// time (round-robin), how many of its members have crashed.  It always
+// satisfies generalized strong accuracy; it is t-useful only when some single
+// component contains all the faulty processes and is small enough, which makes
+// it a realistic "partial visibility" detector for examples and tests.
+type ComponentOracle struct {
+	// Components partitions (or covers) the process set.
+	Components []model.ProcSet
+}
+
+// Name implements Oracle.
+func (o ComponentOracle) Name() string { return "generalized-component" }
+
+// Report implements Oracle.
+func (o ComponentOracle) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	if len(o.Components) == 0 {
+		return model.SuspectReport{}, false
+	}
+	comp := o.Components[(now+int(p))%len(o.Components)]
+	crashed := crashedSet(gt, now).Intersect(comp)
+	return model.SuspectReport{
+		Generalized: true,
+		Group:       comp,
+		MinFaulty:   crashed.Count(),
+	}, true
+}
+
+// GeneralizedFromStandard wraps a standard detector and re-emits each of its
+// reports S as the generalized report (S, |S|).  Wrapping a perfect detector
+// this way yields an n-useful (hence t-useful for every t) generalized
+// detector, which is the easy direction of the equivalence discussed before
+// Proposition 4.1.
+type GeneralizedFromStandard struct {
+	// Inner is the standard detector being converted.
+	Inner Oracle
+}
+
+// Name implements Oracle.
+func (o GeneralizedFromStandard) Name() string { return "generalized-from-" + o.Inner.Name() }
+
+// Report implements Oracle.
+func (o GeneralizedFromStandard) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	rep, ok := o.Inner.Report(p, now, gt)
+	if !ok {
+		return model.SuspectReport{}, false
+	}
+	suspects, isStandard := rep.StandardSuspects(gt.N())
+	if !isStandard {
+		return model.SuspectReport{}, false
+	}
+	return model.SuspectReport{
+		Generalized: true,
+		Group:       suspects,
+		MinFaulty:   suspects.Count(),
+	}, true
+}
+
+var (
+	_ Oracle = FaultySetOracle{}
+	_ Oracle = TrivialGeneralizedOracle{}
+	_ Oracle = ComponentOracle{}
+	_ Oracle = GeneralizedFromStandard{}
+)

@@ -1,0 +1,41 @@
+package fd
+
+import "repro/internal/model"
+
+// CorrectSetOracle is a g-standard failure detector in the sense of
+// Section 2.2: instead of reporting "the processes in S are faulty" it reports
+// "the processes in Proc - S are correct".  The mapping g sends such a report
+// back to the suspected set S, and the paper notes that every result carries
+// over to g-standard detectors; the property checkers and protocols in this
+// repository apply g via SuspectReport.StandardSuspects, so a CorrectSetOracle
+// can be dropped in anywhere a standard detector is expected.
+//
+// Detectors of this shape are the ones used by Aguilera, Toueg & Deianov in
+// their follow-up characterisation (Section 5).
+type CorrectSetOracle struct {
+	// Inner is the standard detector whose suspicions are re-expressed as
+	// correctness assertions.
+	Inner Oracle
+}
+
+// Name implements Oracle.
+func (o CorrectSetOracle) Name() string { return "correct-set(" + o.Inner.Name() + ")" }
+
+// Report implements Oracle.
+func (o CorrectSetOracle) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	rep, ok := o.Inner.Report(p, now, gt)
+	if !ok {
+		return model.SuspectReport{}, false
+	}
+	suspects, isStandard := rep.StandardSuspects(gt.N())
+	if !isStandard {
+		// Generalized reports have no complement form; pass them through.
+		return rep, true
+	}
+	return model.SuspectReport{
+		CorrectReport: true,
+		Correct:       model.FullSet(gt.N()).Diff(suspects),
+	}, true
+}
+
+var _ Oracle = CorrectSetOracle{}

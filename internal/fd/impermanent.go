@@ -1,0 +1,96 @@
+package fd
+
+import "repro/internal/model"
+
+// ImpermanentStrongOracle satisfies impermanent strong completeness and weak
+// accuracy: every correct process eventually suspects every faulty process,
+// but suspicions are periodically retracted, so completeness is not
+// permanent.  Concretely, during even windows of length Window the oracle
+// reports the crashed set and during odd windows it reports nothing.
+type ImpermanentStrongOracle struct {
+	// Window is the length (in simulation steps) of the alternating
+	// suspect/retract windows.  Zero means a window of 1.
+	Window int
+}
+
+// Name implements Oracle.
+func (o ImpermanentStrongOracle) Name() string { return "impermanent-strong" }
+
+// Report implements Oracle.
+func (o ImpermanentStrongOracle) Report(_ model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	w := o.Window
+	if w <= 0 {
+		w = 1
+	}
+	if (now/w)%2 == 1 {
+		return model.SuspectReport{}, true
+	}
+	return model.SuspectReport{Suspects: crashedSet(gt, now)}, true
+}
+
+// ImpermanentWeakOracle satisfies impermanent weak completeness and weak
+// accuracy: each faulty process is suspected at least once by its monitor
+// (the same monitor assignment as WeakOracle), but the suspicion is
+// periodically retracted.
+type ImpermanentWeakOracle struct {
+	// Window is the length of the alternating suspect/retract windows.
+	Window int
+}
+
+// Name implements Oracle.
+func (o ImpermanentWeakOracle) Name() string { return "impermanent-weak" }
+
+// Report implements Oracle.
+func (o ImpermanentWeakOracle) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	w := o.Window
+	if w <= 0 {
+		w = 1
+	}
+	if (now/w)%2 == 1 {
+		return model.SuspectReport{}, true
+	}
+	return WeakOracle{}.Report(p, now, gt)
+}
+
+// EventuallyStrongOracle models Diamond-S: eventually (after StabilizeAt) it
+// behaves like a perfect detector, but before stabilisation it may suspect
+// arbitrary processes, including correct ones.  It is the detector class the
+// Chandra-Toueg majority consensus baseline needs (Table 1, consensus row,
+// t < n/2).
+type EventuallyStrongOracle struct {
+	// StabilizeAt is the global time after which reports are accurate.
+	StabilizeAt int
+	// ChaosRate is the per-(observer, target) probability of a (possibly
+	// wrong) suspicion before stabilisation.
+	ChaosRate float64
+	// Seed derandomises the pre-stabilisation suspicions.
+	Seed int64
+}
+
+// Name implements Oracle.
+func (o EventuallyStrongOracle) Name() string { return "eventually-strong" }
+
+// Report implements Oracle.
+func (o EventuallyStrongOracle) Report(p model.ProcID, now int, gt GroundTruth) (model.SuspectReport, bool) {
+	if now >= o.StabilizeAt {
+		return model.SuspectReport{Suspects: crashedSet(gt, now)}, true
+	}
+	var suspects model.ProcSet
+	for q := model.ProcID(0); int(q) < gt.N(); q++ {
+		if q == p {
+			continue
+		}
+		// Mix the current window into the hash so pre-stabilisation suspicions
+		// flicker over time, as Diamond-S allows.
+		if pairChance(o.Seed+int64(now/10)*7919, p, q) < o.ChaosRate {
+			suspects = suspects.Add(q)
+		}
+	}
+	return model.SuspectReport{Suspects: suspects}, true
+}
+
+var (
+	_ Oracle = ImpermanentStrongOracle{}
+	_ Oracle = ImpermanentWeakOracle{}
+	_ Oracle = EventuallyStrongOracle{}
+)

@@ -1,0 +1,279 @@
+package fd
+
+import (
+	"repro/internal/model"
+)
+
+// The checkers in this file verify the accuracy and completeness properties of
+// Section 2.2 (and the generalized properties of Section 4) on recorded runs.
+// "Eventually permanently" is interpreted on the finite trace as "from the
+// final report onwards", which is the strongest statement a finite prefix can
+// support; EXPERIMENTS.md discusses this bounded-horizon reading.
+
+// reportEvent is one failure-detector event extracted from a history.  For
+// standard and g-standard reports, suspects holds the report's suspected set
+// after applying the g mapping (standard reports map to themselves,
+// "these are correct" reports map to the complement); isStandard is false for
+// generalized (S, k) reports, which do not identify individual suspects.
+type reportEvent struct {
+	time       int
+	report     model.SuspectReport
+	suspects   model.ProcSet
+	isStandard bool
+}
+
+// reportTimeline returns p's failure-detector events in order.
+func reportTimeline(r *model.Run, p model.ProcID) []reportEvent {
+	var out []reportEvent
+	for _, te := range r.Events[p] {
+		if te.Event.Kind == model.EventSuspect {
+			re := reportEvent{time: te.Time, report: te.Event.Report}
+			re.suspects, re.isStandard = te.Event.Report.StandardSuspects(r.N)
+			out = append(out, re)
+		}
+	}
+	return out
+}
+
+// CheckStrongAccuracy verifies that no process is suspected before it crashes:
+// for every standard report S of every process at time m and every q in S,
+// crash_q is in r_q(m).
+func CheckStrongAccuracy(r *model.Run) []model.Violation {
+	var out []model.Violation
+	for p := model.ProcID(0); int(p) < r.N; p++ {
+		for _, re := range reportTimeline(r, p) {
+			if !re.isStandard {
+				continue
+			}
+			for _, q := range re.suspects.Members() {
+				if !r.CrashedBy(q, re.time) {
+					out = append(out, model.Violationf("strong-accuracy",
+						"process %d suspected %d at time %d but %d had not crashed", p, q, re.time, q))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckWeakAccuracy verifies that, if the run has at least one correct
+// process, some correct process is never suspected by anyone.
+func CheckWeakAccuracy(r *model.Run) []model.Violation {
+	correct := r.Correct()
+	if correct.IsEmpty() {
+		return nil
+	}
+	var everSuspected model.ProcSet
+	for p := model.ProcID(0); int(p) < r.N; p++ {
+		for _, re := range reportTimeline(r, p) {
+			if re.isStandard {
+				everSuspected = everSuspected.Union(re.suspects)
+			}
+		}
+	}
+	if correct.Diff(everSuspected).IsEmpty() {
+		return []model.Violation{model.Violationf("weak-accuracy",
+			"every correct process in %s was suspected at some point", correct)}
+	}
+	return nil
+}
+
+// CheckStrongCompleteness verifies that every faulty process is eventually
+// permanently suspected by every correct process.  On a finite trace this
+// means: every correct process has at least one report, and its final report
+// contains every faulty process that crashed before that report.
+func CheckStrongCompleteness(r *model.Run) []model.Violation {
+	var out []model.Violation
+	faulty := r.Faulty()
+	if faulty.IsEmpty() {
+		return nil
+	}
+	for _, p := range r.Correct().Members() {
+		tl := reportTimeline(r, p)
+		if len(tl) == 0 {
+			out = append(out, model.Violationf("strong-completeness",
+				"correct process %d never received a failure-detector report", p))
+			continue
+		}
+		last := tl[len(tl)-1]
+		for _, q := range faulty.Members() {
+			if !last.isStandard || !last.suspects.Has(q) {
+				out = append(out, model.Violationf("strong-completeness",
+					"correct process %d's final report at time %d does not suspect faulty %d", p, last.time, q))
+			}
+		}
+	}
+	return out
+}
+
+// CheckWeakCompleteness verifies that every faulty process is eventually
+// permanently suspected by some correct process (final-report reading, as in
+// CheckStrongCompleteness).
+func CheckWeakCompleteness(r *model.Run) []model.Violation {
+	var out []model.Violation
+	correct := r.Correct()
+	if correct.IsEmpty() {
+		return nil
+	}
+	for _, q := range r.Faulty().Members() {
+		found := false
+		for _, p := range correct.Members() {
+			tl := reportTimeline(r, p)
+			if len(tl) == 0 {
+				continue
+			}
+			last := tl[len(tl)-1]
+			if last.isStandard && last.suspects.Has(q) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, model.Violationf("weak-completeness",
+				"faulty process %d is not suspected in any correct process's final report", q))
+		}
+	}
+	return out
+}
+
+// CheckImpermanentStrongCompleteness verifies that every faulty process is
+// suspected at least once (not necessarily permanently) by every correct
+// process.
+func CheckImpermanentStrongCompleteness(r *model.Run) []model.Violation {
+	var out []model.Violation
+	faulty := r.Faulty()
+	for _, p := range r.Correct().Members() {
+		var everSuspected model.ProcSet
+		for _, re := range reportTimeline(r, p) {
+			if re.isStandard {
+				everSuspected = everSuspected.Union(re.suspects)
+			}
+		}
+		for _, q := range faulty.Members() {
+			if !everSuspected.Has(q) {
+				out = append(out, model.Violationf("impermanent-strong-completeness",
+					"correct process %d never suspected faulty %d", p, q))
+			}
+		}
+	}
+	return out
+}
+
+// CheckImpermanentWeakCompleteness verifies that every faulty process is
+// suspected at least once by some correct process.
+func CheckImpermanentWeakCompleteness(r *model.Run) []model.Violation {
+	var out []model.Violation
+	correct := r.Correct()
+	if correct.IsEmpty() {
+		return nil
+	}
+	for _, q := range r.Faulty().Members() {
+		found := false
+		for _, p := range correct.Members() {
+			for _, re := range reportTimeline(r, p) {
+				if re.isStandard && re.suspects.Has(q) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			out = append(out, model.Violationf("impermanent-weak-completeness",
+				"faulty process %d was never suspected by any correct process", q))
+		}
+	}
+	return out
+}
+
+// CheckPerfect verifies strong completeness and strong accuracy.
+func CheckPerfect(r *model.Run) []model.Violation {
+	return append(CheckStrongAccuracy(r), CheckStrongCompleteness(r)...)
+}
+
+// CheckStrong verifies strong completeness and weak accuracy.
+func CheckStrong(r *model.Run) []model.Violation {
+	return append(CheckWeakAccuracy(r), CheckStrongCompleteness(r)...)
+}
+
+// CheckWeak verifies weak completeness and weak accuracy.
+func CheckWeak(r *model.Run) []model.Violation {
+	return append(CheckWeakAccuracy(r), CheckWeakCompleteness(r)...)
+}
+
+// CheckGeneralizedStrongAccuracy verifies Section 4's generalized strong
+// accuracy: every generalized report (S, k) delivered at time m is such that
+// at least k processes of S have crashed by m.
+func CheckGeneralizedStrongAccuracy(r *model.Run) []model.Violation {
+	var out []model.Violation
+	for p := model.ProcID(0); int(p) < r.N; p++ {
+		for _, re := range reportTimeline(r, p) {
+			if !re.report.Generalized {
+				continue
+			}
+			crashed := 0
+			for _, q := range re.report.Group.Members() {
+				if r.CrashedBy(q, re.time) {
+					crashed++
+				}
+			}
+			if crashed < re.report.MinFaulty {
+				out = append(out, model.Violationf("generalized-strong-accuracy",
+					"process %d received (%s,%d) at time %d but only %d members had crashed",
+					p, re.report.Group, re.report.MinFaulty, re.time, crashed))
+			}
+			if re.report.MinFaulty > re.report.Group.Count() {
+				out = append(out, model.Violationf("generalized-strong-accuracy",
+					"process %d received (%s,%d) with k exceeding |S|", p, re.report.Group, re.report.MinFaulty))
+			}
+		}
+	}
+	return out
+}
+
+// IsTUsefulEvent reports whether the generalized report (S, k) is a t-useful
+// failure-detector event for the run: F(r) is contained in S,
+// n - |S| > min(t, n-1) - k, and k <= |S|.
+func IsTUsefulEvent(r *model.Run, rep model.SuspectReport, t int) bool {
+	if !rep.Generalized {
+		return false
+	}
+	n := r.N
+	s := rep.Group.Count()
+	k := rep.MinFaulty
+	if k > s {
+		return false
+	}
+	if !rep.Group.Contains(r.Faulty()) {
+		return false
+	}
+	bound := t
+	if n-1 < bound {
+		bound = n - 1
+	}
+	return n-s > bound-k
+}
+
+// CheckTUseful verifies that the generalized detector of the run is t-useful:
+// generalized strong accuracy holds, and every correct process receives at
+// least one t-useful failure-detector event (generalized impermanent strong
+// completeness).
+func CheckTUseful(r *model.Run, t int) []model.Violation {
+	out := CheckGeneralizedStrongAccuracy(r)
+	for _, p := range r.Correct().Members() {
+		found := false
+		for _, re := range reportTimeline(r, p) {
+			if IsTUsefulEvent(r, re.report, t) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, model.Violationf("t-useful",
+				"correct process %d never received a %d-useful failure-detector event", p, t))
+		}
+	}
+	return out
+}

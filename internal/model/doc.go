@@ -1,0 +1,15 @@
+// Package model implements the formal model of Section 2.1 of Halpern &
+// Ricciardi, "A Knowledge-Theoretic Analysis of Uniform Distributed
+// Coordination and Failure Detectors" (PODC 1999).
+//
+// The model is an asynchronous message-passing system with a fixed finite set
+// of processes Proc = {p0, ..., p(n-1)} that fail only by crashing.  Every
+// occurrence in the system is an Event recorded in exactly one process's
+// History.  A Cut is a tuple of finite histories (one per process), a Run maps
+// global time to cuts, and a (run, time) pair is a Point.  Runs must satisfy
+// conditions R1-R5 of the paper; Validate checks them on recorded runs.
+//
+// The package is purely passive data plus validation: the simulator
+// (internal/sim) produces runs, the protocol and detector packages consume
+// them.
+package model

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EventKind enumerates the kinds of events that may appear in a process
+// history (Section 2.1 of the paper).
+type EventKind int
+
+const (
+	// EventSend records send_p(q, msg): p sends msg to q.
+	EventSend EventKind = iota + 1
+	// EventRecv records recv_p(q, msg): p receives msg from q.
+	EventRecv
+	// EventInit records init_p(alpha): p initiates coordination action alpha.
+	EventInit
+	// EventDo records do_p(alpha): p performs coordination action alpha.
+	EventDo
+	// EventCrash records crash_p: p fails.  It is always the last event in a
+	// history (condition R4).
+	EventCrash
+	// EventSuspect records suspect_p(x): p obtains report x from its failure
+	// detector.
+	EventSuspect
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	case EventInit:
+		return "init"
+	case EventDo:
+		return "do"
+	case EventCrash:
+		return "crash"
+	case EventSuspect:
+		return "suspect"
+	default:
+		return "unknown(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// ActionID identifies a coordination action.  The paper requires that the
+// action sets A_p of different processes are disjoint; we enforce this by
+// tagging every action with its unique initiator.  Only Initiator may initiate
+// the action, but any process may perform (do) it.
+type ActionID struct {
+	Initiator ProcID `json:"initiator"`
+	Seq       int    `json:"seq"`
+}
+
+// Action is shorthand for constructing an ActionID.
+func Action(initiator ProcID, seq int) ActionID {
+	return ActionID{Initiator: initiator, Seq: seq}
+}
+
+// IsZero reports whether a is the zero ActionID (meaning "no action").
+func (a ActionID) IsZero() bool { return a == ActionID{} }
+
+// String implements fmt.Stringer.
+func (a ActionID) String() string {
+	return fmt.Sprintf("a(%d,%d)", a.Initiator, a.Seq)
+}
+
+// Message is the payload carried by send and receive events.  Rather than an
+// opaque interface, messages carry a small set of typed fields shared by all
+// protocols in this repository; protocols interpret only the fields they use.
+// Keeping messages comparable makes channel fairness (R5) and run validation
+// (R3) straightforward.
+type Message struct {
+	// Kind is the protocol-level message type, e.g. "alpha", "ack",
+	// "estimate", "decide".
+	Kind string `json:"kind"`
+	// Action is the coordination action this message concerns, if any.
+	Action ActionID `json:"action,omitempty"`
+	// Round is a protocol round or phase number (consensus).
+	Round int `json:"round,omitempty"`
+	// Phase distinguishes sub-phases within a round (consensus).
+	Phase int `json:"phase,omitempty"`
+	// Value is a protocol value (consensus estimate, timestamps, payloads).
+	Value int `json:"value,omitempty"`
+	// Aux is a secondary integer value (e.g. an estimate's timestamp).
+	Aux int `json:"aux,omitempty"`
+	// Suspects piggybacks the sender's current suspicions; used by the
+	// full-information-style protocols motivated by assumption A4 and by the
+	// weak-to-strong detector conversion of Proposition 2.1.
+	Suspects ProcSet `json:"suspects,omitempty"`
+	// KnownCrashed piggybacks the set of processes the sender knows to have
+	// crashed.
+	KnownCrashed ProcSet `json:"knownCrashed,omitempty"`
+	// KnownInits piggybacks whether the sender knows the action in Action was
+	// initiated (trivially true for "alpha" messages).
+	KnownInits bool `json:"knownInits,omitempty"`
+}
+
+// Key returns a stable identity string for the message content.  Two sends of
+// "the same message" in the sense of fairness condition R5 have equal keys.
+func (m Message) Key() string {
+	var b strings.Builder
+	b.WriteString(m.Kind)
+	b.WriteByte('|')
+	b.WriteString(m.Action.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Round))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Phase))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Value))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Aux))
+	return b.String()
+}
+
+// SuspectReport is the report emitted by a failure detector (Section 2.2).
+// Standard reports carry a set of suspected processes.  Generalized reports
+// (Section 4) carry a pair (Group, MinFaulty) meaning "at least MinFaulty
+// processes in Group are faulty".  g-standard reports (Section 2.2's example,
+// used by Aguilera-Toueg-Deianov) instead assert that the processes in Correct
+// are correct; the mapping g sends such a report to the suspected set
+// Proc - Correct.
+type SuspectReport struct {
+	// Suspects is the suspected set for standard reports.
+	Suspects ProcSet `json:"suspects,omitempty"`
+	// Generalized marks the report as a generalized (S, k) report.
+	Generalized bool `json:"generalized,omitempty"`
+	// Group is the set S of a generalized report.
+	Group ProcSet `json:"group,omitempty"`
+	// MinFaulty is the lower bound k of a generalized report.
+	MinFaulty int `json:"minFaulty,omitempty"`
+	// CorrectReport marks a g-standard report of the form "the processes in
+	// Correct are correct".
+	CorrectReport bool `json:"correctReport,omitempty"`
+	// Correct is the asserted-correct set of a g-standard report.
+	Correct ProcSet `json:"correct,omitempty"`
+}
+
+// StandardSuspects applies the paper's g mapping: for a standard report it
+// returns the suspected set, for a g-standard "these are correct" report it
+// returns the complement with respect to the n processes, and for a
+// generalized report it returns ok=false (generalized reports do not identify
+// individual suspects).
+func (r SuspectReport) StandardSuspects(n int) (ProcSet, bool) {
+	switch {
+	case r.Generalized:
+		return EmptySet(), false
+	case r.CorrectReport:
+		return FullSet(n).Diff(r.Correct), true
+	default:
+		return r.Suspects, true
+	}
+}
+
+// String implements fmt.Stringer.
+func (r SuspectReport) String() string {
+	switch {
+	case r.Generalized:
+		return fmt.Sprintf("suspect(%s,%d)", r.Group, r.MinFaulty)
+	case r.CorrectReport:
+		return "correct" + r.Correct.String()
+	default:
+		return "suspect" + r.Suspects.String()
+	}
+}
+
+// Event is a single occurrence in a process history.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Peer is the destination of a send or the source of a receive.
+	Peer ProcID `json:"peer,omitempty"`
+	// Msg is the message of a send or receive event.
+	Msg Message `json:"msg,omitempty"`
+	// Action is the action of an init or do event.
+	Action ActionID `json:"action,omitempty"`
+	// Report is the report of a suspect event.
+	Report SuspectReport `json:"report,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSend:
+		return fmt.Sprintf("send(->%d,%s)", e.Peer, e.Msg.Kind)
+	case EventRecv:
+		return fmt.Sprintf("recv(<-%d,%s)", e.Peer, e.Msg.Kind)
+	case EventInit:
+		return "init(" + e.Action.String() + ")"
+	case EventDo:
+		return "do(" + e.Action.String() + ")"
+	case EventCrash:
+		return "crash"
+	case EventSuspect:
+		return e.Report.String()
+	default:
+		return "?" + strconv.Itoa(int(e.Kind))
+	}
+}
+
+// IdentityKey returns a stable identity string for the event, used by the
+// epistemic checker to compare local histories.
+func (e Event) IdentityKey() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(e.Kind)))
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(int(e.Peer)))
+	b.WriteByte(':')
+	switch e.Kind {
+	case EventSend, EventRecv:
+		b.WriteString(e.Msg.Key())
+		b.WriteByte(':')
+		b.WriteString(e.Msg.Suspects.String())
+		b.WriteByte(':')
+		b.WriteString(e.Msg.KnownCrashed.String())
+	case EventInit, EventDo:
+		b.WriteString(e.Action.String())
+	case EventSuspect:
+		b.WriteString(e.Report.String())
+	}
+	return b.String()
+}

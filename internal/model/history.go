@@ -1,0 +1,137 @@
+package model
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// History is the sequence of events recorded at one process, in the order they
+// occurred (Section 2.1: "the events that take place at a particular process
+// are totally ordered, and are recorded in that process's history").
+type History []Event
+
+// Contains reports whether the history contains an event for which match
+// returns true.
+func (h History) Contains(match func(Event) bool) bool {
+	for _, e := range h {
+		if match(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of events for which match returns true.
+func (h History) Count(match func(Event) bool) int {
+	c := 0
+	for _, e := range h {
+		if match(e) {
+			c++
+		}
+	}
+	return c
+}
+
+// Crashed reports whether the history contains a crash event.
+func (h History) Crashed() bool {
+	return h.Contains(func(e Event) bool { return e.Kind == EventCrash })
+}
+
+// Did reports whether the history contains do(a).
+func (h History) Did(a ActionID) bool {
+	return h.Contains(func(e Event) bool { return e.Kind == EventDo && e.Action == a })
+}
+
+// Initiated reports whether the history contains init(a).
+func (h History) Initiated(a ActionID) bool {
+	return h.Contains(func(e Event) bool { return e.Kind == EventInit && e.Action == a })
+}
+
+// LastSuspectReport returns the most recent failure-detector report in the
+// history and whether one exists.  Following the paper's definition of
+// Suspects_p(r, m), only the most recent report counts.
+func (h History) LastSuspectReport() (SuspectReport, bool) {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Kind == EventSuspect {
+			return h[i].Report, true
+		}
+	}
+	return SuspectReport{}, false
+}
+
+// Suspects returns Suspects_p(r, m) for this history: the suspected set of the
+// most recent *standard* failure-detector report, or the empty set if there
+// has been none (or the most recent report is generalized).  For g-standard
+// "these processes are correct" reports, which need the system size to be
+// interpreted, use Run.SuspectsAt instead.
+func (h History) Suspects() ProcSet {
+	rep, ok := h.LastSuspectReport()
+	if !ok || rep.Generalized {
+		return EmptySet()
+	}
+	return rep.Suspects
+}
+
+// Key returns a stable fingerprint of the history.  Two histories with equal
+// Keys are treated as identical local states by the epistemic checker.  The
+// fingerprint combines a 64-bit FNV-1a hash with the history length and the
+// key of the final event, which makes accidental collisions vanishingly
+// unlikely for the run sizes this repository works with.
+func (h History) Key() string {
+	hash := fnv.New64a()
+	var last string
+	for _, e := range h {
+		k := e.IdentityKey()
+		_, _ = hash.Write([]byte(k))
+		_, _ = hash.Write([]byte{0})
+		last = k
+	}
+	var b strings.Builder
+	b.WriteString(uitohex(hash.Sum64()))
+	b.WriteByte('/')
+	b.WriteString(itoa(len(h)))
+	b.WriteByte('/')
+	b.WriteString(last)
+	return b.String()
+}
+
+// Cut is a tuple of finite histories, one per process.
+type Cut []History
+
+// uitohex formats v as lowercase hex without allocation-heavy fmt.
+func uitohex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

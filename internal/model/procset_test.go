@@ -1,0 +1,169 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	s := EmptySet()
+	if !s.IsEmpty() || s.Count() != 0 {
+		t.Fatalf("empty set is not empty: %v", s)
+	}
+	s = s.Add(3).Add(5).Add(3)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	if !s.Has(3) || !s.Has(5) || s.Has(4) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s = s.Remove(3)
+	if s.Has(3) || !s.Has(5) {
+		t.Fatalf("remove wrong: %v", s)
+	}
+	if got := SetOf(0, 2, 4).String(); got != "{0,2,4}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := EmptySet().String(); got != "{}" {
+		t.Fatalf("String of empty = %q", got)
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{n: 0, want: 0},
+		{n: 1, want: 1},
+		{n: 5, want: 5},
+		{n: 64, want: 64},
+	}
+	for _, tc := range cases {
+		got := FullSet(tc.n)
+		if got.Count() != tc.want {
+			t.Errorf("FullSet(%d).Count() = %d, want %d", tc.n, got.Count(), tc.want)
+		}
+		for p := ProcID(0); int(p) < tc.n; p++ {
+			if !got.Has(p) {
+				t.Errorf("FullSet(%d) missing %d", tc.n, p)
+			}
+		}
+	}
+	if FullSet(-1) != 0 {
+		t.Errorf("FullSet(-1) should be empty")
+	}
+}
+
+func TestProcSetMembersRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := ProcSet(raw)
+		members := s.Members()
+		if len(members) != s.Count() {
+			return false
+		}
+		rebuilt := SetOf(members...)
+		return rebuilt.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetAlgebraProperties(t *testing.T) {
+	type pair struct{ A, B uint64 }
+	union := func(p pair) bool {
+		a, b := ProcSet(p.A), ProcSet(p.B)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b) && u.Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+	}
+	if err := quick.Check(union, nil); err != nil {
+		t.Fatalf("union property: %v", err)
+	}
+	diff := func(p pair) bool {
+		a, b := ProcSet(p.A), ProcSet(p.B)
+		d := a.Diff(b)
+		return d.Intersect(b).IsEmpty() && a.Contains(d) && d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(diff, nil); err != nil {
+		t.Fatalf("diff property: %v", err)
+	}
+	contains := func(p pair) bool {
+		a, b := ProcSet(p.A), ProcSet(p.B)
+		if !a.Union(b).Contains(a) {
+			return false
+		}
+		return !a.Contains(b) || a.Intersect(b).Equal(b)
+	}
+	if err := quick.Check(contains, nil); err != nil {
+		t.Fatalf("contains property: %v", err)
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	cases := []struct {
+		n, k, want int
+	}{
+		{n: 4, k: 0, want: 1},
+		{n: 4, k: 1, want: 4},
+		{n: 4, k: 2, want: 6},
+		{n: 5, k: 3, want: 10},
+		{n: 4, k: 4, want: 1},
+		{n: 4, k: 5, want: 0},
+		{n: 4, k: -1, want: 0},
+	}
+	for _, tc := range cases {
+		got := SubsetsOfSize(tc.n, tc.k)
+		if len(got) != tc.want {
+			t.Errorf("SubsetsOfSize(%d,%d) has %d subsets, want %d", tc.n, tc.k, len(got), tc.want)
+			continue
+		}
+		seen := make(map[ProcSet]bool)
+		for _, s := range got {
+			if s.Count() != tc.k {
+				t.Errorf("SubsetsOfSize(%d,%d) produced %v of size %d", tc.n, tc.k, s, s.Count())
+			}
+			if int(s) >= 1<<uint(tc.n) {
+				t.Errorf("SubsetsOfSize(%d,%d) produced out-of-range subset %v", tc.n, tc.k, s)
+			}
+			if seen[s] {
+				t.Errorf("SubsetsOfSize(%d,%d) produced duplicate %v", tc.n, tc.k, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSubsetEnumerationMatchesBitmask(t *testing.T) {
+	// The generalized-detector construction of Theorem 4.3 identifies the
+	// l-th subset with the bitmask l; verify SubsetsOfSize is consistent with
+	// that universe.
+	n := 5
+	all := make(map[ProcSet]bool)
+	for k := 0; k <= n; k++ {
+		for _, s := range SubsetsOfSize(n, k) {
+			all[s] = true
+		}
+	}
+	if len(all) != 1<<uint(n) {
+		t.Fatalf("enumerated %d subsets, want %d", len(all), 1<<uint(n))
+	}
+	for l := 0; l < 1<<uint(n); l++ {
+		if !all[ProcSet(l)] {
+			t.Fatalf("bitmask %d missing from enumeration", l)
+		}
+	}
+}
+
+func BenchmarkProcSetMembers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([]ProcSet, 128)
+	for i := range sets {
+		sets[i] = ProcSet(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sets[i%len(sets)].Members()
+	}
+}

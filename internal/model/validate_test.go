@@ -1,0 +1,151 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestValidateCleanRun(t *testing.T) {
+	r := NewRun(3)
+	a := Action(0, 1)
+	msg := Message{Kind: "alpha", Action: a}
+	mustAppend(t, r, 0, 1, Event{Kind: EventInit, Action: a})
+	mustAppend(t, r, 0, 1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	mustAppend(t, r, 1, 3, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	mustAppend(t, r, 2, 4, Event{Kind: EventCrash})
+	r.SetHorizon(10)
+	if vs := Validate(r, DefaultValidateOptions()); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+func TestValidateR3ReceiveWithoutSend(t *testing.T) {
+	r := NewRun(2)
+	msg := Message{Kind: "alpha", Action: Action(0, 1)}
+	mustAppend(t, r, 1, 3, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	r.SetHorizon(5)
+	vs := Validate(r, ValidateOptions{})
+	if !hasRule(vs, "R3") {
+		t.Fatalf("expected an R3 violation, got %v", vs)
+	}
+}
+
+func TestValidateR3ReceiveBeforeSend(t *testing.T) {
+	r := NewRun(2)
+	msg := Message{Kind: "alpha", Action: Action(0, 1)}
+	mustAppend(t, r, 1, 3, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	mustAppend(t, r, 0, 5, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	r.SetHorizon(6)
+	vs := Validate(r, ValidateOptions{})
+	if !hasRule(vs, "R3") {
+		t.Fatalf("expected an R3 violation for receive preceding send, got %v", vs)
+	}
+}
+
+func TestValidateR3DuplicateReceives(t *testing.T) {
+	r := NewRun(2)
+	msg := Message{Kind: "alpha", Action: Action(0, 1)}
+	mustAppend(t, r, 0, 1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	mustAppend(t, r, 1, 2, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	mustAppend(t, r, 1, 3, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	r.SetHorizon(5)
+	vs := Validate(r, ValidateOptions{})
+	if !hasRule(vs, "R3") {
+		t.Fatalf("expected an R3 violation for more receives than sends, got %v", vs)
+	}
+
+	// A second send legitimises the second receive.
+	r2 := NewRun(2)
+	mustAppend(t, r2, 0, 1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	mustAppend(t, r2, 0, 2, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	mustAppend(t, r2, 1, 3, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	mustAppend(t, r2, 1, 4, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	r2.SetHorizon(5)
+	if vs := Validate(r2, ValidateOptions{}); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+func TestValidateR4CrashNotLast(t *testing.T) {
+	// Run.Append refuses to extend a crashed history, so construct the
+	// offending run directly to exercise the checker.
+	r := &Run{N: 1, Horizon: 5, Events: [][]TimedEvent{{
+		{Time: 1, Event: Event{Kind: EventCrash}},
+		{Time: 2, Event: Event{Kind: EventDo, Action: Action(0, 1)}},
+	}}}
+	vs := Validate(r, ValidateOptions{})
+	if !hasRule(vs, "R4") {
+		t.Fatalf("expected an R4 violation, got %v", vs)
+	}
+}
+
+func TestValidateR2NonMonotoneTimes(t *testing.T) {
+	r := &Run{N: 1, Horizon: 5, Events: [][]TimedEvent{{
+		{Time: 3, Event: Event{Kind: EventInit, Action: Action(0, 1)}},
+		{Time: 2, Event: Event{Kind: EventDo, Action: Action(0, 1)}},
+	}}}
+	if vs := Validate(r, ValidateOptions{}); !hasRule(vs, "R2") {
+		t.Fatalf("expected an R2 violation, got %v", vs)
+	}
+	r2 := &Run{N: 1, Horizon: 1, Events: [][]TimedEvent{{
+		{Time: 3, Event: Event{Kind: EventInit, Action: Action(0, 1)}},
+	}}}
+	if vs := Validate(r2, ValidateOptions{}); !hasRule(vs, "R2") {
+		t.Fatalf("expected an R2 violation for event beyond horizon, got %v", vs)
+	}
+}
+
+func TestValidateR5FairnessHeuristic(t *testing.T) {
+	r := NewRun(2)
+	msg := Message{Kind: "alpha", Action: Action(0, 1)}
+	for i := 0; i < 60; i++ {
+		mustAppend(t, r, 0, i+1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	}
+	r.SetHorizon(100)
+	vs := Validate(r, DefaultValidateOptions())
+	if !hasRule(vs, "R5") {
+		t.Fatalf("expected an R5 violation for a starved correct receiver, got %v", vs)
+	}
+
+	// If the receiver crashed, fairness imposes nothing.
+	r2 := NewRun(2)
+	for i := 0; i < 60; i++ {
+		mustAppend(t, r2, 0, i+1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	}
+	mustAppend(t, r2, 1, 70, Event{Kind: EventCrash})
+	r2.SetHorizon(100)
+	if vs := Validate(r2, DefaultValidateOptions()); hasRule(vs, "R5") {
+		t.Fatalf("crashed receiver should not trigger R5, got %v", vs)
+	}
+
+	// One successful delivery satisfies the heuristic.
+	r3 := NewRun(2)
+	for i := 0; i < 60; i++ {
+		mustAppend(t, r3, 0, i+1, Event{Kind: EventSend, Peer: 1, Msg: msg})
+	}
+	mustAppend(t, r3, 1, 65, Event{Kind: EventRecv, Peer: 0, Msg: msg})
+	r3.SetHorizon(100)
+	if vs := Validate(r3, DefaultValidateOptions()); hasRule(vs, "R5") {
+		t.Fatalf("delivered message should not trigger R5, got %v", vs)
+	}
+
+	// Disabling the threshold disables the check.
+	if vs := Validate(r, ValidateOptions{FairnessThreshold: 0}); hasRule(vs, "R5") {
+		t.Fatalf("threshold 0 should disable R5 checking")
+	}
+}
+
+func TestViolationFormatting(t *testing.T) {
+	v := Violationf("DC2", "process %d missing", 3)
+	if v.String() != "DC2: process 3 missing" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

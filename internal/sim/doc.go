@@ -1,0 +1,20 @@
+// Package sim is a deterministic discrete-time simulator for the asynchronous
+// crash-failure message-passing model of Section 2.1 of the paper.
+//
+// A simulation advances global time in unit steps.  At each step the scheduler
+// (driven entirely by a single seed) injects scheduled crashes and action
+// initiations, delivers messages whose randomly chosen delay has elapsed,
+// queries the configured failure-detector oracle, and gives each live process
+// a periodic tick for retransmissions.  Every externally visible occurrence is
+// appended to the process's history, producing a model.Run that satisfies
+// conditions R1-R5:
+//
+//   - R1/R2 by construction of model.Run,
+//   - R3 because receives are only generated from in-flight sends,
+//   - R4 because crashed processes take no further steps,
+//   - R5 because the fair-lossy channel bounds the number of consecutive drops
+//     of the same message on the same channel (see NetworkConfig).
+//
+// Identical Config values (including Seed) produce byte-for-byte identical
+// runs, which the test suite and the benchmark harness rely on.
+package sim

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// pendingMessage is a message in flight.
+type pendingMessage struct {
+	deliverAt int
+	from, to  model.ProcID
+	msg       model.Message
+	seq       int
+}
+
+// channelKey identifies "the same message on the same channel" for fairness
+// accounting (condition R5).
+type channelKey struct {
+	from, to model.ProcID
+	msgKey   string
+}
+
+// network implements reliable and fair-lossy channels.
+type network struct {
+	cfg     NetworkConfig
+	rng     *rand.Rand
+	inbox   map[int][]pendingMessage // keyed by delivery time
+	nextSeq int
+	drops   map[channelKey]int // consecutive drops per channel/message
+	stats   *Stats
+}
+
+func newNetwork(cfg NetworkConfig, rng *rand.Rand, stats *Stats) *network {
+	return &network{
+		cfg:   cfg,
+		rng:   rng,
+		inbox: make(map[int][]pendingMessage),
+		drops: make(map[channelKey]int),
+		stats: stats,
+	}
+}
+
+// fairnessBound returns the effective consecutive-drop cap.
+func (nw *network) fairnessBound() int {
+	if nw.cfg.FairnessBound <= 0 {
+		return 8
+	}
+	return nw.cfg.FairnessBound
+}
+
+// send enqueues a message sent at time now, applying the loss model.
+func (nw *network) send(now int, from, to model.ProcID, msg model.Message) {
+	nw.stats.MessagesSent++
+	key := channelKey{from: from, to: to, msgKey: msg.Key()}
+	if !nw.cfg.Reliable && nw.cfg.DropProbability > 0 {
+		if nw.rng.Float64() < nw.cfg.DropProbability {
+			if nw.drops[key]+1 < nw.fairnessBound() {
+				nw.drops[key]++
+				nw.stats.MessagesDropped++
+				return
+			}
+			// The fairness bound forces this copy through.
+		}
+	}
+	nw.drops[key] = 0
+	delay := 1
+	if nw.cfg.MaxDelay > 0 {
+		delay += nw.rng.Intn(nw.cfg.MaxDelay + 1)
+	}
+	pm := pendingMessage{
+		deliverAt: now + delay,
+		from:      from,
+		to:        to,
+		msg:       msg,
+		seq:       nw.nextSeq,
+	}
+	nw.nextSeq++
+	nw.inbox[pm.deliverAt] = append(nw.inbox[pm.deliverAt], pm)
+}
+
+// due returns the messages to deliver at time now, in deterministic order.
+func (nw *network) due(now int) []pendingMessage {
+	msgs := nw.inbox[now]
+	delete(nw.inbox, now)
+	// Messages were appended in send order, and send order is deterministic,
+	// so the slice is already deterministically ordered by seq.
+	return msgs
+}

@@ -1,0 +1,400 @@
+// Package table1 regenerates Table 1 of the paper: the class of failure
+// detector needed to attain UDC versus consensus, as a function of the
+// communication guarantee (reliable vs. unreliable-but-fair channels) and the
+// bound t on the number of failures (t < n/2, n/2 <= t < n-1, t >= n-1).
+//
+// The paper's table is a theoretical characterisation; this package reproduces
+// its *shape* empirically.  For every cell it runs two scenarios over a seed
+// sweep:
+//
+//   - the minimal scenario: the protocol/detector combination the paper says
+//     suffices for that cell, which must succeed on every seed, and
+//   - where the paper marks the cell as optimal (the dagger in Table 1), a
+//     weaker scenario using the next-weaker detector class, which must fail on
+//     at least one seed, demonstrating that the weaker class does not suffice.
+//
+// The consensus rows use the Chandra-Toueg baselines from internal/consensus;
+// the Diamond-S detector stands in for Diamond-W (Chandra & Toueg show the two
+// are equivalent via gossip, just as weak and strong detectors are).
+package table1
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scenario is one protocol/detector combination evaluated for a cell.
+type Scenario struct {
+	// Label names the detector/protocol combination, e.g. "no FD / quorum".
+	Label string
+	// Spec is the workload to run.
+	Spec workload.Spec
+	// Eval checks the cell's problem (UDC or consensus) on each run.
+	Eval workload.Evaluator
+}
+
+// Cell is one entry of Table 1.
+type Cell struct {
+	// Channel is "reliable" or "fair-lossy".
+	Channel string
+	// Regime is the failure-bound regime, e.g. "t<n/2".
+	Regime string
+	// Problem is "UDC" or "consensus".
+	Problem string
+	// PaperDetector is the detector class Table 1 lists for this cell.
+	PaperDetector string
+	// Optimal records whether the paper marks the cell with a dagger
+	// (optimality of the listed detector class).
+	Optimal bool
+	// Minimal is the scenario using the listed (sufficient) detector class.
+	Minimal Scenario
+	// Weaker, if non-nil, is the next-weaker scenario expected to fail.
+	Weaker *Scenario
+}
+
+// CellResult is the evaluation of one cell.
+type CellResult struct {
+	Cell          Cell
+	MinimalResult workload.SweepResult
+	WeakerResult  *workload.SweepResult
+}
+
+// MinimalOK reports whether the sufficient detector class succeeded on every
+// seed.
+func (c CellResult) MinimalOK() bool {
+	return c.MinimalResult.Successes() == len(c.MinimalResult.Outcomes)
+}
+
+// WeakerFails reports whether the weaker scenario failed on at least one seed
+// (vacuously true when no weaker scenario is defined).
+func (c CellResult) WeakerFails() bool {
+	if c.WeakerResult == nil {
+		return true
+	}
+	return c.WeakerResult.Successes() < len(c.WeakerResult.Outcomes)
+}
+
+// Params controls the sweep.
+type Params struct {
+	// N is the number of processes (at least 4; 6 reproduces the paper-shaped
+	// boundaries cleanly).
+	N int
+	// Seeds is the number of seeds per scenario.
+	Seeds int
+	// BaseSeed anchors the deterministic seed sequence.
+	BaseSeed int64
+	// MaxSteps is the per-run horizon.
+	MaxSteps int
+}
+
+// DefaultParams returns the parameters used by cmd/table1 and the benchmark
+// harness.
+func DefaultParams() Params {
+	return Params{N: 6, Seeds: 20, BaseSeed: 1000, MaxSteps: 450}
+}
+
+// regime describes one failure-bound column.
+type regime struct {
+	name string
+	t    func(n int) int
+}
+
+func regimes() []regime {
+	return []regime{
+		{name: "t<n/2", t: func(n int) int { return (n - 1) / 2 }},
+		{name: "n/2<=t<n-1", t: func(n int) int { return n - 2 }},
+		{name: "t>=n-1", t: func(n int) int { return n - 1 }},
+	}
+}
+
+// proposalsFor builds distinct consensus proposals.
+func proposalsFor(n int) map[model.ProcID]int {
+	out := make(map[model.ProcID]int, n)
+	for i := 0; i < n; i++ {
+		out[model.ProcID(i)] = 100 + i
+	}
+	return out
+}
+
+// consensusEvaluator adapts the consensus checker to the sweep harness.
+func consensusEvaluator(proposals map[model.ProcID]int) workload.Evaluator {
+	return func(r *model.Run) []model.Violation {
+		return consensus.CheckConsensus(r, proposals)
+	}
+}
+
+// network returns the channel configuration for a channel regime.
+func network(channel string) sim.NetworkConfig {
+	if channel == "reliable" {
+		return sim.ReliableNetwork()
+	}
+	return sim.FairLossyNetwork(0.3)
+}
+
+// harshNetwork is used for the "weaker detector" scenarios: higher loss and a
+// very lax fairness bound make it easy for an under-equipped protocol to lose
+// the race between propagation and crashes, while a correctly-equipped
+// protocol still succeeds (it keeps retransmitting until acknowledged).
+func harshNetwork() sim.NetworkConfig {
+	return sim.NetworkConfig{DropProbability: 0.85, MaxDelay: 6, FairnessBound: 400}
+}
+
+// weakenUDCSpec adjusts a weaker-scenario workload so that crashes race the
+// propagation of freshly initiated actions: all initiations happen early and
+// the crash window overlaps them.
+func weakenUDCSpec(spec workload.Spec) workload.Spec {
+	spec.LastInitTime = 25
+	spec.CrashStart = 2
+	spec.CrashEnd = 35
+	return spec
+}
+
+// udcSpec builds the common UDC workload shape for a cell.
+func udcSpec(p Params, name string, net sim.NetworkConfig, oracle fd.Oracle, factory sim.ProtocolFactory, t int, exact bool, crashEnd int) workload.Spec {
+	return workload.Spec{
+		Name:          name,
+		N:             p.N,
+		MaxSteps:      p.MaxSteps,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       net,
+		Oracle:        oracle,
+		Protocol:      factory,
+		Actions:       p.N,
+		MaxFailures:   t,
+		ExactFailures: exact,
+		CrashEnd:      crashEnd,
+	}
+}
+
+// consensusSpec builds the common consensus workload shape for a cell.
+func consensusSpec(p Params, name string, net sim.NetworkConfig, oracle fd.Oracle, factory sim.ProtocolFactory, t int) workload.Spec {
+	return workload.Spec{
+		Name:          name,
+		N:             p.N,
+		MaxSteps:      p.MaxSteps,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       net,
+		Oracle:        oracle,
+		Protocol:      factory,
+		Actions:       0,
+		MaxFailures:   t,
+		ExactFailures: true,
+		CrashEnd:      p.MaxSteps / 4,
+	}
+}
+
+// Cells enumerates every Table 1 cell for the given parameters.
+func Cells(p Params) []Cell {
+	var cells []Cell
+	proposals := proposalsFor(p.N)
+	consEval := consensusEvaluator(proposals)
+
+	for _, channel := range []string{"reliable", "fair-lossy"} {
+		net := network(channel)
+		for _, reg := range regimes() {
+			t := reg.t(p.N)
+			cells = append(cells,
+				udcCell(p, channel, net, reg.name, t),
+				consensusCell(p, channel, net, reg.name, t, proposals, consEval),
+			)
+		}
+	}
+	return cells
+}
+
+// udcCell builds the UDC row entry for one (channel, regime) pair.
+func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string, t int) Cell {
+	cell := Cell{Channel: channel, Regime: regimeName, Problem: "UDC"}
+	crashEnd := p.MaxSteps / 4
+
+	switch {
+	case channel == "reliable":
+		// Reliable channels: no failure detector needed regardless of t
+		// (Proposition 2.4).
+		cell.PaperDetector = "no FD"
+		cell.Minimal = Scenario{
+			Label: "no FD / relay-then-perform",
+			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, core.NewReliableUDC, t, true, crashEnd),
+			Eval:  workload.UDCEvaluator,
+		}
+	case regimeName == "t<n/2":
+		// Corollary 4.2: no failure detector needed.
+		cell.PaperDetector = "no FD"
+		cell.Minimal = Scenario{
+			Label: "no FD / quorum",
+			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, core.NewQuorumUDC(t), t, true, crashEnd),
+			Eval:  workload.UDCEvaluator,
+		}
+	case regimeName == "n/2<=t<n-1":
+		// Proposition 4.1 / Theorem 4.3: t-useful generalized detectors are
+		// necessary and sufficient.
+		cell.PaperDetector = "t-useful"
+		cell.Optimal = true
+		cell.Minimal = Scenario{
+			Label: "t-useful generalized FD",
+			Spec:  udcSpec(p, cellName(cell, "minimal"), net, fd.FaultySetOracle{}, core.NewTUsefulUDC(t), t, true, crashEnd),
+			Eval:  workload.UDCEvaluator,
+		}
+		weaker := Scenario{
+			Label: "no FD / quorum (insufficient)",
+			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, core.NewQuorumUDC(t), t, true, 35)),
+			Eval:  workload.UDCEvaluator,
+		}
+		cell.Weaker = &weaker
+	default:
+		// Proposition 3.1 / Theorem 3.6: strong detectors suffice and perfect
+		// detectors can be simulated, i.e. effectively perfect detection is
+		// needed.
+		cell.PaperDetector = "perfect"
+		cell.Optimal = true
+		cell.Minimal = Scenario{
+			Label: "strong FD (≅ perfect, Prop 3.4)",
+			Spec: udcSpec(p, cellName(cell, "minimal"), net,
+				fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 77}, core.NewStrongFDUDC, t, true, crashEnd),
+			Eval: workload.UDCEvaluator,
+		}
+		weaker := Scenario{
+			Label: "no FD / immediate perform (insufficient)",
+			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, core.NewNUDC, t, true, 35)),
+			Eval:  workload.UDCEvaluator,
+		}
+		cell.Weaker = &weaker
+	}
+	return cell
+}
+
+// consensusCell builds the consensus row entry for one (channel, regime) pair.
+func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName string, t int, proposals map[model.ProcID]int, consEval workload.Evaluator) Cell {
+	cell := Cell{Channel: channel, Regime: regimeName, Problem: "consensus"}
+
+	switch regimeName {
+	case "t<n/2":
+		cell.PaperDetector = "Diamond-W"
+		cell.Optimal = true
+		cell.Minimal = Scenario{
+			Label: "Diamond-S / CT majority",
+			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
+				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
+				consensus.NewMajority(proposals), t),
+			Eval: consEval,
+		}
+	case "n/2<=t<n-1":
+		cell.PaperDetector = "Strong"
+		cell.Minimal = Scenario{
+			Label: "strong FD / rotating coordinator",
+			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
+				fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 31},
+				consensus.NewRotating(proposals), t),
+			Eval: consEval,
+		}
+		weaker := Scenario{
+			Label: "Diamond-S / CT majority (loses termination)",
+			Spec: weakenConsensusSpec(consensusSpec(p, cellName(cell, "weaker"), net,
+				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
+				consensus.NewMajority(proposals), t)),
+			Eval: consEval,
+		}
+		cell.Weaker = &weaker
+	default:
+		cell.PaperDetector = "Perfect"
+		cell.Optimal = true
+		cell.Minimal = Scenario{
+			Label: "perfect FD / rotating coordinator",
+			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
+				fd.PerfectOracle{}, consensus.NewRotating(proposals), t),
+			Eval: consEval,
+		}
+		weaker := Scenario{
+			Label: "Diamond-S / CT majority (loses termination)",
+			Spec: weakenConsensusSpec(consensusSpec(p, cellName(cell, "weaker"), net,
+				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
+				consensus.NewMajority(proposals), t)),
+			Eval: consEval,
+		}
+		cell.Weaker = &weaker
+	}
+	return cell
+}
+
+// weakenConsensusSpec makes more than half of the processes crash right at the
+// start of the run, before the majority algorithm can assemble its first
+// quorum.  A majority-based algorithm then blocks forever (losing
+// termination), which is exactly why Table 1 requires a strong or perfect
+// detector — driving a coordinator-wait-free algorithm — once t >= n/2.
+func weakenConsensusSpec(spec workload.Spec) workload.Spec {
+	spec.CrashStart = 1
+	spec.CrashEnd = 3
+	return spec
+}
+
+// cellName builds a stable scenario name for reports.
+func cellName(c Cell, kind string) string {
+	return fmt.Sprintf("%s/%s/%s/%s", c.Channel, c.Regime, c.Problem, kind)
+}
+
+// EvaluateCell sweeps one cell's scenarios.
+func EvaluateCell(c Cell, p Params) (CellResult, error) {
+	seeds := workload.Seeds(p.BaseSeed, p.Seeds)
+	minimal, err := workload.Sweep(c.Minimal.Spec, seeds, c.Minimal.Eval)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("cell %s %s %s: minimal: %w", c.Channel, c.Regime, c.Problem, err)
+	}
+	out := CellResult{Cell: c, MinimalResult: minimal}
+	if c.Weaker != nil {
+		weaker, err := workload.Sweep(c.Weaker.Spec, seeds, c.Weaker.Eval)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %s %s %s: weaker: %w", c.Channel, c.Regime, c.Problem, err)
+		}
+		out.WeakerResult = &weaker
+	}
+	return out, nil
+}
+
+// Evaluate sweeps every cell.
+func Evaluate(p Params) ([]CellResult, error) {
+	cells := Cells(p)
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		res, err := EvaluateCell(c, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Render formats the results as the paper's Table 1, annotated with the
+// measured success rates.
+func Render(results []CellResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-10s %-12s %-14s %-9s %-11s %s\n",
+		"channels", "problem", "regime", "paper needs", "minimal", "weaker", "labels")
+	for _, res := range results {
+		c := res.Cell
+		detector := c.PaperDetector
+		if c.Optimal {
+			detector += " (+)"
+		}
+		minimal := fmt.Sprintf("%d/%d ok", res.MinimalResult.Successes(), len(res.MinimalResult.Outcomes))
+		weaker := "-"
+		labels := c.Minimal.Label
+		if res.WeakerResult != nil {
+			weaker = fmt.Sprintf("%d/%d ok", res.WeakerResult.Successes(), len(res.WeakerResult.Outcomes))
+			labels += " | " + c.Weaker.Label
+		}
+		fmt.Fprintf(&b, "%-11s %-10s %-12s %-14s %-9s %-11s %s\n",
+			c.Channel, c.Problem, c.Regime, detector, minimal, weaker, labels)
+	}
+	b.WriteString("\n(+) marks cells the paper proves optimal; 'minimal' must be all-ok, 'weaker' must be < all-ok.\n")
+	return b.String()
+}

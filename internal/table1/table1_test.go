@@ -1,0 +1,99 @@
+package table1_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table1"
+)
+
+// TestTable1Shape is experiment E1: every cell's sufficient detector class
+// succeeds on every seed, and wherever the paper marks the class optimal the
+// next-weaker class fails on at least one seed, reproducing the shape of
+// Table 1.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table sweep is too slow for -short")
+	}
+	params := table1.Params{N: 6, Seeds: 10, BaseSeed: 2000, MaxSteps: 450}
+	results, err := table1.Evaluate(params)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("expected 12 cells (2 channels x 3 regimes x 2 problems), got %d", len(results))
+	}
+	for _, res := range results {
+		c := res.Cell
+		name := c.Channel + "/" + c.Regime + "/" + c.Problem
+		if !res.MinimalOK() {
+			t.Errorf("%s: the paper-sufficient combination (%s) failed on %d/%d seeds",
+				name, c.Minimal.Label, len(res.MinimalResult.Outcomes)-res.MinimalResult.Successes(),
+				len(res.MinimalResult.Outcomes))
+		}
+		if res.WeakerResult != nil && !res.WeakerFails() {
+			t.Errorf("%s: the weaker combination (%s) unexpectedly succeeded on all seeds",
+				name, c.Weaker.Label)
+		}
+	}
+	rendered := table1.Render(results)
+	for _, want := range []string{"UDC", "consensus", "reliable", "fair-lossy", "t-useful", "perfect"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// TestCellsStructure checks the cell enumeration against the paper's table
+// without running any simulations.
+func TestCellsStructure(t *testing.T) {
+	cells := table1.Cells(table1.DefaultParams())
+	if len(cells) != 12 {
+		t.Fatalf("expected 12 cells, got %d", len(cells))
+	}
+	type key struct{ channel, regime, problem string }
+	byKey := make(map[key]table1.Cell, len(cells))
+	for _, c := range cells {
+		byKey[key{c.Channel, c.Regime, c.Problem}] = c
+	}
+	expectDetector := map[key]string{
+		{"reliable", "t<n/2", "UDC"}:            "no FD",
+		{"reliable", "n/2<=t<n-1", "UDC"}:       "no FD",
+		{"reliable", "t>=n-1", "UDC"}:           "no FD",
+		{"fair-lossy", "t<n/2", "UDC"}:          "no FD",
+		{"fair-lossy", "n/2<=t<n-1", "UDC"}:     "t-useful",
+		{"fair-lossy", "t>=n-1", "UDC"}:         "perfect",
+		{"reliable", "t<n/2", "consensus"}:      "Diamond-W",
+		{"reliable", "n/2<=t<n-1", "consensus"}: "Strong",
+		{"reliable", "t>=n-1", "consensus"}:     "Perfect",
+	}
+	for k, want := range expectDetector {
+		c, ok := byKey[k]
+		if !ok {
+			t.Errorf("missing cell %+v", k)
+			continue
+		}
+		if c.PaperDetector != want {
+			t.Errorf("cell %+v: paper detector %q, want %q", k, c.PaperDetector, want)
+		}
+	}
+	// Consensus entries do not depend on the channel regime in the paper's
+	// table; check our enumeration preserves that.
+	for _, reg := range []string{"t<n/2", "n/2<=t<n-1", "t>=n-1"} {
+		rel := byKey[key{"reliable", reg, "consensus"}]
+		lossy := byKey[key{"fair-lossy", reg, "consensus"}]
+		if rel.PaperDetector != lossy.PaperDetector {
+			t.Errorf("consensus row differs across channels for %s: %q vs %q", reg, rel.PaperDetector, lossy.PaperDetector)
+		}
+	}
+	// Every cell has a minimal scenario with a protocol; optimal cells have a
+	// weaker scenario.
+	for _, c := range cells {
+		if c.Minimal.Spec.Protocol == nil {
+			t.Errorf("cell %s/%s/%s has no minimal protocol", c.Channel, c.Regime, c.Problem)
+		}
+		if c.Optimal && c.Problem == "UDC" && c.Weaker == nil {
+			t.Errorf("optimal UDC cell %s/%s has no weaker scenario", c.Channel, c.Regime)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace provides serialisation and summarisation of recorded runs:
+// JSON encoding for offline analysis, per-process event statistics, and
+// compact human-readable dumps used by the command-line tools.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// EncodeJSON writes the run as (indented) JSON.
+func EncodeJSON(w io.Writer, r *model.Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("encode run: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSON reads a run previously written by EncodeJSON.
+func DecodeJSON(rd io.Reader) (*model.Run, error) {
+	var run model.Run
+	if err := json.NewDecoder(rd).Decode(&run); err != nil {
+		return nil, fmt.Errorf("decode run: %w", err)
+	}
+	if run.N <= 0 || len(run.Events) != run.N {
+		return nil, fmt.Errorf("decode run: inconsistent process count n=%d with %d histories", run.N, len(run.Events))
+	}
+	return &run, nil
+}
+
+// Counts aggregates per-kind event counts.
+type Counts struct {
+	Send, Recv, Init, Do, Crash, Suspect int
+}
+
+// Total returns the total number of events counted.
+func (c Counts) Total() int { return c.Send + c.Recv + c.Init + c.Do + c.Crash + c.Suspect }
+
+// add increments the counter for one event kind.
+func (c *Counts) add(k model.EventKind) {
+	switch k {
+	case model.EventSend:
+		c.Send++
+	case model.EventRecv:
+		c.Recv++
+	case model.EventInit:
+		c.Init++
+	case model.EventDo:
+		c.Do++
+	case model.EventCrash:
+		c.Crash++
+	case model.EventSuspect:
+		c.Suspect++
+	}
+}
+
+// Count returns aggregate event counts for the whole run.
+func Count(r *model.Run) Counts {
+	var c Counts
+	for p := range r.Events {
+		for _, te := range r.Events[p] {
+			c.add(te.Event.Kind)
+		}
+	}
+	return c
+}
+
+// CountByProcess returns per-process event counts.
+func CountByProcess(r *model.Run) []Counts {
+	out := make([]Counts, r.N)
+	for p := range r.Events {
+		for _, te := range r.Events[p] {
+			out[p].add(te.Event.Kind)
+		}
+	}
+	return out
+}
+
+// Summary renders a compact human-readable summary of a run: horizon, faulty
+// set, per-process event counts and the fate of every initiated action.
+func Summary(r *model.Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: n=%d horizon=%d faulty=%s events=%d\n", r.N, r.Horizon, r.Faulty(), r.EventCount())
+	perProc := CountByProcess(r)
+	fmt.Fprintf(&b, "%-5s %6s %6s %5s %5s %6s %8s %7s\n", "proc", "send", "recv", "init", "do", "crash", "suspect", "total")
+	for p, c := range perProc {
+		fmt.Fprintf(&b, "p%-4d %6d %6d %5d %5d %6d %8d %7d\n", p, c.Send, c.Recv, c.Init, c.Do, c.Crash, c.Suspect, c.Total())
+	}
+	actions := r.InitiatedActions()
+	if len(actions) > 0 {
+		b.WriteString("actions:\n")
+	}
+	for _, a := range actions {
+		initAt, _ := r.InitTime(a)
+		performers := make([]string, 0, r.N)
+		for p := model.ProcID(0); int(p) < r.N; p++ {
+			if t, ok := r.DoTime(p, a); ok {
+				performers = append(performers, fmt.Sprintf("p%d@%d", p, t))
+			}
+		}
+		sort.Strings(performers)
+		fmt.Fprintf(&b, "  %v init@%d performed-by [%s]\n", a, initAt, strings.Join(performers, " "))
+	}
+	return b.String()
+}
+
+// Timeline renders process p's history as one line per event, for debugging.
+func Timeline(r *model.Run, p model.ProcID) string {
+	var b strings.Builder
+	for _, te := range r.Events[p] {
+		fmt.Fprintf(&b, "%5d  %s\n", te.Time, te.Event)
+	}
+	return b.String()
+}

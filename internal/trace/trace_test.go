@@ -1,0 +1,100 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func sampleRun(t *testing.T) *model.Run {
+	t.Helper()
+	spec := workload.Spec{
+		Name:        "trace-sample",
+		N:           4,
+		MaxSteps:    120,
+		TickEvery:   2,
+		Network:     sim.FairLossyNetwork(0.2),
+		Protocol:    core.NewNUDC,
+		Actions:     3,
+		MaxFailures: 1,
+	}
+	res, err := workload.Execute(spec, 5)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return res.Run
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sampleRun(t)
+	var buf bytes.Buffer
+	if err := trace.EncodeJSON(&buf, r); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := trace.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if decoded.N != r.N || decoded.Horizon != r.Horizon || decoded.EventCount() != r.EventCount() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			decoded.N, decoded.Horizon, decoded.EventCount(), r.N, r.Horizon, r.EventCount())
+	}
+	for p := model.ProcID(0); int(p) < r.N; p++ {
+		if decoded.FinalHistory(p).Key() != r.FinalHistory(p).Key() {
+			t.Fatalf("history of process %d changed under JSON round trip", p)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsGarbage(t *testing.T) {
+	if _, err := trace.DecodeJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatalf("expected a decode error")
+	}
+	if _, err := trace.DecodeJSON(strings.NewReader(`{"n": 3, "horizon": 1, "events": []}`)); err == nil {
+		t.Fatalf("expected an inconsistency error")
+	}
+}
+
+func TestCountsMatchRun(t *testing.T) {
+	r := sampleRun(t)
+	c := trace.Count(r)
+	if c.Total() != r.EventCount() {
+		t.Fatalf("total = %d, want %d", c.Total(), r.EventCount())
+	}
+	if c.Send != r.CountKind(model.EventSend) || c.Recv != r.CountKind(model.EventRecv) ||
+		c.Init != r.CountKind(model.EventInit) || c.Do != r.CountKind(model.EventDo) ||
+		c.Crash != r.CountKind(model.EventCrash) || c.Suspect != r.CountKind(model.EventSuspect) {
+		t.Fatalf("per-kind counts disagree with the run: %+v", c)
+	}
+	perProc := trace.CountByProcess(r)
+	sum := 0
+	for _, pc := range perProc {
+		sum += pc.Total()
+	}
+	if sum != c.Total() {
+		t.Fatalf("per-process counts sum to %d, want %d", sum, c.Total())
+	}
+}
+
+func TestSummaryAndTimeline(t *testing.T) {
+	r := sampleRun(t)
+	s := trace.Summary(r)
+	if !strings.Contains(s, "run: n=4") || !strings.Contains(s, "actions:") {
+		t.Fatalf("summary missing sections:\n%s", s)
+	}
+	for _, a := range r.InitiatedActions() {
+		if !strings.Contains(s, a.String()) {
+			t.Fatalf("summary missing action %v", a)
+		}
+	}
+	tl := trace.Timeline(r, 0)
+	if len(tl) == 0 || !strings.Contains(tl, "init(") {
+		t.Fatalf("timeline for the initiator should mention its init event:\n%s", tl)
+	}
+}

@@ -1,0 +1,13 @@
+// Package workload generates the experiment scenarios used to reproduce the
+// paper's evaluation (Table 1 and the per-proposition experiments indexed in
+// DESIGN.md) and provides a small sweep harness that runs a scenario across
+// many seeds and aggregates property-check results and cost metrics.
+//
+// A Spec describes a parameterised scenario (process count, network regime,
+// failure bound, detector, protocol, workload intensity); BuildConfig expands
+// it deterministically for a given seed into a concrete sim.Config with a
+// random-but-reproducible crash pattern and initiation schedule.  Sweep runs a
+// spec over a seed list and reports the fraction of runs on which a
+// caller-supplied property checker found no violations, together with message
+// and latency statistics.
+package workload

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Spec is a parameterised experiment scenario.
+type Spec struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// N is the number of processes.
+	N int
+	// MaxSteps is the simulation horizon.
+	MaxSteps int
+	// TickEvery and SuspectEvery are passed through to the simulator
+	// (0 means 1).
+	TickEvery    int
+	SuspectEvery int
+	// Network is the channel regime.
+	Network sim.NetworkConfig
+	// Oracle is the failure detector (nil for none).
+	Oracle fd.Oracle
+	// Protocol builds each process's behaviour.
+	Protocol sim.ProtocolFactory
+	// Actions is the number of coordination actions to initiate.
+	Actions int
+	// LastInitTime is the latest time at which an action may be initiated;
+	// initiation times are drawn uniformly from [1, LastInitTime].  Zero means
+	// a quarter of MaxSteps.
+	LastInitTime int
+	// MaxFailures bounds the number of crashes injected per run.
+	MaxFailures int
+	// ExactFailures forces exactly MaxFailures crashes instead of a random
+	// number in [0, MaxFailures].
+	ExactFailures bool
+	// CrashStart and CrashEnd bound the crash times; zero values default to
+	// [1, MaxSteps/2].
+	CrashStart, CrashEnd int
+}
+
+// BuildConfig expands the spec into a concrete simulator configuration for the
+// given seed.  Identical (spec, seed) pairs yield identical configurations.
+func BuildConfig(spec Spec, seed int64) sim.Config {
+	if spec.N <= 0 {
+		// Produce a config that sim.Run's validation will reject with a clear
+		// error rather than panicking while generating the workload.
+		return sim.Config{N: spec.N, Seed: seed, MaxSteps: spec.MaxSteps, Protocol: spec.Protocol}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	lastInit := spec.LastInitTime
+	if lastInit <= 0 {
+		lastInit = spec.MaxSteps / 4
+	}
+	if lastInit < 1 {
+		lastInit = 1
+	}
+	crashStart := spec.CrashStart
+	if crashStart <= 0 {
+		crashStart = 1
+	}
+	crashEnd := spec.CrashEnd
+	if crashEnd <= 0 {
+		crashEnd = spec.MaxSteps / 2
+	}
+	if crashEnd < crashStart {
+		crashEnd = crashStart
+	}
+
+	// Crash pattern: a random subset of processes of size at most MaxFailures.
+	failures := spec.MaxFailures
+	if failures > spec.N {
+		failures = spec.N
+	}
+	count := failures
+	if !spec.ExactFailures && failures > 0 {
+		count = rng.Intn(failures + 1)
+	}
+	perm := rng.Perm(spec.N)
+	crashes := make([]sim.CrashEvent, 0, count)
+	for i := 0; i < count; i++ {
+		t := crashStart
+		if crashEnd > crashStart {
+			t += rng.Intn(crashEnd - crashStart + 1)
+		}
+		crashes = append(crashes, sim.CrashEvent{Time: t, Proc: model.ProcID(perm[i])})
+	}
+
+	// Initiation schedule: actions are spread round-robin over processes with
+	// uniformly random initiation times.
+	inits := make([]sim.Initiation, 0, spec.Actions)
+	for i := 0; i < spec.Actions; i++ {
+		p := model.ProcID(i % spec.N)
+		t := 1 + rng.Intn(lastInit)
+		inits = append(inits, sim.Initiation{
+			Time:   t,
+			Proc:   p,
+			Action: model.Action(p, i),
+		})
+	}
+
+	return sim.Config{
+		N:            spec.N,
+		Seed:         seed,
+		MaxSteps:     spec.MaxSteps,
+		TickEvery:    spec.TickEvery,
+		SuspectEvery: spec.SuspectEvery,
+		Network:      spec.Network,
+		Crashes:      crashes,
+		Initiations:  inits,
+		Protocol:     spec.Protocol,
+		Oracle:       spec.Oracle,
+	}
+}
+
+// Execute builds and runs the scenario for one seed.
+func Execute(spec Spec, seed int64) (*sim.Result, error) {
+	cfg := BuildConfig(spec, seed)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q seed %d: %w", spec.Name, seed, err)
+	}
+	return res, nil
+}
+
+// Seeds returns count deterministic seeds derived from base.
+func Seeds(base int64, count int) []int64 {
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = base + int64(i)*7919
+	}
+	return out
+}

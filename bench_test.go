@@ -3,56 +3,51 @@ package repro_test
 // The benchmark harness regenerates the paper's evaluation:
 //
 //   - BenchmarkTable1/... : one benchmark per cell of Table 1 (the paper's
-//     only table; it has no figures).  Each iteration runs the cell's
-//     paper-sufficient detector/protocol combination on a fresh seed and
-//     reports coordination success, message cost and latency as custom
-//     metrics, so the table's shape (which detector class suffices where) can
-//     be read off the benchmark output.
+//     only table; it has no figures).  Each cell sweeps its paper-sufficient
+//     detector/protocol combination over b.N fresh seeds — distributed over
+//     the parallel sweep runner, whose aggregates are byte-identical to a
+//     serial sweep — and reports coordination success, message cost and
+//     latency as custom metrics, so the table's shape (which detector class
+//     suffices where) can be read off the benchmark output.
 //   - BenchmarkProp*/BenchmarkCor*/BenchmarkTheorem*: one benchmark per
-//     proposition or theorem with executable content (E2-E8 in DESIGN.md).
+//     proposition or theorem with executable content (E2-E8 in DESIGN.md),
+//     running the registry's named scenarios serially on one reused engine
+//     (these track single-run engine performance).
 //   - BenchmarkUDCvsConsensus: the cost comparison the introduction motivates
 //     (E9).
 //   - BenchmarkAblation*: design-choice ablations called out in DESIGN.md
 //     (drop rate, retransmission period, detector query period, and the
 //     weak-to-strong detector conversions).
 //
-// Absolute numbers depend on the simulator, not on the authors' testbed; the
-// quantities to compare are the relative metrics (ok-rate, msgs/run,
-// latency-steps) across benchmarks.
+// All protocols, oracles and scenario shapes are resolved through
+// internal/registry, so the benchmarks exercise exactly the constructions the
+// commands ship.  Absolute numbers depend on the simulator, not on the
+// authors' testbed; the quantities to compare are the relative metrics
+// (ok-rate, msgs/run, latency-steps) across benchmarks.
 
 import (
 	"fmt"
 	"testing"
 
-	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/epistemic"
 	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/table1"
 	"repro/internal/workload"
 )
 
-// runSpecOnce executes one seed of a spec and reports per-run metrics.
-func runSpecOnce(b *testing.B, spec workload.Spec, seed int64, eval workload.Evaluator, agg *benchAgg) {
+// runSpecOnce executes one seed of a spec on the shared engine and reports
+// per-run metrics.
+func runSpecOnce(b *testing.B, eng *sim.Engine, spec workload.Spec, seed int64, eval workload.Evaluator, agg *benchAgg) {
 	b.Helper()
-	res, err := workload.Execute(spec, seed)
+	res, err := workload.ExecuteWith(eng, spec, seed)
 	if err != nil {
 		b.Fatalf("execute: %v", err)
 	}
-	violations := eval(res.Run)
-	agg.runs++
-	agg.messages += float64(res.Stats.MessagesSent)
-	if len(violations) == 0 {
-		agg.ok++
-	}
-	for _, a := range res.Run.InitiatedActions() {
-		if lat, complete := core.CoordinationLatency(res.Run, a); complete {
-			agg.latency += float64(lat)
-			agg.latencyCount++
-		}
-	}
+	agg.add(workload.ScoreRun(res, seed, eval))
 }
 
 // benchAgg accumulates custom benchmark metrics.
@@ -62,6 +57,17 @@ type benchAgg struct {
 	messages     float64
 	latency      float64
 	latencyCount int
+}
+
+// add folds one run outcome into the aggregate.
+func (a *benchAgg) add(o workload.RunOutcome) {
+	a.runs++
+	a.messages += float64(o.Stats.MessagesSent)
+	if o.OK() {
+		a.ok++
+	}
+	a.latency += float64(o.LatencySum)
+	a.latencyCount += o.LatencyActions
 }
 
 // report emits the aggregated custom metrics.
@@ -77,8 +83,27 @@ func (a benchAgg) report(b *testing.B) {
 	}
 }
 
-// BenchmarkTable1 regenerates Table 1: one sub-benchmark per cell, running the
-// paper-sufficient scenario.
+// benchSerialSpec runs one seed per iteration on a reused engine.
+func benchSerialSpec(b *testing.B, spec workload.Spec, eval workload.Evaluator, seedOf func(i int) int64) {
+	b.Helper()
+	eng := sim.NewEngine()
+	var agg benchAgg
+	for i := 0; i < b.N; i++ {
+		runSpecOnce(b, eng, spec, seedOf(i), eval, &agg)
+	}
+	agg.report(b)
+}
+
+// benchScenario runs the named registry scenario serially, one seed per
+// iteration.
+func benchScenario(b *testing.B, name string) {
+	b.Helper()
+	sc := registry.MustScenario(name)
+	benchSerialSpec(b, sc.Spec, sc.Eval, func(i int) int64 { return int64(i) + 1 })
+}
+
+// BenchmarkTable1 regenerates Table 1: one sub-benchmark per cell, sweeping
+// the paper-sufficient scenario over b.N seeds on the parallel sweep runner.
 func BenchmarkTable1(b *testing.B) {
 	params := table1.Params{N: 6, Seeds: 1, BaseSeed: 5000, MaxSteps: 400}
 	for _, cell := range table1.Cells(params) {
@@ -86,95 +111,60 @@ func BenchmarkTable1(b *testing.B) {
 		spec := cell.Minimal.Spec
 		eval := cell.Minimal.Eval
 		b.Run(name, func(b *testing.B) {
+			seeds := make([]int64, b.N)
+			for i := range seeds {
+				seeds[i] = params.BaseSeed + int64(i)
+			}
+			result, err := workload.Runner{}.Sweep(spec, seeds, eval)
+			if err != nil {
+				b.Fatalf("sweep: %v", err)
+			}
 			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, params.BaseSeed+int64(i), eval, &agg)
+			for _, o := range result.Outcomes {
+				agg.add(o)
 			}
 			agg.report(b)
 		})
 	}
 }
 
-// udcBenchSpec is the shared shape of the per-proposition UDC benchmarks.
-func udcBenchSpec(name string, n int, oracle fd.Oracle, factory sim.ProtocolFactory, failures int, net sim.NetworkConfig) workload.Spec {
-	return workload.Spec{
-		Name:          name,
-		N:             n,
-		MaxSteps:      400,
-		TickEvery:     2,
-		SuspectEvery:  3,
-		Network:       net,
-		Oracle:        oracle,
-		Protocol:      factory,
-		Actions:       n,
-		MaxFailures:   failures,
-		ExactFailures: true,
-		CrashEnd:      100,
-	}
-}
-
 // BenchmarkProp23NUDC benchmarks the no-detector nUDC protocol over fair-lossy
 // channels with unbounded failures (E2).
 func BenchmarkProp23NUDC(b *testing.B) {
-	spec := udcBenchSpec("prop2.3", 6, nil, core.NewNUDC, 5, sim.FairLossyNetwork(0.3))
-	var agg benchAgg
-	for i := 0; i < b.N; i++ {
-		runSpecOnce(b, spec, int64(i)+1, workload.NUDCEvaluator, &agg)
-	}
-	agg.report(b)
+	benchScenario(b, "prop2.3-nudc")
 }
 
 // BenchmarkProp24ReliableUDC benchmarks the no-detector UDC protocol over
 // reliable channels (E3).
 func BenchmarkProp24ReliableUDC(b *testing.B) {
-	spec := udcBenchSpec("prop2.4", 6, nil, core.NewReliableUDC, 5, sim.ReliableNetwork())
-	var agg benchAgg
-	for i := 0; i < b.N; i++ {
-		runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-	}
-	agg.report(b)
+	benchScenario(b, "prop2.4-reliable-udc")
 }
 
 // BenchmarkProp31StrongFDUDC benchmarks UDC with a strong detector over lossy
 // channels and up to n-1 failures (E4).
 func BenchmarkProp31StrongFDUDC(b *testing.B) {
-	spec := udcBenchSpec("prop3.1", 6,
-		fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 1}, core.NewStrongFDUDC, 5, sim.FairLossyNetwork(0.3))
-	var agg benchAgg
-	for i := 0; i < b.N; i++ {
-		runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-	}
-	agg.report(b)
+	benchScenario(b, "prop3.1-strong-udc")
 }
 
 // BenchmarkProp41TUsefulUDC benchmarks UDC with a t-useful generalized
 // detector for an intermediate failure bound (E7).
 func BenchmarkProp41TUsefulUDC(b *testing.B) {
-	spec := udcBenchSpec("prop4.1", 7, fd.FaultySetOracle{}, core.NewTUsefulUDC(4), 4, sim.FairLossyNetwork(0.3))
-	var agg benchAgg
-	for i := 0; i < b.N; i++ {
-		runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-	}
-	agg.report(b)
+	benchScenario(b, "prop4.1-tuseful-udc")
 }
 
 // BenchmarkCor42QuorumUDC benchmarks the detector-free quorum protocol for
 // t < n/2 (E7).
 func BenchmarkCor42QuorumUDC(b *testing.B) {
-	spec := udcBenchSpec("cor4.2", 7, nil, core.NewQuorumUDC(3), 3, sim.FairLossyNetwork(0.3))
-	var agg benchAgg
-	for i := 0; i < b.N; i++ {
-		runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-	}
-	agg.report(b)
+	benchScenario(b, "cor4.2-quorum-udc")
 }
 
 // buildSystem samples a UDC system for the extraction benchmarks.
 func buildSystem(b *testing.B, spec workload.Spec, runs int) *epistemic.System {
 	b.Helper()
+	eng := sim.NewEngine()
 	out := make(model.System, 0, runs)
 	for _, seed := range workload.Seeds(9000, runs) {
-		res, err := workload.Execute(spec, seed)
+		res, err := workload.ExecuteWith(eng, spec, seed)
 		if err != nil {
 			b.Fatalf("execute: %v", err)
 		}
@@ -187,14 +177,7 @@ func buildSystem(b *testing.B, spec workload.Spec, runs int) *epistemic.System {
 // (construction P1-P3) over a sampled system, including the property check
 // (E6).
 func BenchmarkTheorem36Extraction(b *testing.B) {
-	spec := workload.Spec{
-		Name: "thm3.6-bench", N: 5, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
-		Network:  sim.FairLossyNetwork(0.25),
-		Oracle:   fd.StrongOracle{FalseSuspicionRate: 0.3, Seed: 17},
-		Protocol: core.NewStrongFDUDC, Actions: 8, LastInitTime: 200,
-		MaxFailures: 3, ExactFailures: true, CrashEnd: 80,
-	}
-	sys := buildSystem(b, spec, 10)
+	sys := buildSystem(b, registry.MustScenario("thm3.6-extraction").Spec, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		simulated := core.SimulatePerfectDetector(sys)
@@ -212,14 +195,7 @@ func BenchmarkTheorem36Extraction(b *testing.B) {
 // simulation (construction P3') over a sampled system (E8).
 func BenchmarkTheorem43Extraction(b *testing.B) {
 	const t = 2
-	spec := workload.Spec{
-		Name: "thm4.3-bench", N: 5, MaxSteps: 450, TickEvery: 2, SuspectEvery: 3,
-		Network:  sim.FairLossyNetwork(0.25),
-		Oracle:   fd.FaultySetOracle{},
-		Protocol: core.NewTUsefulUDC(t), Actions: 8, LastInitTime: 300,
-		MaxFailures: t, ExactFailures: true, CrashEnd: 100,
-	}
-	sys := buildSystem(b, spec, 8)
+	sys := buildSystem(b, registry.MustScenario("thm4.3-extraction").Spec, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		simulated := core.SimulateTUsefulDetector(sys)
@@ -240,8 +216,8 @@ func BenchmarkEpistemicKnownCrashed(b *testing.B) {
 	spec := workload.Spec{
 		Name: "epistemic-bench", N: 5, MaxSteps: 250, TickEvery: 2, SuspectEvery: 3,
 		Network:  sim.FairLossyNetwork(0.25),
-		Oracle:   fd.StrongOracle{FalseSuspicionRate: 0.2, Seed: 3},
-		Protocol: core.NewStrongFDUDC, Actions: 5,
+		Oracle:   registry.MustOracle("strong", registry.Options{Seed: 3, FalseSuspicionRate: 0.2}),
+		Protocol: registry.MustProtocol("strong", registry.Options{}), Actions: 5,
 		MaxFailures: 2, ExactFailures: true, CrashEnd: 70,
 	}
 	sys := buildSystem(b, spec, 8)
@@ -260,39 +236,45 @@ func BenchmarkEpistemicKnownCrashed(b *testing.B) {
 // across system sizes.
 func BenchmarkUDCvsConsensus(b *testing.B) {
 	for _, n := range []int{4, 6, 8, 10} {
-		proposals := make(map[model.ProcID]int, n)
-		for i := 0; i < n; i++ {
-			proposals[model.ProcID(i)] = 100 + i
-		}
 		udcSpec := workload.Spec{
 			Name: "udc-cost", N: n, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
 			Network:  sim.FairLossyNetwork(0.3),
-			Oracle:   fd.StrongOracle{FalseSuspicionRate: 0.1, Seed: 5},
-			Protocol: core.NewStrongFDUDC, Actions: 1, LastInitTime: 20,
+			Oracle:   registry.MustOracle("strong", registry.Options{Seed: 5, FalseSuspicionRate: 0.1}),
+			Protocol: registry.MustProtocol("strong", registry.Options{}), Actions: 1, LastInitTime: 20,
 			MaxFailures: 1, ExactFailures: true, CrashStart: 30, CrashEnd: 60,
 		}
 		consSpec := workload.Spec{
 			Name: "consensus-cost", N: n, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
 			Network:  sim.FairLossyNetwork(0.3),
-			Oracle:   fd.StrongOracle{FalseSuspicionRate: 0.1, Seed: 5},
-			Protocol: consensus.NewRotating(proposals), Actions: 0,
+			Oracle:   registry.MustOracle("strong", registry.Options{Seed: 5, FalseSuspicionRate: 0.1}),
+			Protocol: registry.MustProtocol("consensus-rotating", registry.Options{N: n}), Actions: 0,
 			MaxFailures: 1, ExactFailures: true, CrashStart: 30, CrashEnd: 60,
 		}
-		consEval := func(r *model.Run) []model.Violation { return consensus.CheckConsensus(r, proposals) }
+		consEval := registry.MustEvaluator("consensus", registry.Options{N: n})
 		b.Run(fmt.Sprintf("UDC/n=%d", n), func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, udcSpec, int64(i)+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+			benchSerialSpec(b, udcSpec, workload.UDCEvaluator, func(i int) int64 { return int64(i) + 1 })
 		})
 		b.Run(fmt.Sprintf("consensus/n=%d", n), func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, consSpec, int64(i)+1, consEval, &agg)
-			}
-			agg.report(b)
+			benchSerialSpec(b, consSpec, consEval, func(i int) int64 { return int64(i) + 1 })
 		})
+	}
+}
+
+// udcBenchSpec is the shared shape of the ablation benchmarks' workloads.
+func udcBenchSpec(name string, n int, oracle fd.Oracle, factory sim.ProtocolFactory, failures int, net sim.NetworkConfig) workload.Spec {
+	return workload.Spec{
+		Name:          name,
+		N:             n,
+		MaxSteps:      400,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       net,
+		Oracle:        oracle,
+		Protocol:      factory,
+		Actions:       n,
+		MaxFailures:   failures,
+		ExactFailures: true,
+		CrashEnd:      100,
 	}
 }
 
@@ -301,13 +283,10 @@ func BenchmarkUDCvsConsensus(b *testing.B) {
 func BenchmarkAblationDropRate(b *testing.B) {
 	for _, drop := range []float64{0, 0.3, 0.6} {
 		spec := udcBenchSpec(fmt.Sprintf("drop-%.1f", drop), 6,
-			fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 2}, core.NewStrongFDUDC, 3, sim.FairLossyNetwork(drop))
+			registry.MustOracle("strong", registry.Options{Seed: 2}),
+			registry.MustProtocol("strong", registry.Options{}), 3, sim.FairLossyNetwork(drop))
 		b.Run(fmt.Sprintf("drop=%.1f", drop), func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+			benchSerialSpec(b, spec, workload.UDCEvaluator, func(i int) int64 { return int64(i) + 1 })
 		})
 	}
 }
@@ -316,41 +295,33 @@ func BenchmarkAblationDropRate(b *testing.B) {
 func BenchmarkAblationRetransmission(b *testing.B) {
 	for _, tick := range []int{1, 2, 5, 10} {
 		spec := udcBenchSpec("tick", 6,
-			fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 2}, core.NewStrongFDUDC, 3, sim.FairLossyNetwork(0.3))
+			registry.MustOracle("strong", registry.Options{Seed: 2}),
+			registry.MustProtocol("strong", registry.Options{}), 3, sim.FairLossyNetwork(0.3))
 		spec.TickEvery = tick
 		b.Run(fmt.Sprintf("tick=%d", tick), func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+			benchSerialSpec(b, spec, workload.UDCEvaluator, func(i int) int64 { return int64(i) + 1 })
 		})
 	}
 }
 
 // BenchmarkAblationDetectorClass compares UDC performance across the detector
 // classes of Section 2.2 (all of which suffice, per Cor. 3.2, once the
-// protocol accumulates suspicions).
+// protocol accumulates suspicions), resolving every class from the registry.
 func BenchmarkAblationDetectorClass(b *testing.B) {
-	oracles := []struct {
-		name   string
-		oracle fd.Oracle
-	}{
-		{"perfect", fd.PerfectOracle{}},
-		{"strong", fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 2}},
-		{"impermanent-strong", fd.ImpermanentStrongOracle{Window: 4}},
-		{"gossiped-weak", fd.GossipOracle{Inner: fd.WeakOracle{}, Delay: 3}},
-		{"gossiped-impermanent-weak", fd.GossipOracle{Inner: fd.ImpermanentWeakOracle{Window: 4}, Delay: 3}},
-		{"g-standard-correct-set", fd.CorrectSetOracle{Inner: fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 2}}},
+	oracleNames := []string{
+		"perfect",
+		"strong",
+		"impermanent-strong",
+		"weak",
+		"impermanent-weak",
+		"correct-set-strong",
 	}
-	for _, o := range oracles {
-		spec := udcBenchSpec("detector-"+o.name, 6, o.oracle, core.NewStrongFDUDC, 4, sim.FairLossyNetwork(0.3))
-		b.Run(o.name, func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+	for _, name := range oracleNames {
+		oracle := registry.MustOracle(name, registry.Options{Seed: 2})
+		spec := udcBenchSpec("detector-"+name, 6, oracle,
+			registry.MustProtocol("strong", registry.Options{}), 4, sim.FairLossyNetwork(0.3))
+		b.Run(name, func(b *testing.B) {
+			benchSerialSpec(b, spec, workload.UDCEvaluator, func(i int) int64 { return int64(i) + 1 })
 		})
 	}
 }
@@ -369,7 +340,7 @@ func BenchmarkCrossoverNoDetectorUDC(b *testing.B) {
 			MaxSteps:      700,
 			TickEvery:     2,
 			Network:       sim.NetworkConfig{DropProbability: 0.85, MaxDelay: 6, FairnessBound: 50},
-			Protocol:      core.NewQuorumUDC(t),
+			Protocol:      registry.MustProtocol("quorum", registry.Options{T: t}),
 			Actions:       n,
 			LastInitTime:  25,
 			MaxFailures:   t,
@@ -378,11 +349,7 @@ func BenchmarkCrossoverNoDetectorUDC(b *testing.B) {
 			CrashEnd:      35,
 		}
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, int64(i)*13+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+			benchSerialSpec(b, spec, workload.UDCEvaluator, func(i int) int64 { return int64(i)*13 + 1 })
 		})
 	}
 }
@@ -391,38 +358,47 @@ func BenchmarkCrossoverNoDetectorUDC(b *testing.B) {
 // Proposition 3.1 against the footnote-11 quiescent variant under a strongly
 // accurate detector: same coordination outcome, a fraction of the messages.
 func BenchmarkAblationQuiescence(b *testing.B) {
-	variants := []struct {
-		name    string
-		factory sim.ProtocolFactory
-	}{
-		{"retransmit-forever", core.NewStrongFDUDC},
-		{"quiescent", core.NewQuiescentUDC},
-	}
-	for _, v := range variants {
-		spec := udcBenchSpec("quiescence-"+v.name, 6, fd.PerfectOracle{}, v.factory, 3, sim.FairLossyNetwork(0.3))
-		b.Run(v.name, func(b *testing.B) {
-			var agg benchAgg
-			for i := 0; i < b.N; i++ {
-				runSpecOnce(b, spec, int64(i)+1, workload.UDCEvaluator, &agg)
-			}
-			agg.report(b)
+	for _, name := range []string{"retransmit-udc", "quiescent-udc"} {
+		b.Run(name, func(b *testing.B) {
+			benchScenario(b, name)
 		})
 	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (steps and events
-// per second) independent of any property checking.
+// per second) on one reused engine, independent of any property checking.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	spec := udcBenchSpec("throughput", 8, fd.PerfectOracle{}, core.NewStrongFDUDC, 2, sim.FairLossyNetwork(0.2))
-	spec.MaxSteps = 500
+	spec := registry.MustScenario("throughput").Spec
+	eng := sim.NewEngine()
 	b.ResetTimer()
 	events := 0
 	for i := 0; i < b.N; i++ {
-		res, err := workload.Execute(spec, int64(i)+1)
+		res, err := workload.ExecuteWith(eng, spec, int64(i)+1)
 		if err != nil {
 			b.Fatalf("execute: %v", err)
 		}
 		events += res.Run.EventCount()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkParallelSweep measures sweep throughput end to end: b.N seeds of
+// the Prop 3.1 scenario distributed over the worker pool, the shape every
+// Table 1 row and ablation ultimately reduces to.
+func BenchmarkParallelSweep(b *testing.B) {
+	sc := registry.MustScenario("prop3.1-strong-udc")
+	seeds := make([]int64, b.N)
+	for i := range seeds {
+		seeds[i] = int64(i) + 1
+	}
+	b.ResetTimer()
+	result, err := workload.Runner{}.Sweep(sc.Spec, seeds, sc.Eval)
+	if err != nil {
+		b.Fatalf("sweep: %v", err)
+	}
+	var agg benchAgg
+	for _, o := range result.Outcomes {
+		agg.add(o)
+	}
+	agg.report(b)
 }

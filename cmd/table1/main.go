@@ -4,9 +4,12 @@
 // and, for cells the paper proves optimal, the next-weaker combination
 // (expecting at least one failing seed).
 //
+// All cells' (scenario, seed) pairs are swept over a parallel worker pool
+// whose aggregates are identical to a serial sweep for any worker count.
+//
 // Usage:
 //
-//	table1 [-n 6] [-seeds 20] [-steps 450] [-base-seed 1000] [-v]
+//	table1 [-n 6] [-seeds 20] [-steps 450] [-base-seed 1000] [-workers 0] [-v]
 package main
 
 import (
@@ -32,6 +35,7 @@ func run(args []string) error {
 	fs.IntVar(&params.Seeds, "seeds", params.Seeds, "seeds per scenario")
 	fs.IntVar(&params.MaxSteps, "steps", params.MaxSteps, "simulation horizon per run")
 	fs.Int64Var(&params.BaseSeed, "base-seed", params.BaseSeed, "first seed of the sweep")
+	fs.IntVar(&params.Workers, "workers", params.Workers, "parallel sweep workers (0 = GOMAXPROCS)")
 	fs.BoolVar(&verbose, "v", false, "print per-scenario sweep summaries")
 	if err := fs.Parse(args); err != nil {
 		return err

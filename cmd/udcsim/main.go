@@ -1,7 +1,13 @@
-// Command udcsim runs a single simulated execution of any of the repository's
-// UDC, nUDC or consensus protocols under a configurable network regime,
-// failure pattern and failure detector, checks the relevant specification on
-// the recorded run, and prints a summary.
+// Command udcsim runs the repository's UDC, nUDC and consensus protocols
+// under a configurable network regime, failure pattern and failure detector,
+// checks the relevant specification on the recorded runs, and prints a
+// summary.  All protocols, oracles, checks and named scenarios are resolved
+// through internal/registry.
+//
+// It has two modes.  The default runs a single simulation and prints its
+// trace summary.  With -sweep N it runs N seeds — across -workers parallel
+// engines (default GOMAXPROCS) — and prints the aggregated sweep result; the
+// aggregates are byte-identical to a serial sweep of the same seeds.
 //
 // Examples:
 //
@@ -9,6 +15,8 @@
 //	udcsim -protocol quorum -t 2 -n 7 -failures 2
 //	udcsim -protocol consensus-majority -oracle eventually-strong -n 7 -failures 3
 //	udcsim -protocol nudc -check nudc -failures 6 -json run.json
+//	udcsim -scenario prop3.1-strong-udc -sweep 200 -workers 8
+//	udcsim -list-scenarios
 package main
 
 import (
@@ -17,10 +25,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/consensus"
-	"repro/internal/core"
-	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -34,39 +40,48 @@ func main() {
 }
 
 type options struct {
-	protocol  string
-	oracle    string
-	check     string
-	n         int
-	t         int
-	seed      int64
-	steps     int
-	actions   int
-	failures  int
-	exact     bool
-	drop      float64
-	reliable  bool
-	crashEnd  int
-	tick      int
-	suspect   int
-	jsonPath  string
-	timeline  int
-	quiet     bool
-	stabilize int
+	protocol      string
+	oracle        string
+	check         string
+	scenario      string
+	listScenarios bool
+	sweep         int
+	workers       int
+	n             int
+	t             int
+	seed          int64
+	steps         int
+	actions       int
+	failures      int
+	exact         bool
+	drop          float64
+	reliable      bool
+	crashEnd      int
+	tick          int
+	suspect       int
+	jsonPath      string
+	timeline      int
+	quiet         bool
+	stabilize     int
 }
 
 func parseOptions(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("udcsim", flag.ContinueOnError)
 	fs.StringVar(&o.protocol, "protocol", "strong",
-		"protocol: nudc | reliable | strong | tuseful | quorum | consensus-rotating | consensus-majority")
+		"protocol: "+strings.Join(registry.ProtocolNames(), " | "))
 	fs.StringVar(&o.oracle, "oracle", "",
-		"failure detector: none | perfect | strong | weak | impermanent-strong | impermanent-weak | eventually-strong | faulty-set | trivial (default chosen per protocol)")
+		"failure detector: "+strings.Join(registry.OracleNames(), " | ")+" (default chosen per protocol)")
 	fs.StringVar(&o.check, "check", "",
-		"specification to check: udc | nudc | consensus (default chosen per protocol)")
+		"specification to check: "+strings.Join(registry.CheckNames(), " | ")+" (default chosen per protocol)")
+	fs.StringVar(&o.scenario, "scenario", "",
+		"run a named scenario from the registry catalog instead of assembling one from flags")
+	fs.BoolVar(&o.listScenarios, "list-scenarios", false, "list the catalogued scenarios and exit")
+	fs.IntVar(&o.sweep, "sweep", 0, "sweep this many seeds (starting at -seed) instead of a single run")
+	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fs.IntVar(&o.n, "n", 6, "number of processes")
 	fs.IntVar(&o.t, "t", 2, "failure bound t used by tuseful/quorum protocols and the trivial detector")
-	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed (sweep mode: first seed)")
 	fs.IntVar(&o.steps, "steps", 400, "simulation horizon in steps")
 	fs.IntVar(&o.actions, "actions", 6, "number of coordination actions to initiate")
 	fs.IntVar(&o.failures, "failures", 2, "maximum number of crashes to inject")
@@ -86,70 +101,135 @@ func parseOptions(args []string) (options, error) {
 	return o, nil
 }
 
+// registryOptions maps the command-line knobs onto registry constructor
+// options.  An explicit -stabilize-at 0 means "accurate from the start",
+// which the registry encodes as a negative value.
+func registryOptions(o options) registry.Options {
+	stabilize := o.stabilize
+	if stabilize == 0 {
+		stabilize = -1
+	}
+	return registry.Options{
+		N:           o.n,
+		T:           o.t,
+		Seed:        o.seed,
+		StabilizeAt: stabilize,
+	}
+}
+
 func run(args []string) error {
 	o, err := parseOptions(args)
 	if err != nil {
 		return err
 	}
-
-	proposals := make(map[model.ProcID]int, o.n)
-	for i := 0; i < o.n; i++ {
-		proposals[model.ProcID(i)] = 100 + i
+	if o.listScenarios {
+		for _, sc := range registry.Scenarios() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Description)
+		}
+		return nil
 	}
 
-	factory, defaultOracle, defaultCheck, err := selectProtocol(o, proposals)
+	var (
+		spec       workload.Spec
+		eval       workload.Evaluator
+		checkName  string
+		oracleName string
+	)
+	if o.scenario != "" {
+		sc, err := registry.LookupScenario(o.scenario)
+		if err != nil {
+			return err
+		}
+		spec, eval, checkName = sc.Spec, sc.Eval, sc.Check
+		oracleName = "scenario-defined"
+	} else {
+		ropts := registryOptions(o)
+		factory, info, err := registry.Protocol(o.protocol, ropts)
+		if err != nil {
+			return err
+		}
+		oracleName = o.oracle
+		if oracleName == "" {
+			oracleName = info.DefaultOracle
+		}
+		oracle, err := registry.Oracle(oracleName, ropts)
+		if err != nil {
+			return err
+		}
+		checkName = o.check
+		if checkName == "" {
+			checkName = info.DefaultCheck
+		}
+		eval, err = registry.Evaluator(checkName, ropts)
+		if err != nil {
+			return err
+		}
+
+		net := sim.FairLossyNetwork(o.drop)
+		if o.reliable {
+			net = sim.ReliableNetwork()
+		}
+		spec = workload.Spec{
+			Name:          "udcsim/" + o.protocol,
+			N:             o.n,
+			MaxSteps:      o.steps,
+			TickEvery:     o.tick,
+			SuspectEvery:  o.suspect,
+			Network:       net,
+			Oracle:        oracle,
+			Protocol:      factory,
+			Actions:       o.actions,
+			MaxFailures:   o.failures,
+			ExactFailures: o.exact,
+			CrashEnd:      o.crashEnd,
+		}
+	}
+
+	if o.sweep > 0 {
+		return runSweep(o, spec, eval, checkName)
+	}
+	return runSingle(o, spec, eval, checkName, oracleName)
+}
+
+// runSweep sweeps the spec over o.sweep seeds with a parallel worker pool.
+func runSweep(o options, spec workload.Spec, eval workload.Evaluator, checkName string) error {
+	seeds := workload.Seeds(o.seed, o.sweep)
+	runner := workload.Runner{Workers: o.workers}
+	result, err := runner.Sweep(spec, seeds, eval)
 	if err != nil {
 		return err
 	}
-	oracleName := o.oracle
-	if oracleName == "" {
-		oracleName = defaultOracle
+	fmt.Println(result.String())
+	if !o.quiet {
+		for _, out := range result.Outcomes {
+			if !out.OK() {
+				fmt.Printf("  seed %d: %d violations (first: %v)\n", out.Seed, len(out.Violations), out.Violations[0])
+			}
+		}
 	}
-	oracle, err := selectOracle(oracleName, o)
-	if err != nil {
-		return err
+	if result.TotalViolations() > 0 {
+		return fmt.Errorf("%s violated on %d of %d seeds",
+			checkName, len(result.Outcomes)-result.Successes(), len(result.Outcomes))
 	}
-	checkName := o.check
-	if checkName == "" {
-		checkName = defaultCheck
-	}
+	fmt.Printf("%s check passed on all %d seeds\n", strings.ToUpper(checkName), len(result.Outcomes))
+	return nil
+}
 
-	net := sim.FairLossyNetwork(o.drop)
-	if o.reliable {
-		net = sim.ReliableNetwork()
-	}
-	spec := workload.Spec{
-		Name:          "udcsim/" + o.protocol,
-		N:             o.n,
-		MaxSteps:      o.steps,
-		TickEvery:     o.tick,
-		SuspectEvery:  o.suspect,
-		Network:       net,
-		Oracle:        oracle,
-		Protocol:      factory,
-		Actions:       o.actions,
-		MaxFailures:   o.failures,
-		ExactFailures: o.exact,
-		CrashEnd:      o.crashEnd,
-	}
-
+// runSingle runs one seed and prints the trace-level summary.
+func runSingle(o options, spec workload.Spec, eval workload.Evaluator, checkName, oracleName string) error {
 	res, err := workload.Execute(spec, o.seed)
 	if err != nil {
 		return err
 	}
-
-	violations, err := check(checkName, res.Run, proposals)
-	if err != nil {
-		return err
-	}
+	violations := eval(res.Run)
 
 	if !o.quiet {
-		fmt.Printf("protocol=%s oracle=%s check=%s seed=%d\n", o.protocol, oracleName, checkName, o.seed)
+		fmt.Printf("scenario=%s oracle=%s check=%s seed=%d\n", spec.Name, oracleName, checkName, o.seed)
 		fmt.Print(trace.Summary(res.Run))
 		fmt.Printf("stats: sent=%d delivered=%d dropped=%d suspect-reports=%d\n",
 			res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.MessagesDropped, res.Stats.SuspectEvents)
 	}
-	if o.timeline >= 0 && o.timeline < o.n {
+	if o.timeline >= 0 && o.timeline < spec.N {
 		fmt.Printf("timeline of process %d:\n%s", o.timeline, trace.Timeline(res.Run, model.ProcID(o.timeline)))
 	}
 	if o.jsonPath != "" {
@@ -173,67 +253,4 @@ func run(args []string) error {
 	}
 	fmt.Printf("%s check passed (%d actions, faulty=%s)\n", strings.ToUpper(checkName), len(res.Run.InitiatedActions()), res.Run.Faulty())
 	return nil
-}
-
-// selectProtocol maps the -protocol flag onto a factory plus sensible default
-// oracle and check names.
-func selectProtocol(o options, proposals map[model.ProcID]int) (sim.ProtocolFactory, string, string, error) {
-	switch o.protocol {
-	case "nudc":
-		return core.NewNUDC, "none", "nudc", nil
-	case "reliable":
-		return core.NewReliableUDC, "none", "udc", nil
-	case "strong":
-		return core.NewStrongFDUDC, "strong", "udc", nil
-	case "tuseful":
-		return core.NewTUsefulUDC(o.t), "faulty-set", "udc", nil
-	case "quorum":
-		return core.NewQuorumUDC(o.t), "none", "udc", nil
-	case "consensus-rotating":
-		return consensus.NewRotating(proposals), "strong", "consensus", nil
-	case "consensus-majority":
-		return consensus.NewMajority(proposals), "eventually-strong", "consensus", nil
-	default:
-		return nil, "", "", fmt.Errorf("unknown protocol %q", o.protocol)
-	}
-}
-
-// selectOracle maps the -oracle flag onto a detector implementation.
-func selectOracle(name string, o options) (fd.Oracle, error) {
-	switch name {
-	case "none", "":
-		return nil, nil
-	case "perfect":
-		return fd.PerfectOracle{}, nil
-	case "strong":
-		return fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: o.seed}, nil
-	case "weak":
-		return fd.GossipOracle{Inner: fd.WeakOracle{}, Delay: 3}, nil
-	case "impermanent-strong":
-		return fd.ImpermanentStrongOracle{Window: 4}, nil
-	case "impermanent-weak":
-		return fd.GossipOracle{Inner: fd.ImpermanentWeakOracle{Window: 4}, Delay: 3}, nil
-	case "eventually-strong":
-		return fd.EventuallyStrongOracle{StabilizeAt: o.stabilize, ChaosRate: 0.15, Seed: o.seed}, nil
-	case "faulty-set":
-		return fd.FaultySetOracle{}, nil
-	case "trivial":
-		return fd.TrivialGeneralizedOracle{T: o.t}, nil
-	default:
-		return nil, fmt.Errorf("unknown oracle %q", name)
-	}
-}
-
-// check runs the requested specification checker.
-func check(name string, r *model.Run, proposals map[model.ProcID]int) ([]model.Violation, error) {
-	switch name {
-	case "udc":
-		return core.CheckUDC(r), nil
-	case "nudc":
-		return core.CheckNUDC(r), nil
-	case "consensus":
-		return consensus.CheckConsensus(r, proposals), nil
-	default:
-		return nil, fmt.Errorf("unknown check %q", name)
-	}
 }

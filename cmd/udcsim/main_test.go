@@ -3,6 +3,8 @@ package main
 import (
 	"path/filepath"
 	"testing"
+
+	"repro/internal/registry"
 )
 
 func TestRunAllProtocols(t *testing.T) {
@@ -85,15 +87,62 @@ func TestRunDetectsViolations(t *testing.T) {
 	}
 }
 
-func TestSelectOracleCoversAllNames(t *testing.T) {
-	names := []string{"none", "", "perfect", "strong", "weak", "impermanent-strong",
-		"impermanent-weak", "eventually-strong", "faulty-set", "trivial"}
-	for _, name := range names {
-		if _, err := selectOracle(name, options{t: 2, seed: 1, stabilize: 50}); err != nil {
-			t.Errorf("selectOracle(%q): %v", name, err)
+func TestRunAcceptsAllRegistryOracles(t *testing.T) {
+	// Pair each oracle class with a protocol that can exploit it; generalized
+	// and absent detectors drive the detector-free/generalized protocols.
+	protocolFor := map[string]string{
+		"none":       "quorum",
+		"faulty-set": "tuseful",
+		"trivial":    "tuseful",
+	}
+	for _, name := range registry.OracleNames() {
+		protocol, ok := protocolFor[name]
+		if !ok {
+			protocol = "strong"
+		}
+		args := []string{
+			"-protocol", protocol,
+			"-oracle", name,
+			"-n", "5",
+			"-t", "2",
+			"-steps", "300",
+			"-failures", "2",
+			"-quiet",
+		}
+		if err := run(args); err != nil {
+			t.Errorf("run with oracle %q: %v", name, err)
 		}
 	}
-	if _, err := selectOracle("bogus", options{}); err == nil {
-		t.Errorf("selectOracle(bogus) should fail")
+}
+
+func TestSweepMode(t *testing.T) {
+	args := []string{
+		"-protocol", "strong",
+		"-n", "5",
+		"-steps", "250",
+		"-failures", "2",
+		"-sweep", "6",
+		"-workers", "3",
+		"-quiet",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("sweep run: %v", err)
+	}
+}
+
+func TestScenarioMode(t *testing.T) {
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatalf("list-scenarios: %v", err)
+	}
+	for _, args := range [][]string{
+		{"-scenario", "prop3.1-strong-udc", "-quiet"},
+		{"-scenario", "cor4.2-quorum-udc", "-sweep", "4", "-workers", "2", "-quiet"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-scenario", "does-not-exist"}); err == nil {
+		t.Fatalf("unknown scenario should fail")
 	}
 }

@@ -3,14 +3,15 @@
 // Coordination and Failure Detectors" (PODC 1999).
 //
 // The library implements the paper's formal model (internal/model), an
-// asynchronous crash-failure simulator with fair-lossy channels
-// (internal/sim), every failure-detector class the paper uses
-// (internal/fd), the UDC/nUDC protocols and the knowledge-based
+// asynchronous crash-failure simulator with fair-lossy channels built around
+// a reusable engine (internal/sim), every failure-detector class the paper
+// uses (internal/fd), the UDC/nUDC protocols and the knowledge-based
 // failure-detector simulations of Theorems 3.6 and 4.3 (internal/core), an
 // epistemic model checker for the paper's logic (internal/epistemic), the
-// Chandra-Toueg consensus baselines (internal/consensus), and the Table 1
-// reproduction harness (internal/table1).  See README.md for a tour and
-// DESIGN.md / EXPERIMENTS.md for the experiment index.
+// Chandra-Toueg consensus baselines (internal/consensus), a registry of named
+// protocols, oracles and scenarios (internal/registry), a parallel sweep
+// runner with deterministic aggregates (internal/workload), and the Table 1
+// reproduction harness (internal/table1).  See README.md for a tour.
 //
 // The benchmarks in bench_test.go regenerate every row of the paper's only
 // table (Table 1) plus per-proposition workloads and ablations; run them with

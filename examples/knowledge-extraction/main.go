@@ -25,6 +25,7 @@ import (
 	"repro/internal/epistemic"
 	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,8 +45,8 @@ func run() error {
 		TickEvery:     2,
 		SuspectEvery:  3,
 		Network:       sim.FairLossyNetwork(0.25),
-		Oracle:        fd.StrongOracle{FalseSuspicionRate: 0.3, Seed: 17},
-		Protocol:      core.NewStrongFDUDC,
+		Oracle:        registry.MustOracle("strong", registry.Options{Seed: 17, FalseSuspicionRate: 0.3}),
+		Protocol:      registry.MustProtocol("strong", registry.Options{}),
 		Actions:       8,
 		LastInitTime:  230,
 		MaxFailures:   2,

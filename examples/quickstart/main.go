@@ -13,8 +13,8 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -50,10 +50,10 @@ func run() error {
 			{Time: 25, Proc: 2, Action: model.Action(2, 1)},
 			{Time: 50, Proc: 1, Action: model.Action(1, 1)},
 		},
-		Protocol: core.NewStrongFDUDC,
+		Protocol: registry.MustProtocol("strong", registry.Options{}),
 		// A strong (not perfect) detector: it never suspects process 1 but may
 		// falsely suspect others, which the protocol tolerates.
-		Oracle: fd.StrongOracle{FalseSuspicionRate: 0.2, Seed: 7},
+		Oracle: registry.MustOracle("strong", registry.Options{Seed: 7, FalseSuspicionRate: 0.2}),
 	}
 
 	res, err := sim.Run(cfg)

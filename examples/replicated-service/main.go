@@ -16,8 +16,8 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -63,8 +63,8 @@ func run() error {
 			{Time: 130, Proc: 4},
 		},
 		Initiations: initiations,
-		Protocol:    core.NewStrongFDUDC,
-		Oracle:      fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 3},
+		Protocol:    registry.MustProtocol("strong", registry.Options{}),
+		Oracle:      registry.MustOracle("strong", registry.Options{Seed: 3}),
 	}
 
 	res, err := sim.Run(cfg)

@@ -16,9 +16,8 @@ import (
 	"os"
 
 	"repro/internal/broadcast"
-	"repro/internal/core"
-	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 )
 
@@ -56,8 +55,8 @@ func run() error {
 			{Time: 70, Proc: 3},
 		},
 		Initiations: broadcast.Initiations(broadcasts),
-		Protocol:    core.NewStrongFDUDC,
-		Oracle:      fd.StrongOracle{FalseSuspicionRate: 0.1, Seed: 11},
+		Protocol:    registry.MustProtocol("strong", registry.Options{}),
+		Oracle:      registry.MustOracle("strong", registry.Options{Seed: 11, FalseSuspicionRate: 0.1}),
 	}
 
 	res, err := sim.Run(cfg)

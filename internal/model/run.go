@@ -29,7 +29,21 @@ type Run struct {
 
 // NewRun returns an empty run over n processes.
 func NewRun(n int) *Run {
-	return &Run{N: n, Events: make([][]TimedEvent, n)}
+	return NewRunCap(n, 0)
+}
+
+// NewRunCap returns an empty run over n processes whose per-process event
+// buffers are pre-sized to hold capHint events each without reallocating.
+// The simulator derives the hint from its configuration so that the append
+// path in hot sweep loops does not repeatedly grow the buffers.
+func NewRunCap(n, capHint int) *Run {
+	r := &Run{N: n, Events: make([][]TimedEvent, n)}
+	if capHint > 0 {
+		for p := range r.Events {
+			r.Events[p] = make([]TimedEvent, 0, capHint)
+		}
+	}
+	return r
 }
 
 // Append records that event e occurred at process p at global time t.  It

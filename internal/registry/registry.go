@@ -1,0 +1,306 @@
+// Package registry is the single place where the repository's protocols,
+// failure-detector oracles, specification checkers and benchmark scenarios are
+// constructed by name.  Commands, benchmarks and examples resolve their
+// configurable pieces here instead of hand-rolling switch statements, so a new
+// protocol or detector class becomes available everywhere by adding one table
+// entry.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options parameterises the named constructors.  Zero values select the
+// documented defaults, so Options{} is valid for every protocol and oracle
+// that does not require N.
+type Options struct {
+	// N is the number of processes; required by the consensus protocols and
+	// the consensus evaluator (their proposal vectors derive from it).
+	N int
+	// T is the failure bound used by the tuseful and quorum protocols and the
+	// trivial generalized detector.
+	T int
+	// Seed derandomises the strong and eventually-strong oracles.
+	Seed int64
+	// FalseSuspicionRate is the strong oracle's false-suspicion probability.
+	// Zero means the default of 0.15; a negative value means exactly 0
+	// (a perfect detector).
+	FalseSuspicionRate float64
+	// StabilizeAt is the eventually-strong oracle's stabilisation time.
+	// Zero means the default of 100; a negative value means exactly 0
+	// (accurate from the start).
+	StabilizeAt int
+	// ChaosRate is the eventually-strong oracle's pre-stabilisation chaos
+	// rate.  Zero means the default of 0.15; a negative value means exactly 0.
+	ChaosRate float64
+	// Window is the impermanent oracles' suspect/retract window (0 means 4).
+	Window int
+	// GossipDelay is the propagation delay of the gossiped weak oracles
+	// (0 means 3).
+	GossipDelay int
+}
+
+func (o Options) falseSuspicionRate() float64 {
+	switch {
+	case o.FalseSuspicionRate < 0:
+		return 0
+	case o.FalseSuspicionRate == 0:
+		return 0.15
+	default:
+		return o.FalseSuspicionRate
+	}
+}
+
+func (o Options) stabilizeAt() int {
+	switch {
+	case o.StabilizeAt < 0:
+		return 0
+	case o.StabilizeAt == 0:
+		return 100
+	default:
+		return o.StabilizeAt
+	}
+}
+
+func (o Options) chaosRate() float64 {
+	switch {
+	case o.ChaosRate < 0:
+		return 0
+	case o.ChaosRate == 0:
+		return 0.15
+	default:
+		return o.ChaosRate
+	}
+}
+
+func (o Options) window() int {
+	if o.Window == 0 {
+		return 4
+	}
+	return o.Window
+}
+
+func (o Options) gossipDelay() int {
+	if o.GossipDelay == 0 {
+		return 3
+	}
+	return o.GossipDelay
+}
+
+// Proposals returns the canonical distinct consensus proposals for n
+// processes; every consensus construction and check in the repository uses the
+// same vector so specs and evaluators agree by construction.
+func Proposals(n int) map[model.ProcID]int {
+	out := make(map[model.ProcID]int, n)
+	for i := 0; i < n; i++ {
+		out[model.ProcID(i)] = 100 + i
+	}
+	return out
+}
+
+// ProtocolInfo describes a registered protocol.
+type ProtocolInfo struct {
+	// Name is the registry key, e.g. "strong".
+	Name string
+	// Description is a one-line summary for usage messages.
+	Description string
+	// DefaultOracle is the oracle name to use when the caller does not pick
+	// one ("none" when the protocol needs no detector).
+	DefaultOracle string
+	// DefaultCheck is the specification the protocol targets: "udc", "nudc"
+	// or "consensus".
+	DefaultCheck string
+}
+
+type protocolEntry struct {
+	info  ProtocolInfo
+	build func(Options) (sim.ProtocolFactory, error)
+}
+
+func needN(name string, o Options) error {
+	if o.N <= 0 {
+		return fmt.Errorf("registry: protocol %q requires Options.N", name)
+	}
+	return nil
+}
+
+var protocols = map[string]protocolEntry{
+	"nudc": {
+		info:  ProtocolInfo{Name: "nudc", Description: "perform-immediately protocol attaining non-uniform DC (Prop 2.3)", DefaultOracle: "none", DefaultCheck: "nudc"},
+		build: func(Options) (sim.ProtocolFactory, error) { return core.NewNUDC, nil },
+	},
+	"reliable": {
+		info:  ProtocolInfo{Name: "reliable", Description: "relay-then-perform UDC over reliable channels (Prop 2.4)", DefaultOracle: "none", DefaultCheck: "udc"},
+		build: func(Options) (sim.ProtocolFactory, error) { return core.NewReliableUDC, nil },
+	},
+	"strong": {
+		info:  ProtocolInfo{Name: "strong", Description: "strong-failure-detector UDC (Prop 3.1)", DefaultOracle: "strong", DefaultCheck: "udc"},
+		build: func(Options) (sim.ProtocolFactory, error) { return core.NewStrongFDUDC, nil },
+	},
+	"quiescent": {
+		info:  ProtocolInfo{Name: "quiescent", Description: "quiescent UDC variant under a strongly accurate detector (footnote 11)", DefaultOracle: "perfect", DefaultCheck: "udc"},
+		build: func(Options) (sim.ProtocolFactory, error) { return core.NewQuiescentUDC, nil },
+	},
+	"tuseful": {
+		info:  ProtocolInfo{Name: "tuseful", Description: "UDC from a t-useful generalized detector (Prop 4.1)", DefaultOracle: "faulty-set", DefaultCheck: "udc"},
+		build: func(o Options) (sim.ProtocolFactory, error) { return core.NewTUsefulUDC(o.T), nil },
+	},
+	"quorum": {
+		info:  ProtocolInfo{Name: "quorum", Description: "detector-free quorum UDC for t < n/2 (Cor 4.2)", DefaultOracle: "none", DefaultCheck: "udc"},
+		build: func(o Options) (sim.ProtocolFactory, error) { return core.NewQuorumUDC(o.T), nil },
+	},
+	"consensus-rotating": {
+		info: ProtocolInfo{Name: "consensus-rotating", Description: "Chandra-Toueg rotating-coordinator consensus (strong detector)", DefaultOracle: "strong", DefaultCheck: "consensus"},
+		build: func(o Options) (sim.ProtocolFactory, error) {
+			if err := needN("consensus-rotating", o); err != nil {
+				return nil, err
+			}
+			return consensus.NewRotating(Proposals(o.N)), nil
+		},
+	},
+	"consensus-majority": {
+		info: ProtocolInfo{Name: "consensus-majority", Description: "Chandra-Toueg majority consensus (eventually-strong detector)", DefaultOracle: "eventually-strong", DefaultCheck: "consensus"},
+		build: func(o Options) (sim.ProtocolFactory, error) {
+			if err := needN("consensus-majority", o); err != nil {
+				return nil, err
+			}
+			return consensus.NewMajority(Proposals(o.N)), nil
+		},
+	},
+}
+
+// Protocol builds the named protocol factory and returns its registry info.
+func Protocol(name string, opts Options) (sim.ProtocolFactory, ProtocolInfo, error) {
+	entry, ok := protocols[name]
+	if !ok {
+		return nil, ProtocolInfo{}, fmt.Errorf("registry: unknown protocol %q (have %v)", name, ProtocolNames())
+	}
+	factory, err := entry.build(opts)
+	if err != nil {
+		return nil, ProtocolInfo{}, err
+	}
+	return factory, entry.info, nil
+}
+
+// MustProtocol is Protocol for statically known names; it panics on error.
+func MustProtocol(name string, opts Options) sim.ProtocolFactory {
+	factory, _, err := Protocol(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return factory
+}
+
+// ProtocolNames returns the registered protocol names, sorted.
+func ProtocolNames() []string {
+	return sortedKeys(protocols)
+}
+
+// Protocols returns the registered protocol descriptions, sorted by name.
+func Protocols() []ProtocolInfo {
+	out := make([]ProtocolInfo, 0, len(protocols))
+	for _, name := range ProtocolNames() {
+		out = append(out, protocols[name].info)
+	}
+	return out
+}
+
+var oracles = map[string]func(Options) fd.Oracle{
+	"none":    func(Options) fd.Oracle { return nil },
+	"perfect": func(Options) fd.Oracle { return fd.PerfectOracle{} },
+	"strong": func(o Options) fd.Oracle {
+		return fd.StrongOracle{FalseSuspicionRate: o.falseSuspicionRate(), Seed: o.Seed}
+	},
+	"weak": func(o Options) fd.Oracle {
+		return fd.GossipOracle{Inner: fd.WeakOracle{}, Delay: o.gossipDelay()}
+	},
+	"impermanent-strong": func(o Options) fd.Oracle {
+		return fd.ImpermanentStrongOracle{Window: o.window()}
+	},
+	"impermanent-weak": func(o Options) fd.Oracle {
+		return fd.GossipOracle{Inner: fd.ImpermanentWeakOracle{Window: o.window()}, Delay: o.gossipDelay()}
+	},
+	"eventually-strong": func(o Options) fd.Oracle {
+		return fd.EventuallyStrongOracle{StabilizeAt: o.stabilizeAt(), ChaosRate: o.chaosRate(), Seed: o.Seed}
+	},
+	"faulty-set": func(Options) fd.Oracle { return fd.FaultySetOracle{} },
+	"trivial":    func(o Options) fd.Oracle { return fd.TrivialGeneralizedOracle{T: o.T} },
+	"correct-set-strong": func(o Options) fd.Oracle {
+		return fd.CorrectSetOracle{Inner: fd.StrongOracle{FalseSuspicionRate: o.falseSuspicionRate(), Seed: o.Seed}}
+	},
+}
+
+// Oracle builds the named failure detector.  The "none" oracle is nil.
+func Oracle(name string, opts Options) (fd.Oracle, error) {
+	build, ok := oracles[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown oracle %q (have %v)", name, OracleNames())
+	}
+	return build(opts), nil
+}
+
+// MustOracle is Oracle for statically known names; it panics on error.
+func MustOracle(name string, opts Options) fd.Oracle {
+	oracle, err := Oracle(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return oracle
+}
+
+// OracleNames returns the registered oracle names, sorted.
+func OracleNames() []string {
+	return sortedKeys(oracles)
+}
+
+// Evaluator builds the named specification checker.  The consensus evaluator
+// checks agreement/validity/termination against Proposals(opts.N).
+func Evaluator(check string, opts Options) (workload.Evaluator, error) {
+	switch check {
+	case "udc":
+		return workload.UDCEvaluator, nil
+	case "nudc":
+		return workload.NUDCEvaluator, nil
+	case "consensus":
+		if opts.N <= 0 {
+			return nil, fmt.Errorf("registry: consensus evaluator requires Options.N")
+		}
+		proposals := Proposals(opts.N)
+		return func(r *model.Run) []model.Violation {
+			return consensus.CheckConsensus(r, proposals)
+		}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown check %q (have %v)", check, CheckNames())
+	}
+}
+
+// MustEvaluator is Evaluator for statically known names; it panics on error.
+func MustEvaluator(check string, opts Options) workload.Evaluator {
+	eval, err := Evaluator(check, opts)
+	if err != nil {
+		panic(err)
+	}
+	return eval
+}
+
+// CheckNames returns the known specification names.
+func CheckNames() []string {
+	return []string{"consensus", "nudc", "udc"}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/workload"
+)
+
+func TestEveryProtocolConstructs(t *testing.T) {
+	opts := registry.Options{N: 5, T: 2}
+	for _, name := range registry.ProtocolNames() {
+		factory, info, err := registry.Protocol(name, opts)
+		if err != nil {
+			t.Fatalf("protocol %q: %v", name, err)
+		}
+		if factory == nil {
+			t.Fatalf("protocol %q: nil factory", name)
+		}
+		if info.Name != name {
+			t.Errorf("protocol %q: info.Name = %q", name, info.Name)
+		}
+		if proto := factory(0, opts.N); proto == nil {
+			t.Errorf("protocol %q: factory built nil instance", name)
+		}
+		if _, err := registry.Oracle(info.DefaultOracle, opts); err != nil {
+			t.Errorf("protocol %q: default oracle %q not registered: %v", name, info.DefaultOracle, err)
+		}
+		if _, err := registry.Evaluator(info.DefaultCheck, opts); err != nil {
+			t.Errorf("protocol %q: default check %q not registered: %v", name, info.DefaultCheck, err)
+		}
+	}
+	if _, _, err := registry.Protocol("bogus", opts); err == nil {
+		t.Errorf("unknown protocol should fail")
+	}
+}
+
+func TestConsensusProtocolsRequireN(t *testing.T) {
+	for _, name := range []string{"consensus-rotating", "consensus-majority"} {
+		if _, _, err := registry.Protocol(name, registry.Options{}); err == nil {
+			t.Errorf("protocol %q without N should fail", name)
+		}
+	}
+	if _, err := registry.Evaluator("consensus", registry.Options{}); err == nil {
+		t.Errorf("consensus evaluator without N should fail")
+	}
+}
+
+func TestEveryOracleConstructs(t *testing.T) {
+	for _, name := range registry.OracleNames() {
+		oracle, err := registry.Oracle(name, registry.Options{T: 2, Seed: 1})
+		if err != nil {
+			t.Fatalf("oracle %q: %v", name, err)
+		}
+		if name == "none" {
+			if oracle != nil {
+				t.Errorf(`oracle "none" must be nil`)
+			}
+		} else if oracle == nil {
+			t.Errorf("oracle %q: nil oracle", name)
+		}
+	}
+	if _, err := registry.Oracle("bogus", registry.Options{}); err == nil {
+		t.Errorf("unknown oracle should fail")
+	}
+}
+
+func TestEveryScenarioRunsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario sweep is slow")
+	}
+	for _, name := range registry.ScenarioNames() {
+		sc, err := registry.LookupScenario(name)
+		if err != nil {
+			t.Fatalf("scenario %q: %v", name, err)
+		}
+		if sc.Name != name || sc.Description == "" || sc.Check == "" {
+			t.Errorf("scenario %q: incomplete metadata: %+v", name, sc)
+		}
+		res, err := workload.Execute(sc.Spec, 1)
+		if err != nil {
+			t.Fatalf("scenario %q: execute: %v", name, err)
+		}
+		// The catalog scenarios are the paper-sufficient combinations (plus
+		// the crossover stress shape, which is expected to be able to fail);
+		// a single fixed seed of each sufficient scenario must satisfy its
+		// specification.
+		if name == "crossover-quorum" {
+			continue
+		}
+		if vs := sc.Eval(res.Run); len(vs) != 0 {
+			t.Errorf("scenario %q: seed 1 violated %s: %v", name, sc.Check, vs[0])
+		}
+	}
+	if _, err := registry.LookupScenario("bogus"); err == nil {
+		t.Errorf("unknown scenario should fail")
+	}
+}

@@ -1,0 +1,238 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scenario is a named, fully wired experiment: a workload spec plus the
+// evaluator for the specification it targets.  The catalog names every
+// standing scenario of the evaluation (the per-proposition workloads, the
+// cost-comparison substrates and the stress shapes), so sweeps can be launched
+// by name from the command line and the benchmarks cannot drift from the
+// commands.
+type Scenario struct {
+	// Name is the catalog key.
+	Name string
+	// Description says which claim or workload the scenario exercises.
+	Description string
+	// Check names the specification the evaluator enforces.
+	Check string
+	// Spec is the parameterised workload.
+	Spec workload.Spec
+	// Eval checks the scenario's specification on each recorded run.
+	Eval workload.Evaluator
+}
+
+type scenarioEntry struct {
+	description string
+	build       func(name string) Scenario
+}
+
+// udcShape is the shared shape of the per-proposition UDC scenarios (matching
+// the long-standing benchmark parameters).
+func udcShape(name string, n int, oracle, protocol, check string, opts Options, failures int, net sim.NetworkConfig) Scenario {
+	return Scenario{
+		Name:  name,
+		Check: check,
+		Spec: workload.Spec{
+			Name:          name,
+			N:             n,
+			MaxSteps:      400,
+			TickEvery:     2,
+			SuspectEvery:  3,
+			Network:       net,
+			Oracle:        MustOracle(oracle, opts),
+			Protocol:      MustProtocol(protocol, opts),
+			Actions:       n,
+			MaxFailures:   failures,
+			ExactFailures: true,
+			CrashEnd:      100,
+		},
+		Eval: MustEvaluator(check, Options{N: n}),
+	}
+}
+
+// consensusShape is the shared shape of the consensus scenarios.
+func consensusShape(name string, n int, oracle, protocol string, opts Options, failures int, net sim.NetworkConfig) Scenario {
+	return Scenario{
+		Name:  name,
+		Check: "consensus",
+		Spec: workload.Spec{
+			Name:          name,
+			N:             n,
+			MaxSteps:      400,
+			TickEvery:     2,
+			SuspectEvery:  3,
+			Network:       net,
+			Oracle:        MustOracle(oracle, opts),
+			Protocol:      MustProtocol(protocol, opts),
+			Actions:       0,
+			MaxFailures:   failures,
+			ExactFailures: true,
+			CrashEnd:      100,
+		},
+		Eval: MustEvaluator("consensus", Options{N: n}),
+	}
+}
+
+var scenarios = map[string]scenarioEntry{
+	"prop2.3-nudc": {
+		description: "no detector, fair-lossy channels, unbounded failures: non-uniform DC (Prop 2.3)",
+		build: func(name string) Scenario {
+			return udcShape(name, 6, "none", "nudc", "nudc", Options{}, 5, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"prop2.4-reliable-udc": {
+		description: "no detector over reliable channels: UDC via relay-then-perform (Prop 2.4)",
+		build: func(name string) Scenario {
+			return udcShape(name, 6, "none", "reliable", "udc", Options{}, 5, sim.ReliableNetwork())
+		},
+	},
+	"prop3.1-strong-udc": {
+		description: "strong detector over lossy channels, up to n-1 failures (Prop 3.1)",
+		build: func(name string) Scenario {
+			return udcShape(name, 6, "strong", "strong", "udc", Options{Seed: 1}, 5, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"prop4.1-tuseful-udc": {
+		description: "t-useful generalized detector for an intermediate failure bound (Prop 4.1)",
+		build: func(name string) Scenario {
+			return udcShape(name, 7, "faulty-set", "tuseful", "udc", Options{T: 4}, 4, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"cor4.2-quorum-udc": {
+		description: "detector-free quorum protocol for t < n/2 (Cor 4.2)",
+		build: func(name string) Scenario {
+			return udcShape(name, 7, "none", "quorum", "udc", Options{T: 3}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"quiescent-udc": {
+		description: "footnote-11 quiescent UDC variant under a perfect detector",
+		build: func(name string) Scenario {
+			return udcShape(name, 6, "perfect", "quiescent", "udc", Options{}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"retransmit-udc": {
+		description: "always-retransmitting Prop 3.1 protocol under a perfect detector (quiescence baseline)",
+		build: func(name string) Scenario {
+			return udcShape(name, 6, "perfect", "strong", "udc", Options{}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"consensus-rotating": {
+		description: "Chandra-Toueg rotating coordinator with a strong detector",
+		build: func(name string) Scenario {
+			return consensusShape(name, 6, "strong", "consensus-rotating", Options{N: 6, Seed: 31}, 2, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"consensus-majority": {
+		description: "Chandra-Toueg majority consensus with an eventually-strong detector",
+		build: func(name string) Scenario {
+			return consensusShape(name, 6, "eventually-strong", "consensus-majority", Options{N: 6, Seed: 13}, 2, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"crossover-quorum": {
+		description: "quorum protocol at the t = n/2 boundary under heavy loss and early crashes",
+		build: func(name string) Scenario {
+			const n, t = 6, 3
+			return Scenario{
+				Name:  name,
+				Check: "udc",
+				Spec: workload.Spec{
+					Name:          name,
+					N:             n,
+					MaxSteps:      700,
+					TickEvery:     2,
+					Network:       sim.NetworkConfig{DropProbability: 0.85, MaxDelay: 6, FairnessBound: 50},
+					Protocol:      MustProtocol("quorum", Options{T: t}),
+					Actions:       n,
+					LastInitTime:  25,
+					MaxFailures:   t,
+					ExactFailures: true,
+					CrashStart:    2,
+					CrashEnd:      35,
+				},
+				Eval: MustEvaluator("udc", Options{}),
+			}
+		},
+	},
+	"throughput": {
+		description: "raw simulator throughput shape: 8 processes, 500 steps, moderate loss",
+		build: func(name string) Scenario {
+			sc := udcShape(name, 8, "perfect", "strong", "udc", Options{}, 2, sim.FairLossyNetwork(0.2))
+			sc.Spec.MaxSteps = 500
+			return sc
+		},
+	},
+	"thm3.6-extraction": {
+		description: "system-sampling shape for the perfect-detector simulation of Theorem 3.6",
+		build: func(name string) Scenario {
+			return Scenario{
+				Name:  name,
+				Check: "udc",
+				Spec: workload.Spec{
+					Name: name, N: 5, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
+					Network:  sim.FairLossyNetwork(0.25),
+					Oracle:   MustOracle("strong", Options{Seed: 17, FalseSuspicionRate: 0.3}),
+					Protocol: MustProtocol("strong", Options{}), Actions: 8, LastInitTime: 200,
+					MaxFailures: 3, ExactFailures: true, CrashEnd: 80,
+				},
+				Eval: MustEvaluator("udc", Options{}),
+			}
+		},
+	},
+	"thm4.3-extraction": {
+		description: "system-sampling shape for the t-useful detector simulation of Theorem 4.3",
+		build: func(name string) Scenario {
+			return Scenario{
+				Name:  name,
+				Check: "udc",
+				Spec: workload.Spec{
+					Name: name, N: 5, MaxSteps: 450, TickEvery: 2, SuspectEvery: 3,
+					Network:  sim.FairLossyNetwork(0.25),
+					Oracle:   MustOracle("faulty-set", Options{}),
+					Protocol: MustProtocol("tuseful", Options{T: 2}), Actions: 8, LastInitTime: 300,
+					MaxFailures: 2, ExactFailures: true, CrashEnd: 100,
+				},
+				Eval: MustEvaluator("udc", Options{}),
+			}
+		},
+	},
+}
+
+// LookupScenario builds the named scenario from the catalog.
+func LookupScenario(name string) (Scenario, error) {
+	entry, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("registry: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	sc := entry.build(name)
+	sc.Description = entry.description
+	return sc, nil
+}
+
+// MustScenario is LookupScenario for statically known names; it panics on
+// error.
+func MustScenario(name string) Scenario {
+	sc, err := LookupScenario(name)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// ScenarioNames returns the catalog's scenario names, sorted.
+func ScenarioNames() []string {
+	return sortedKeys(scenarios)
+}
+
+// Scenarios builds every catalogued scenario, sorted by name.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(scenarios))
+	for _, name := range ScenarioNames() {
+		out = append(out, MustScenario(name))
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Engine executes simulations.  One Engine can run many configurations in
+// sequence, reusing its internal buffers (network buckets, intern tables,
+// per-process harnesses and schedule slices) between runs; only the recorded
+// model.Run of each result is freshly allocated, so results remain valid after
+// the Engine moves on.  An Engine is not safe for concurrent use; parallel
+// sweeps give each worker its own Engine.  For the same Config, every Engine
+// produces an identical recorded run regardless of what it ran before.
+type Engine struct {
+	// Reused across runs.
+	net      network
+	gt       groundTruth
+	procs    []procRuntime
+	actions  map[model.ActionID]int32
+	epoch    uint32
+	initsBuf []Initiation
+	crashBuf []CrashEvent
+	// Per-run state.
+	cfg   Config
+	rng   *rand.Rand
+	run   *model.Run
+	now   int
+	stats Stats
+	err   error
+}
+
+// NewEngine returns an empty engine ready to run configurations.
+func NewEngine() *Engine {
+	return &Engine{actions: make(map[model.ActionID]int32, 64)}
+}
+
+// Run executes one simulation described by cfg and returns the recorded run
+// and statistics.  It may be called repeatedly; identical configurations yield
+// identical results regardless of what the engine ran before.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 1
+	}
+	if cfg.SuspectEvery <= 0 {
+		cfg.SuspectEvery = 1
+	}
+
+	e.cfg = cfg
+	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.now = 0
+	e.stats = Stats{}
+	e.err = nil
+	e.epoch++
+	if e.epoch == 0 { // epoch wrapped: stale done stamps could collide
+		for i := range e.procs {
+			e.procs[i].done = e.procs[i].done[:0]
+		}
+		e.epoch = 1
+	}
+	e.gt.reset(cfg)
+	e.net.reset(cfg.Network, e.rng, &e.stats)
+	e.run = model.NewRunCap(cfg.N, eventCapacityHint(cfg))
+
+	if cap(e.procs) < cfg.N {
+		grown := make([]procRuntime, cfg.N)
+		copy(grown, e.procs)
+		e.procs = grown
+	}
+	e.procs = e.procs[:cfg.N]
+	for i := 0; i < cfg.N; i++ {
+		pr := &e.procs[i]
+		pr.id = model.ProcID(i)
+		pr.crashed = false
+		pr.proto = cfg.Protocol(pr.id, cfg.N)
+		if pr.proto == nil {
+			return nil, fmt.Errorf("sim: protocol factory returned nil for process %d", i)
+		}
+	}
+
+	inits, crashes := e.buildSchedule(cfg)
+
+	// Time 0: protocol initialisation.
+	for i := range e.procs {
+		e.procs[i].proto.Init(procContext{e: e, p: &e.procs[i]})
+	}
+
+	ii, ci := 0, 0
+	for e.now = 1; e.now <= cfg.MaxSteps; e.now++ {
+		// Entries scheduled before the loop's first step (Time < 1) never
+		// fire; skip them so they cannot stall the cursor.
+		for ii < len(inits) && inits[ii].Time < e.now {
+			ii++
+		}
+		i0 := ii
+		for ii < len(inits) && inits[ii].Time == e.now {
+			ii++
+		}
+		for ci < len(crashes) && crashes[ci].Time < e.now {
+			ci++
+		}
+		c0 := ci
+		for ci < len(crashes) && crashes[ci].Time == e.now {
+			ci++
+		}
+		e.step(inits[i0:ii], crashes[c0:ci])
+		if e.err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", e.now, e.err)
+		}
+	}
+	e.run.SetHorizon(cfg.MaxSteps)
+	e.stats.Steps = cfg.MaxSteps
+	res := &Result{Run: e.run, Stats: e.stats}
+	e.run = nil // the recorded run now belongs to the caller
+	return res, nil
+}
+
+// buildSchedule sorts the workload and the (deduplicated) failure pattern into
+// time order, reusing the engine's schedule buffers.
+func (e *Engine) buildSchedule(cfg Config) ([]Initiation, []CrashEvent) {
+	e.initsBuf = append(e.initsBuf[:0], cfg.Initiations...)
+	inits := e.initsBuf
+	sort.Slice(inits, func(i, j int) bool {
+		a, b := inits[i], inits[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Action.Seq < b.Action.Seq
+	})
+
+	e.crashBuf = e.crashBuf[:0]
+	for q, t := range e.gt.crashTime {
+		if t >= 0 {
+			e.crashBuf = append(e.crashBuf, CrashEvent{Time: t, Proc: model.ProcID(q)})
+		}
+	}
+	crashes := e.crashBuf
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].Time != crashes[j].Time {
+			return crashes[i].Time < crashes[j].Time
+		}
+		return crashes[i].Proc < crashes[j].Proc
+	})
+	return inits, crashes
+}
+
+// internAction returns the stable small-integer index of action a.
+func (e *Engine) internAction(a model.ActionID) int {
+	idx, ok := e.actions[a]
+	if !ok {
+		idx = int32(len(e.actions))
+		e.actions[a] = idx
+	}
+	return int(idx)
+}
+
+// record appends an event to the run, capturing the first append error.
+func (e *Engine) record(p model.ProcID, ev model.Event) {
+	if e.err != nil {
+		return
+	}
+	if err := e.run.Append(p, e.now, ev); err != nil {
+		e.err = err
+		return
+	}
+	e.stats.LastEventTime = e.now
+}
+
+// step advances the simulation by one global time unit.
+func (e *Engine) step(inits []Initiation, crashes []CrashEvent) {
+	// 1. Crashes scheduled for this step.
+	for _, cr := range crashes {
+		pr := &e.procs[cr.Proc]
+		if pr.crashed {
+			continue
+		}
+		pr.crashed = true
+		e.stats.CrashEvents++
+		e.record(cr.Proc, model.Event{Kind: model.EventCrash})
+	}
+
+	// 2. Workload initiations.
+	for _, in := range inits {
+		pr := &e.procs[in.Proc]
+		if pr.crashed {
+			continue
+		}
+		e.stats.InitEvents++
+		e.record(in.Proc, model.Event{Kind: model.EventInit, Action: in.Action})
+		pr.proto.OnInitiate(procContext{e: e, p: pr}, in.Action)
+	}
+
+	// 3. Message deliveries due now.
+	for _, pm := range e.net.due(e.now) {
+		pr := &e.procs[pm.to]
+		if pr.crashed {
+			e.stats.MessagesToCrashed++
+			continue
+		}
+		e.stats.MessagesDelivered++
+		e.record(pm.to, model.Event{Kind: model.EventRecv, Peer: pm.from, Msg: pm.msg})
+		pr.proto.OnMessage(procContext{e: e, p: pr}, pm.from, pm.msg)
+	}
+
+	// 4. Failure-detector reports.
+	if e.cfg.Oracle != nil && e.now%e.cfg.SuspectEvery == 0 {
+		for i := range e.procs {
+			pr := &e.procs[i]
+			if pr.crashed {
+				continue
+			}
+			rep, ok := e.cfg.Oracle.Report(pr.id, e.now, &e.gt)
+			if !ok {
+				continue
+			}
+			e.stats.SuspectEvents++
+			e.record(pr.id, model.Event{Kind: model.EventSuspect, Report: rep})
+			pr.proto.OnSuspect(procContext{e: e, p: pr}, rep)
+		}
+	}
+
+	// 5. Ticks for retransmission.
+	if e.now%e.cfg.TickEvery == 0 {
+		for i := range e.procs {
+			pr := &e.procs[i]
+			if pr.crashed {
+				continue
+			}
+			pr.proto.OnTick(procContext{e: e, p: pr})
+		}
+	}
+}
+
+// eventCapacityHint estimates the per-process event-buffer capacity for a
+// configuration.  Sends and receives dominate, scaling with the horizon; the
+// hint is deliberately conservative so short runs stay small while sweep-scale
+// runs avoid the first several buffer growths.
+func eventCapacityHint(cfg Config) int {
+	hint := 32 + len(cfg.Initiations) + cfg.MaxSteps/2
+	if hint > 4096 {
+		hint = 4096
+	}
+	return hint
+}
+
+// Run executes the simulation described by cfg on a fresh engine and returns
+// the recorded run and statistics.
+func Run(cfg Config) (*Result, error) {
+	return NewEngine().Run(cfg)
+}

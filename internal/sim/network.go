@@ -8,36 +8,67 @@ import (
 
 // pendingMessage is a message in flight.
 type pendingMessage struct {
-	deliverAt int
-	from, to  model.ProcID
-	msg       model.Message
-	seq       int
+	from, to model.ProcID
+	msg      model.Message
+}
+
+// msgIdentity is the comparable projection of a Message that defines "the same
+// message" for fairness condition R5.  It mirrors Message.Key() field for
+// field but avoids building a string on every send; identities are interned to
+// small integers so fairness accounting never hashes strings in the hot path.
+type msgIdentity struct {
+	kind                     string
+	action                   model.ActionID
+	round, phase, value, aux int
+}
+
+func identityOf(m model.Message) msgIdentity {
+	return msgIdentity{kind: m.Kind, action: m.Action, round: m.Round, phase: m.Phase, value: m.Value, aux: m.Aux}
 }
 
 // channelKey identifies "the same message on the same channel" for fairness
-// accounting (condition R5).
+// accounting (condition R5), using the interned message identity.
 type channelKey struct {
 	from, to model.ProcID
-	msgKey   string
+	msg      int32
 }
 
-// network implements reliable and fair-lossy channels.
+// network implements reliable and fair-lossy channels.  In-flight messages
+// live in a calendar queue: a ring of time buckets indexed by delivery time
+// modulo the ring size.  Delivery delays are bounded by MaxDelay+1 steps, so a
+// ring of MaxDelay+2 buckets guarantees each bucket is fully drained before it
+// is reused; the per-bucket slices and the intern table are retained across
+// runs by the owning Engine.
 type network struct {
 	cfg     NetworkConfig
 	rng     *rand.Rand
-	inbox   map[int][]pendingMessage // keyed by delivery time
-	nextSeq int
+	buckets [][]pendingMessage // ring keyed by deliverAt % len(buckets)
+	intern  map[msgIdentity]int32
 	drops   map[channelKey]int // consecutive drops per channel/message
 	stats   *Stats
 }
 
-func newNetwork(cfg NetworkConfig, rng *rand.Rand, stats *Stats) *network {
-	return &network{
-		cfg:   cfg,
-		rng:   rng,
-		inbox: make(map[int][]pendingMessage),
-		drops: make(map[channelKey]int),
-		stats: stats,
+// reset prepares the network for a new run, reusing buffers where possible.
+func (nw *network) reset(cfg NetworkConfig, rng *rand.Rand, stats *Stats) {
+	nw.cfg = cfg
+	nw.rng = rng
+	nw.stats = stats
+	ring := cfg.MaxDelay + 2
+	if len(nw.buckets) < ring {
+		grown := make([][]pendingMessage, ring)
+		copy(grown, nw.buckets)
+		nw.buckets = grown
+	}
+	for i := range nw.buckets {
+		nw.buckets[i] = nw.buckets[i][:0]
+	}
+	if nw.intern == nil {
+		nw.intern = make(map[msgIdentity]int32, 64)
+	}
+	if nw.drops == nil {
+		nw.drops = make(map[channelKey]int, 64)
+	} else {
+		clear(nw.drops)
 	}
 }
 
@@ -49,10 +80,21 @@ func (nw *network) fairnessBound() int {
 	return nw.cfg.FairnessBound
 }
 
+// internMsg returns the stable small-integer identity of msg.
+func (nw *network) internMsg(msg model.Message) int32 {
+	id := identityOf(msg)
+	k, ok := nw.intern[id]
+	if !ok {
+		k = int32(len(nw.intern))
+		nw.intern[id] = k
+	}
+	return k
+}
+
 // send enqueues a message sent at time now, applying the loss model.
 func (nw *network) send(now int, from, to model.ProcID, msg model.Message) {
 	nw.stats.MessagesSent++
-	key := channelKey{from: from, to: to, msgKey: msg.Key()}
+	key := channelKey{from: from, to: to, msg: nw.internMsg(msg)}
 	if !nw.cfg.Reliable && nw.cfg.DropProbability > 0 {
 		if nw.rng.Float64() < nw.cfg.DropProbability {
 			if nw.drops[key]+1 < nw.fairnessBound() {
@@ -68,22 +110,19 @@ func (nw *network) send(now int, from, to model.ProcID, msg model.Message) {
 	if nw.cfg.MaxDelay > 0 {
 		delay += nw.rng.Intn(nw.cfg.MaxDelay + 1)
 	}
-	pm := pendingMessage{
-		deliverAt: now + delay,
-		from:      from,
-		to:        to,
-		msg:       msg,
-		seq:       nw.nextSeq,
-	}
-	nw.nextSeq++
-	nw.inbox[pm.deliverAt] = append(nw.inbox[pm.deliverAt], pm)
+	slot := (now + delay) % len(nw.buckets)
+	nw.buckets[slot] = append(nw.buckets[slot], pendingMessage{from: from, to: to, msg: msg})
 }
 
-// due returns the messages to deliver at time now, in deterministic order.
+// due returns the messages to deliver at time now, in deterministic send
+// order, and recycles the bucket.  The returned slice is only valid until the
+// bucket's time slot comes around again (at time now+len(buckets)), which is
+// after the caller has finished delivering: handlers invoked during delivery
+// can only enqueue into other buckets because delays are at least one step and
+// strictly smaller than the ring size.
 func (nw *network) due(now int) []pendingMessage {
-	msgs := nw.inbox[now]
-	delete(nw.inbox, now)
-	// Messages were appended in send order, and send order is deterministic,
-	// so the slice is already deterministically ordered by seq.
+	slot := now % len(nw.buckets)
+	msgs := nw.buckets[slot]
+	nw.buckets[slot] = msgs[:0]
 	return msgs
 }

@@ -1,76 +1,90 @@
 package sim
 
 import (
-	"fmt"
-	"math/rand"
-	"sort"
-
 	"repro/internal/fd"
 	"repro/internal/model"
 )
 
-// groundTruth exposes the configured failure pattern to the oracle.
+// groundTruth exposes the configured failure pattern to the oracle.  Crash
+// times are stored in a process-indexed slice (-1 meaning "never crashes")
+// and the faulty set is computed once when the pattern is fixed at
+// configuration time, so oracle queries in the hot loop never re-derive it.
 type groundTruth struct {
-	n          int
-	horizon    int
-	crashTimes map[model.ProcID]int
+	n         int
+	horizon   int
+	crashTime []int // indexed by process; -1 = never crashes
+	faulty    model.ProcSet
 }
 
 var _ fd.GroundTruth = (*groundTruth)(nil)
+
+// reset installs the failure pattern of cfg, reusing the crash-time buffer.
+func (g *groundTruth) reset(cfg Config) {
+	g.n = cfg.N
+	g.horizon = cfg.MaxSteps
+	if cap(g.crashTime) < cfg.N {
+		g.crashTime = make([]int, cfg.N)
+	}
+	g.crashTime = g.crashTime[:cfg.N]
+	for i := range g.crashTime {
+		g.crashTime[i] = -1
+	}
+	for _, cr := range cfg.Crashes {
+		if prev := g.crashTime[cr.Proc]; prev < 0 || cr.Time < prev {
+			g.crashTime[cr.Proc] = cr.Time
+		}
+	}
+	var f model.ProcSet
+	for q, t := range g.crashTime {
+		if t >= 0 && t <= g.horizon {
+			f = f.Add(model.ProcID(q))
+		}
+	}
+	g.faulty = f
+}
 
 // N implements fd.GroundTruth.
 func (g *groundTruth) N() int { return g.n }
 
 // CrashedBy implements fd.GroundTruth.
 func (g *groundTruth) CrashedBy(q model.ProcID, now int) bool {
-	t, ok := g.crashTimes[q]
-	return ok && t <= now && t <= g.horizon
+	if int(q) < 0 || int(q) >= len(g.crashTime) {
+		return false
+	}
+	t := g.crashTime[q]
+	return t >= 0 && t <= now && t <= g.horizon
 }
 
 // CrashTime implements fd.GroundTruth.
 func (g *groundTruth) CrashTime(q model.ProcID) (int, bool) {
-	t, ok := g.crashTimes[q]
-	if !ok || t > g.horizon {
+	if int(q) < 0 || int(q) >= len(g.crashTime) {
+		return 0, false
+	}
+	t := g.crashTime[q]
+	if t < 0 || t > g.horizon {
 		return 0, false
 	}
 	return t, true
 }
 
 // Faulty implements fd.GroundTruth.
-func (g *groundTruth) Faulty() model.ProcSet {
-	var s model.ProcSet
-	for q, t := range g.crashTimes {
-		if t <= g.horizon {
-			s = s.Add(q)
-		}
-	}
-	return s
-}
+func (g *groundTruth) Faulty() model.ProcSet { return g.faulty }
 
-// procRuntime is the per-process harness around a Protocol instance.
+// procRuntime is the per-process harness around a Protocol instance.  The
+// performed-action set is an epoch-stamped slice indexed by the engine's
+// interned action index: done[i] == engine.epoch means the action with index i
+// has been performed this run, so resetting between runs is a single epoch
+// increment rather than a map allocation.
 type procRuntime struct {
 	id      model.ProcID
 	proto   Protocol
 	crashed bool
-	done    map[model.ActionID]bool
-}
-
-// simulation is the mutable state of one run in progress.
-type simulation struct {
-	cfg   Config
-	rng   *rand.Rand
-	run   *model.Run
-	net   *network
-	gt    *groundTruth
-	procs []*procRuntime
-	now   int
-	stats Stats
-	err   error
+	done    []uint32
 }
 
 // procContext implements Context for one process at the current time.
 type procContext struct {
-	s *simulation
+	e *Engine
 	p *procRuntime
 }
 
@@ -78,23 +92,23 @@ type procContext struct {
 func (c procContext) ID() model.ProcID { return c.p.id }
 
 // N implements Context.
-func (c procContext) N() int { return c.s.cfg.N }
+func (c procContext) N() int { return c.e.cfg.N }
 
 // Now implements Context.
-func (c procContext) Now() int { return c.s.now }
+func (c procContext) Now() int { return c.e.now }
 
 // Send implements Context.
 func (c procContext) Send(to model.ProcID, msg model.Message) {
-	if c.p.crashed || int(to) < 0 || int(to) >= c.s.cfg.N || to == c.p.id {
+	if c.p.crashed || int(to) < 0 || int(to) >= c.e.cfg.N || to == c.p.id {
 		return
 	}
-	c.s.record(c.p.id, model.Event{Kind: model.EventSend, Peer: to, Msg: msg})
-	c.s.net.send(c.s.now, c.p.id, to, msg)
+	c.e.record(c.p.id, model.Event{Kind: model.EventSend, Peer: to, Msg: msg})
+	c.e.net.send(c.e.now, c.p.id, to, msg)
 }
 
 // Broadcast implements Context.
 func (c procContext) Broadcast(msg model.Message) {
-	for q := model.ProcID(0); int(q) < c.s.cfg.N; q++ {
+	for q := model.ProcID(0); int(q) < c.e.cfg.N; q++ {
 		if q != c.p.id {
 			c.Send(q, msg)
 		}
@@ -103,170 +117,23 @@ func (c procContext) Broadcast(msg model.Message) {
 
 // Do implements Context.
 func (c procContext) Do(a model.ActionID) {
-	if c.p.crashed || c.p.done[a] {
+	if c.p.crashed {
 		return
 	}
-	c.p.done[a] = true
-	c.s.stats.DoEvents++
-	c.s.record(c.p.id, model.Event{Kind: model.EventDo, Action: a})
+	idx := c.e.internAction(a)
+	if idx < len(c.p.done) && c.p.done[idx] == c.e.epoch {
+		return
+	}
+	for idx >= len(c.p.done) {
+		c.p.done = append(c.p.done, 0)
+	}
+	c.p.done[idx] = c.e.epoch
+	c.e.stats.DoEvents++
+	c.e.record(c.p.id, model.Event{Kind: model.EventDo, Action: a})
 }
 
 // HasDone implements Context.
-func (c procContext) HasDone(a model.ActionID) bool { return c.p.done[a] }
-
-// record appends an event to the run, capturing the first append error.
-func (s *simulation) record(p model.ProcID, e model.Event) {
-	if s.err != nil {
-		return
-	}
-	if err := s.run.Append(p, s.now, e); err != nil {
-		s.err = err
-		return
-	}
-	s.stats.LastEventTime = s.now
-}
-
-// Run executes the simulation described by cfg and returns the recorded run
-// and statistics.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.TickEvery <= 0 {
-		cfg.TickEvery = 1
-	}
-	if cfg.SuspectEvery <= 0 {
-		cfg.SuspectEvery = 1
-	}
-
-	s := &simulation{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		run: model.NewRun(cfg.N),
-		gt: &groundTruth{
-			n:          cfg.N,
-			horizon:    cfg.MaxSteps,
-			crashTimes: make(map[model.ProcID]int, len(cfg.Crashes)),
-		},
-	}
-	s.net = newNetwork(cfg.Network, s.rng, &s.stats)
-	for _, cr := range cfg.Crashes {
-		if prev, ok := s.gt.crashTimes[cr.Proc]; !ok || cr.Time < prev {
-			s.gt.crashTimes[cr.Proc] = cr.Time
-		}
-	}
-
-	s.procs = make([]*procRuntime, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		id := model.ProcID(i)
-		s.procs[i] = &procRuntime{
-			id:    id,
-			proto: cfg.Protocol(id, cfg.N),
-			done:  make(map[model.ActionID]bool),
-		}
-		if s.procs[i].proto == nil {
-			return nil, fmt.Errorf("sim: protocol factory returned nil for process %d", id)
-		}
-	}
-
-	// Index the workload by time for O(1) lookup inside the loop.
-	initsAt := make(map[int][]Initiation)
-	for _, in := range cfg.Initiations {
-		initsAt[in.Time] = append(initsAt[in.Time], in)
-	}
-	for t := range initsAt {
-		sort.Slice(initsAt[t], func(i, j int) bool {
-			a, b := initsAt[t][i], initsAt[t][j]
-			if a.Proc != b.Proc {
-				return a.Proc < b.Proc
-			}
-			return a.Action.Seq < b.Action.Seq
-		})
-	}
-	crashesAt := make(map[int][]model.ProcID)
-	for p, t := range s.gt.crashTimes {
-		crashesAt[t] = append(crashesAt[t], p)
-	}
-	for t := range crashesAt {
-		sort.Slice(crashesAt[t], func(i, j int) bool { return crashesAt[t][i] < crashesAt[t][j] })
-	}
-
-	// Time 0: protocol initialisation.
-	s.now = 0
-	for _, pr := range s.procs {
-		pr.proto.Init(procContext{s: s, p: pr})
-	}
-
-	for s.now = 1; s.now <= cfg.MaxSteps; s.now++ {
-		s.step(initsAt[s.now], crashesAt[s.now])
-		if s.err != nil {
-			return nil, fmt.Errorf("sim: step %d: %w", s.now, s.err)
-		}
-	}
-	s.run.SetHorizon(cfg.MaxSteps)
-	s.stats.Steps = cfg.MaxSteps
-	return &Result{Run: s.run, Stats: s.stats}, nil
-}
-
-// step advances the simulation by one global time unit.
-func (s *simulation) step(inits []Initiation, crashes []model.ProcID) {
-	// 1. Crashes scheduled for this step.
-	for _, p := range crashes {
-		pr := s.procs[p]
-		if pr.crashed {
-			continue
-		}
-		pr.crashed = true
-		s.stats.CrashEvents++
-		s.record(p, model.Event{Kind: model.EventCrash})
-	}
-
-	// 2. Workload initiations.
-	for _, in := range inits {
-		pr := s.procs[in.Proc]
-		if pr.crashed {
-			continue
-		}
-		s.stats.InitEvents++
-		s.record(in.Proc, model.Event{Kind: model.EventInit, Action: in.Action})
-		pr.proto.OnInitiate(procContext{s: s, p: pr}, in.Action)
-	}
-
-	// 3. Message deliveries due now.
-	for _, pm := range s.net.due(s.now) {
-		pr := s.procs[pm.to]
-		if pr.crashed {
-			s.stats.MessagesToCrashed++
-			continue
-		}
-		s.stats.MessagesDelivered++
-		s.record(pm.to, model.Event{Kind: model.EventRecv, Peer: pm.from, Msg: pm.msg})
-		pr.proto.OnMessage(procContext{s: s, p: pr}, pm.from, pm.msg)
-	}
-
-	// 4. Failure-detector reports.
-	if s.cfg.Oracle != nil && s.now%s.cfg.SuspectEvery == 0 {
-		for _, pr := range s.procs {
-			if pr.crashed {
-				continue
-			}
-			rep, ok := s.cfg.Oracle.Report(pr.id, s.now, s.gt)
-			if !ok {
-				continue
-			}
-			s.stats.SuspectEvents++
-			s.record(pr.id, model.Event{Kind: model.EventSuspect, Report: rep})
-			pr.proto.OnSuspect(procContext{s: s, p: pr}, rep)
-		}
-	}
-
-	// 5. Ticks for retransmission.
-	if s.now%s.cfg.TickEvery == 0 {
-		for _, pr := range s.procs {
-			if pr.crashed {
-				continue
-			}
-			pr.proto.OnTick(procContext{s: s, p: pr})
-		}
-	}
+func (c procContext) HasDone(a model.ActionID) bool {
+	idx, ok := c.e.actions[a]
+	return ok && int(idx) < len(c.p.done) && c.p.done[idx] == c.e.epoch
 }

@@ -22,10 +22,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/consensus"
-	"repro/internal/core"
 	"repro/internal/fd"
-	"repro/internal/model"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -92,6 +90,9 @@ type Params struct {
 	BaseSeed int64
 	// MaxSteps is the per-run horizon.
 	MaxSteps int
+	// Workers is the parallel sweep pool size (0 = GOMAXPROCS).  The results
+	// are identical for every worker count.
+	Workers int
 }
 
 // DefaultParams returns the parameters used by cmd/table1 and the benchmark
@@ -111,22 +112,6 @@ func regimes() []regime {
 		{name: "t<n/2", t: func(n int) int { return (n - 1) / 2 }},
 		{name: "n/2<=t<n-1", t: func(n int) int { return n - 2 }},
 		{name: "t>=n-1", t: func(n int) int { return n - 1 }},
-	}
-}
-
-// proposalsFor builds distinct consensus proposals.
-func proposalsFor(n int) map[model.ProcID]int {
-	out := make(map[model.ProcID]int, n)
-	for i := 0; i < n; i++ {
-		out[model.ProcID(i)] = 100 + i
-	}
-	return out
-}
-
-// consensusEvaluator adapts the consensus checker to the sweep harness.
-func consensusEvaluator(proposals map[model.ProcID]int) workload.Evaluator {
-	return func(r *model.Run) []model.Violation {
-		return consensus.CheckConsensus(r, proposals)
 	}
 }
 
@@ -195,8 +180,7 @@ func consensusSpec(p Params, name string, net sim.NetworkConfig, oracle fd.Oracl
 // Cells enumerates every Table 1 cell for the given parameters.
 func Cells(p Params) []Cell {
 	var cells []Cell
-	proposals := proposalsFor(p.N)
-	consEval := consensusEvaluator(proposals)
+	consEval := registry.MustEvaluator("consensus", registry.Options{N: p.N})
 
 	for _, channel := range []string{"reliable", "fair-lossy"} {
 		net := network(channel)
@@ -204,7 +188,7 @@ func Cells(p Params) []Cell {
 			t := reg.t(p.N)
 			cells = append(cells,
 				udcCell(p, channel, net, reg.name, t),
-				consensusCell(p, channel, net, reg.name, t, proposals, consEval),
+				consensusCell(p, channel, net, reg.name, t, consEval),
 			)
 		}
 	}
@@ -223,7 +207,7 @@ func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string,
 		cell.PaperDetector = "no FD"
 		cell.Minimal = Scenario{
 			Label: "no FD / relay-then-perform",
-			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, core.NewReliableUDC, t, true, crashEnd),
+			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, registry.MustProtocol("reliable", registry.Options{}), t, true, crashEnd),
 			Eval:  workload.UDCEvaluator,
 		}
 	case regimeName == "t<n/2":
@@ -231,7 +215,7 @@ func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string,
 		cell.PaperDetector = "no FD"
 		cell.Minimal = Scenario{
 			Label: "no FD / quorum",
-			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, core.NewQuorumUDC(t), t, true, crashEnd),
+			Spec:  udcSpec(p, cellName(cell, "minimal"), net, nil, registry.MustProtocol("quorum", registry.Options{T: t}), t, true, crashEnd),
 			Eval:  workload.UDCEvaluator,
 		}
 	case regimeName == "n/2<=t<n-1":
@@ -241,12 +225,13 @@ func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string,
 		cell.Optimal = true
 		cell.Minimal = Scenario{
 			Label: "t-useful generalized FD",
-			Spec:  udcSpec(p, cellName(cell, "minimal"), net, fd.FaultySetOracle{}, core.NewTUsefulUDC(t), t, true, crashEnd),
-			Eval:  workload.UDCEvaluator,
+			Spec: udcSpec(p, cellName(cell, "minimal"), net,
+				registry.MustOracle("faulty-set", registry.Options{}), registry.MustProtocol("tuseful", registry.Options{T: t}), t, true, crashEnd),
+			Eval: workload.UDCEvaluator,
 		}
 		weaker := Scenario{
 			Label: "no FD / quorum (insufficient)",
-			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, core.NewQuorumUDC(t), t, true, 35)),
+			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, registry.MustProtocol("quorum", registry.Options{T: t}), t, true, 35)),
 			Eval:  workload.UDCEvaluator,
 		}
 		cell.Weaker = &weaker
@@ -259,12 +244,12 @@ func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string,
 		cell.Minimal = Scenario{
 			Label: "strong FD (≅ perfect, Prop 3.4)",
 			Spec: udcSpec(p, cellName(cell, "minimal"), net,
-				fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 77}, core.NewStrongFDUDC, t, true, crashEnd),
+				registry.MustOracle("strong", registry.Options{Seed: 77}), registry.MustProtocol("strong", registry.Options{}), t, true, crashEnd),
 			Eval: workload.UDCEvaluator,
 		}
 		weaker := Scenario{
 			Label: "no FD / immediate perform (insufficient)",
-			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, core.NewNUDC, t, true, 35)),
+			Spec:  weakenUDCSpec(udcSpec(p, cellName(cell, "weaker"), harshNetwork(), nil, registry.MustProtocol("nudc", registry.Options{}), t, true, 35)),
 			Eval:  workload.UDCEvaluator,
 		}
 		cell.Weaker = &weaker
@@ -273,7 +258,7 @@ func udcCell(p Params, channel string, net sim.NetworkConfig, regimeName string,
 }
 
 // consensusCell builds the consensus row entry for one (channel, regime) pair.
-func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName string, t int, proposals map[model.ProcID]int, consEval workload.Evaluator) Cell {
+func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName string, t int, consEval workload.Evaluator) Cell {
 	cell := Cell{Channel: channel, Regime: regimeName, Problem: "consensus"}
 
 	switch regimeName {
@@ -283,8 +268,8 @@ func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName s
 		cell.Minimal = Scenario{
 			Label: "Diamond-S / CT majority",
 			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
-				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
-				consensus.NewMajority(proposals), t),
+				registry.MustOracle("eventually-strong", registry.Options{StabilizeAt: p.MaxSteps / 4, Seed: 13}),
+				registry.MustProtocol("consensus-majority", registry.Options{N: p.N}), t),
 			Eval: consEval,
 		}
 	case "n/2<=t<n-1":
@@ -292,15 +277,15 @@ func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName s
 		cell.Minimal = Scenario{
 			Label: "strong FD / rotating coordinator",
 			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
-				fd.StrongOracle{FalseSuspicionRate: 0.15, Seed: 31},
-				consensus.NewRotating(proposals), t),
+				registry.MustOracle("strong", registry.Options{Seed: 31}),
+				registry.MustProtocol("consensus-rotating", registry.Options{N: p.N}), t),
 			Eval: consEval,
 		}
 		weaker := Scenario{
 			Label: "Diamond-S / CT majority (loses termination)",
 			Spec: weakenConsensusSpec(consensusSpec(p, cellName(cell, "weaker"), net,
-				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
-				consensus.NewMajority(proposals), t)),
+				registry.MustOracle("eventually-strong", registry.Options{StabilizeAt: p.MaxSteps / 4, Seed: 13}),
+				registry.MustProtocol("consensus-majority", registry.Options{N: p.N}), t)),
 			Eval: consEval,
 		}
 		cell.Weaker = &weaker
@@ -310,14 +295,14 @@ func consensusCell(p Params, channel string, net sim.NetworkConfig, regimeName s
 		cell.Minimal = Scenario{
 			Label: "perfect FD / rotating coordinator",
 			Spec: consensusSpec(p, cellName(cell, "minimal"), net,
-				fd.PerfectOracle{}, consensus.NewRotating(proposals), t),
+				registry.MustOracle("perfect", registry.Options{}), registry.MustProtocol("consensus-rotating", registry.Options{N: p.N}), t),
 			Eval: consEval,
 		}
 		weaker := Scenario{
 			Label: "Diamond-S / CT majority (loses termination)",
 			Spec: weakenConsensusSpec(consensusSpec(p, cellName(cell, "weaker"), net,
-				fd.EventuallyStrongOracle{StabilizeAt: p.MaxSteps / 4, ChaosRate: 0.15, Seed: 13},
-				consensus.NewMajority(proposals), t)),
+				registry.MustOracle("eventually-strong", registry.Options{StabilizeAt: p.MaxSteps / 4, Seed: 13}),
+				registry.MustProtocol("consensus-majority", registry.Options{N: p.N}), t)),
 			Eval: consEval,
 		}
 		cell.Weaker = &weaker
@@ -343,30 +328,49 @@ func cellName(c Cell, kind string) string {
 
 // EvaluateCell sweeps one cell's scenarios.
 func EvaluateCell(c Cell, p Params) (CellResult, error) {
-	seeds := workload.Seeds(p.BaseSeed, p.Seeds)
-	minimal, err := workload.Sweep(c.Minimal.Spec, seeds, c.Minimal.Eval)
+	results, err := evaluateCells([]Cell{c}, p)
 	if err != nil {
-		return CellResult{}, fmt.Errorf("cell %s %s %s: minimal: %w", c.Channel, c.Regime, c.Problem, err)
+		return CellResult{}, err
 	}
-	out := CellResult{Cell: c, MinimalResult: minimal}
-	if c.Weaker != nil {
-		weaker, err := workload.Sweep(c.Weaker.Spec, seeds, c.Weaker.Eval)
-		if err != nil {
-			return CellResult{}, fmt.Errorf("cell %s %s %s: weaker: %w", c.Channel, c.Regime, c.Problem, err)
-		}
-		out.WeakerResult = &weaker
-	}
-	return out, nil
+	return results[0], nil
 }
 
-// Evaluate sweeps every cell.
+// Evaluate sweeps every cell.  All (scenario, seed) pairs of all cells are
+// distributed over one parallel worker pool, so the table evaluates at
+// full-machine throughput while the per-cell aggregates stay identical to a
+// serial sweep.
 func Evaluate(p Params) ([]CellResult, error) {
-	cells := Cells(p)
+	return evaluateCells(Cells(p), p)
+}
+
+// evaluateCells flattens the cells' scenarios into sweep tasks, runs them on
+// the shared pool, and reassembles per-cell results.
+func evaluateCells(cells []Cell, p Params) ([]CellResult, error) {
+	seeds := workload.Seeds(p.BaseSeed, p.Seeds)
+	var tasks []workload.Task
+	weakerAt := make([]int, len(cells)) // task index of each cell's weaker sweep, -1 if none
+	for i, c := range cells {
+		tasks = append(tasks, workload.Task{Spec: c.Minimal.Spec, Seeds: seeds, Eval: c.Minimal.Eval})
+		weakerAt[i] = -1
+		if c.Weaker != nil {
+			weakerAt[i] = len(tasks)
+			tasks = append(tasks, workload.Task{Spec: c.Weaker.Spec, Seeds: seeds, Eval: c.Weaker.Eval})
+		}
+	}
+	runner := workload.Runner{Workers: p.Workers}
+	results, err := runner.SweepAll(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
 	out := make([]CellResult, 0, len(cells))
-	for _, c := range cells {
-		res, err := EvaluateCell(c, p)
-		if err != nil {
-			return nil, err
+	task := 0
+	for i, c := range cells {
+		res := CellResult{Cell: c, MinimalResult: results[task]}
+		task++
+		if weakerAt[i] >= 0 {
+			weaker := results[task]
+			task++
+			res.WeakerResult = &weaker
 		}
 		out = append(out, res)
 	}

@@ -1,0 +1,170 @@
+package workload_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runDigest hashes the full recorded event log of a run.
+func runDigest(t *testing.T, r *model.Run) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal run: %v", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// outcomesJSON renders sweep outcomes to bytes for byte-identity comparison.
+func outcomesJSON(t *testing.T, s workload.SweepResult) string {
+	t.Helper()
+	raw, err := json.Marshal(s.Outcomes)
+	if err != nil {
+		t.Fatalf("marshal outcomes: %v", err)
+	}
+	return string(raw)
+}
+
+// determinismScenarios are the catalog shapes the regression locks down: a
+// lossy UDC workload with a randomised detector, a generalized-detector
+// workload, and a consensus workload.
+var determinismScenarios = []string{
+	"prop3.1-strong-udc",
+	"prop4.1-tuseful-udc",
+	"consensus-majority",
+}
+
+// TestSerialAndParallelSweepsAreByteIdentical locks the tentpole contract:
+// the parallel runner's aggregated SweepResult must be byte-identical to the
+// serial sweep's for the same (spec, seeds), for every worker count.
+func TestSerialAndParallelSweepsAreByteIdentical(t *testing.T) {
+	seeds := workload.Seeds(424242, 8)
+	for _, name := range determinismScenarios {
+		sc := registry.MustScenario(name)
+		serial, err := workload.Sweep(sc.Spec, seeds, sc.Eval)
+		if err != nil {
+			t.Fatalf("%s: serial sweep: %v", name, err)
+		}
+		want := outcomesJSON(t, serial)
+		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			parallel, err := workload.Runner{Workers: workers}.Sweep(sc.Spec, seeds, sc.Eval)
+			if err != nil {
+				t.Fatalf("%s: parallel sweep (%d workers): %v", name, workers, err)
+			}
+			if got := outcomesJSON(t, parallel); got != want {
+				t.Errorf("%s: %d-worker sweep outcomes differ from serial sweep", name, workers)
+			}
+		}
+	}
+}
+
+// TestRecordedRunsIdenticalAcrossEnginesAndSchedules hashes every recorded
+// event log: a fresh engine per run, one serially reused engine, and a pool of
+// racing workers (each with its own engine, pulling jobs in whatever order the
+// scheduler produces) must all record the same runs for the same (spec, seed)
+// pairs.
+func TestRecordedRunsIdenticalAcrossEnginesAndSchedules(t *testing.T) {
+	type job struct {
+		scenario int
+		seed     int64
+	}
+	var jobs []job
+	for si := range determinismScenarios {
+		for _, seed := range workload.Seeds(7, 4) {
+			jobs = append(jobs, job{scenario: si, seed: seed})
+		}
+	}
+	specs := make([]workload.Spec, len(determinismScenarios))
+	for i, name := range determinismScenarios {
+		specs[i] = registry.MustScenario(name).Spec
+	}
+
+	// Reference digests: a fresh engine for every run.
+	want := make([]string, len(jobs))
+	for i, j := range jobs {
+		res, err := workload.Execute(specs[j.scenario], j.seed)
+		if err != nil {
+			t.Fatalf("fresh execute: %v", err)
+		}
+		want[i] = runDigest(t, res.Run)
+	}
+
+	// One engine reused across all runs, in order.
+	eng := sim.NewEngine()
+	for i, j := range jobs {
+		res, err := workload.ExecuteWith(eng, specs[j.scenario], j.seed)
+		if err != nil {
+			t.Fatalf("reused execute: %v", err)
+		}
+		if got := runDigest(t, res.Run); got != want[i] {
+			t.Errorf("reused engine diverged on scenario %s seed %d",
+				determinismScenarios[j.scenario], j.seed)
+		}
+	}
+
+	// A racing worker pool, as the parallel sweep runner schedules it.
+	got := make([]string, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			weng := sim.NewEngine()
+			for i := range next {
+				j := jobs[i]
+				res, err := workload.ExecuteWith(weng, specs[j.scenario], j.seed)
+				if err != nil {
+					t.Errorf("parallel execute: %v", err)
+					continue
+				}
+				got[i] = runDigest(t, res.Run)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, j := range jobs {
+		if got[i] != want[i] {
+			t.Errorf("parallel worker diverged on scenario %s seed %d",
+				determinismScenarios[j.scenario], j.seed)
+		}
+	}
+}
+
+// TestSweepAllMatchesPerTaskSweeps checks that batching tasks into one pool
+// does not change any task's aggregate.
+func TestSweepAllMatchesPerTaskSweeps(t *testing.T) {
+	seeds := workload.Seeds(99, 5)
+	var tasks []workload.Task
+	for _, name := range determinismScenarios {
+		sc := registry.MustScenario(name)
+		tasks = append(tasks, workload.Task{Spec: sc.Spec, Seeds: seeds, Eval: sc.Eval})
+	}
+	batched, err := workload.Runner{Workers: 3}.SweepAll(tasks)
+	if err != nil {
+		t.Fatalf("batched sweep: %v", err)
+	}
+	for i, task := range tasks {
+		solo, err := workload.Sweep(task.Spec, task.Seeds, task.Eval)
+		if err != nil {
+			t.Fatalf("solo sweep: %v", err)
+		}
+		if outcomesJSON(t, batched[i]) != outcomesJSON(t, solo) {
+			t.Errorf("task %d (%s): batched aggregate differs from solo sweep", i, task.Spec.Name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Task pairs a scenario with the seeds to sweep and the evaluator to apply.
+type Task struct {
+	Spec  Spec
+	Seeds []int64
+	Eval  Evaluator
+}
+
+// Runner sweeps scenarios over a pool of worker goroutines, each owning one
+// sim.Engine.  Work is distributed at (task, seed) granularity and every
+// outcome is written to its (task, seed) slot, so the aggregated SweepResults
+// are identical to the serial Sweep's for the same inputs no matter how many
+// workers run or how the scheduler interleaves them.
+type Runner struct {
+	// Workers is the pool size; zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// workerCount resolves the effective pool size for n queued jobs.
+func (r Runner) workerCount(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sweep runs one scenario for every seed, in parallel, and aggregates the
+// outcomes in seed order.
+func (r Runner) Sweep(spec Spec, seeds []int64, eval Evaluator) (SweepResult, error) {
+	results, err := r.SweepAll([]Task{{Spec: spec, Seeds: seeds, Eval: eval}})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return results[0], nil
+}
+
+// SweepAll runs every task's (spec, seed) pairs over the worker pool and
+// returns one SweepResult per task, with outcomes in seed order.  On failure
+// it returns the error of the earliest (task, seed) pair, matching the serial
+// path's first-error semantics.
+func (r Runner) SweepAll(tasks []Task) ([]SweepResult, error) {
+	type job struct{ task, seed int }
+	var jobs []job
+	for ti, t := range tasks {
+		for si := range t.Seeds {
+			jobs = append(jobs, job{task: ti, seed: si})
+		}
+	}
+
+	outcomes := make([][]RunOutcome, len(tasks))
+	errs := make([][]error, len(tasks))
+	for ti, t := range tasks {
+		outcomes[ti] = make([]RunOutcome, len(t.Seeds))
+		errs[ti] = make([]error, len(t.Seeds))
+	}
+
+	workers := r.workerCount(len(jobs))
+	next := make(chan job)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			eng := sim.NewEngine()
+			for j := range next {
+				t := tasks[j.task]
+				seed := t.Seeds[j.seed]
+				res, err := ExecuteWith(eng, t.Spec, seed)
+				if err != nil {
+					errs[j.task][j.seed] = err
+					continue
+				}
+				outcomes[j.task][j.seed] = ScoreRun(res, seed, t.Eval)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+
+	for _, j := range jobs {
+		if err := errs[j.task][j.seed]; err != nil {
+			return nil, err
+		}
+	}
+	results := make([]SweepResult, len(tasks))
+	for ti, t := range tasks {
+		results[ti] = SweepResult{Spec: t.Spec, Outcomes: outcomes[ti]}
+	}
+	return results, nil
+}

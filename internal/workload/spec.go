@@ -118,10 +118,18 @@ func BuildConfig(spec Spec, seed int64) sim.Config {
 	}
 }
 
-// Execute builds and runs the scenario for one seed.
+// Execute builds and runs the scenario for one seed on a fresh engine.
 func Execute(spec Spec, seed int64) (*sim.Result, error) {
+	return ExecuteWith(sim.NewEngine(), spec, seed)
+}
+
+// ExecuteWith builds and runs the scenario for one seed on the given engine,
+// reusing the engine's buffers.  The recorded result is independent of the
+// engine's prior runs, so sweeps over many (spec, seed) pairs can share one
+// engine per worker.
+func ExecuteWith(eng *sim.Engine, spec Spec, seed int64) (*sim.Result, error) {
 	cfg := BuildConfig(spec, seed)
-	res, err := sim.Run(cfg)
+	res, err := eng.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q seed %d: %w", spec.Name, seed, err)
 	}

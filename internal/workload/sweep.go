@@ -98,22 +98,32 @@ func (s SweepResult) String() string {
 		s.Spec.Name, s.Successes(), len(s.Outcomes), s.MeanMessages(), s.MeanLatency(), s.TotalViolations())
 }
 
-// Sweep runs the scenario for every seed and evaluates each run with eval.
+// ScoreRun scores one recorded run.  The serial and parallel sweeps — and the
+// benchmark harness — all share it, so per-seed outcomes are identical by
+// construction everywhere.
+func ScoreRun(res *sim.Result, seed int64, eval Evaluator) RunOutcome {
+	outcome := RunOutcome{Seed: seed, Stats: res.Stats, Violations: eval(res.Run)}
+	for _, a := range res.Run.InitiatedActions() {
+		if lat, complete := core.CoordinationLatency(res.Run, a); complete {
+			outcome.LatencySum += lat
+			outcome.LatencyActions++
+		}
+	}
+	return outcome
+}
+
+// Sweep runs the scenario for every seed, serially on one engine, and
+// evaluates each run with eval.  It is the reference implementation for
+// Runner, which distributes the same work over a pool of engines.
 func Sweep(spec Spec, seeds []int64, eval Evaluator) (SweepResult, error) {
+	eng := sim.NewEngine()
 	result := SweepResult{Spec: spec, Outcomes: make([]RunOutcome, 0, len(seeds))}
 	for _, seed := range seeds {
-		res, err := Execute(spec, seed)
+		res, err := ExecuteWith(eng, spec, seed)
 		if err != nil {
 			return SweepResult{}, err
 		}
-		outcome := RunOutcome{Seed: seed, Stats: res.Stats, Violations: eval(res.Run)}
-		for _, a := range res.Run.InitiatedActions() {
-			if lat, complete := core.CoordinationLatency(res.Run, a); complete {
-				outcome.LatencySum += lat
-				outcome.LatencyActions++
-			}
-		}
-		result.Outcomes = append(result.Outcomes, outcome)
+		result.Outcomes = append(result.Outcomes, ScoreRun(res, seed, eval))
 	}
 	return result, nil
 }

@@ -1,0 +1,34 @@
+GO ?= go
+BENCHTIME ?= 10x
+
+.PHONY: all build test race vet fmt-check smoke bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+smoke:
+	$(GO) run ./cmd/udcsim -list-scenarios >/dev/null
+	$(GO) run ./cmd/udcsim -list-adversaries >/dev/null
+	$(GO) run ./cmd/udcsim -adversary burst-loss -protocol strong -n 5 -steps 300 -quiet
+
+# bench runs the Table 1 benchmark plus the adversary sweep and records the
+# next BENCH_<n>.json snapshot, so the performance trajectory accumulates
+# across working sessions.  Tune the sample count with BENCHTIME=50x etc.
+bench:
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status

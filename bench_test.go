@@ -128,6 +128,38 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkAdversarySweep sweeps representative adversary scenarios over the
+// parallel runner — one per shaper signature (storm drops, duplication,
+// extra-delay scheduling) plus a deterministic targeted schedule — so the
+// recorded perf trajectory covers the adversary subsystem's hot path
+// alongside the Table 1 baseline.
+func BenchmarkAdversarySweep(b *testing.B) {
+	names := []string{
+		"adv-burst-loss-strong-udc",
+		"adv-duplicate-storm-nudc",
+		"adv-skewed-delays-strong-udc",
+		"adv-targeted-consensus",
+	}
+	for _, name := range names {
+		sc := registry.MustScenario(name)
+		b.Run(name, func(b *testing.B) {
+			seeds := make([]int64, b.N)
+			for i := range seeds {
+				seeds[i] = int64(i) + 1
+			}
+			result, err := workload.Runner{}.Sweep(sc.Spec, seeds, sc.Eval)
+			if err != nil {
+				b.Fatalf("sweep: %v", err)
+			}
+			var agg benchAgg
+			for _, o := range result.Outcomes {
+				agg.add(o)
+			}
+			agg.report(b)
+		})
+	}
+}
+
 // BenchmarkProp23NUDC benchmarks the no-detector nUDC protocol over fair-lossy
 // channels with unbounded failures (E2).
 func BenchmarkProp23NUDC(b *testing.B) {

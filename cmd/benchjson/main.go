@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON snapshot and writes it to the next free BENCH_<n>.json in the
+// target directory, so repeated `make bench` invocations accumulate a
+// machine-readable performance trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTable1|BenchmarkAdversarySweep' . | benchjson -dir .
+//	go test -bench . ./... | benchjson -o snapshot.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full sub-benchmark path, including the -cpu suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit to value: ns/op plus any custom b.ReportMetric
+	// units (ok-rate, msgs/run, latency-steps, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file layout of BENCH_<n>.json.
+type Snapshot struct {
+	// RecordedAt is the wall-clock time the snapshot was written.
+	RecordedAt string `json:"recordedAt"`
+	// Context holds the goos/goarch/pkg/cpu header lines of the bench run.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and returns the snapshot (without a
+// timestamp).  Lines that are neither benchmark results nor recognised
+// header lines are ignored, so the parser tolerates -v noise and custom
+// prints.
+func parse(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(fields[0], ":") && len(fields) >= 2:
+			key := strings.TrimSuffix(fields[0], ":")
+			if key == "goos" || key == "goarch" || key == "pkg" || key == "cpu" {
+				snap.Context[key] = strings.Join(fields[1:], " ")
+			}
+		case strings.HasPrefix(fields[0], "Benchmark") && len(fields) >= 2:
+			iterations, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue // not a result line (e.g. a bare "BenchmarkFoo" announcement)
+			}
+			b := Benchmark{Name: fields[0], Iterations: iterations, Metrics: map[string]float64{}}
+			for i := 2; i+1 < len(fields); i += 2 {
+				value, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("benchjson: %s: bad metric value %q", b.Name, fields[i])
+				}
+				b.Metrics[fields[i+1]] = value
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n >= 1 that does
+// not exist yet.
+func nextBenchPath(dir string) (string, error) {
+	for n := 1; n < 100000; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("benchjson: no free BENCH_<n>.json slot in %s", dir)
+}
+
+func run(in io.Reader, dir, out string) (string, error) {
+	snap, err := parse(in)
+	if err != nil {
+		return "", err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return "", fmt.Errorf("benchjson: no benchmark result lines found on stdin")
+	}
+	snap.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+	path := out
+	if path == "" {
+		if path, err = nextBenchPath(dir); err != nil {
+			return "", err
+		}
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory for the auto-numbered BENCH_<n>.json output")
+	out := flag.String("o", "", "explicit output path (overrides -dir auto-numbering)")
+	flag.Parse()
+	path, err := run(os.Stdin, *dir, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("benchmark snapshot written to", path)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkTable1/reliable/UDC/any-8         	     100	    123456 ns/op	         0.950 ok-rate	       321.0 msgs/run
+BenchmarkAdversarySweep/adv-burst-loss-strong-udc-8 	      50	   2345678 ns/op	         1.000 ok-rate	       654.0 msgs/run	        12.50 latency-steps
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	if snap.Context["goos"] != "linux" || snap.Context["cpu"] != "Test CPU @ 2.00GHz" {
+		t.Errorf("context not captured: %v", snap.Context)
+	}
+	first := snap.Benchmarks[0]
+	if first.Name != "BenchmarkTable1/reliable/UDC/any-8" || first.Iterations != 100 {
+		t.Errorf("first benchmark mis-parsed: %+v", first)
+	}
+	if first.Metrics["ns/op"] != 123456 || first.Metrics["ok-rate"] != 0.95 {
+		t.Errorf("first benchmark metrics mis-parsed: %v", first.Metrics)
+	}
+	second := snap.Benchmarks[1]
+	if second.Metrics["latency-steps"] != 12.5 {
+		t.Errorf("custom metric mis-parsed: %v", second.Metrics)
+	}
+}
+
+func TestParseRejectsGarbageMetrics(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX 10 abc ns/op\n")); err == nil {
+		t.Errorf("non-numeric metric value should fail")
+	}
+}
+
+func TestRunNumbersSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	for want := 1; want <= 3; want++ {
+		path, err := run(strings.NewReader(sampleOutput), dir, "")
+		if err != nil {
+			t.Fatalf("run %d: %v", want, err)
+		}
+		if filepath.Base(path) != ("BENCH_" + string(rune('0'+want)) + ".json") {
+			t.Fatalf("run %d wrote %s", want, path)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("unmarshal %s: %v", path, err)
+		}
+		if snap.RecordedAt == "" || len(snap.Benchmarks) != 2 {
+			t.Errorf("snapshot %s incomplete: %+v", path, snap)
+		}
+	}
+}
+
+func TestRunRequiresResults(t *testing.T) {
+	if _, err := run(strings.NewReader("PASS\nok repro 0.1s\n"), t.TempDir(), ""); err == nil {
+		t.Errorf("empty bench output should fail")
+	}
+}

@@ -16,7 +16,10 @@
 //	udcsim -protocol consensus-majority -oracle eventually-strong -n 7 -failures 3
 //	udcsim -protocol nudc -check nudc -failures 6 -json run.json
 //	udcsim -scenario prop3.1-strong-udc -sweep 200 -workers 8
+//	udcsim -adversary burst-loss -protocol strong -sweep 100
+//	udcsim -scenario adv-targeted-final-fd -quiet
 //	udcsim -list-scenarios
+//	udcsim -list-adversaries
 package main
 
 import (
@@ -40,29 +43,31 @@ func main() {
 }
 
 type options struct {
-	protocol      string
-	oracle        string
-	check         string
-	scenario      string
-	listScenarios bool
-	sweep         int
-	workers       int
-	n             int
-	t             int
-	seed          int64
-	steps         int
-	actions       int
-	failures      int
-	exact         bool
-	drop          float64
-	reliable      bool
-	crashEnd      int
-	tick          int
-	suspect       int
-	jsonPath      string
-	timeline      int
-	quiet         bool
-	stabilize     int
+	protocol        string
+	oracle          string
+	check           string
+	scenario        string
+	adversary       string
+	listScenarios   bool
+	listAdversaries bool
+	sweep           int
+	workers         int
+	n               int
+	t               int
+	seed            int64
+	steps           int
+	actions         int
+	failures        int
+	exact           bool
+	drop            float64
+	reliable        bool
+	crashEnd        int
+	tick            int
+	suspect         int
+	jsonPath        string
+	timeline        int
+	quiet           bool
+	stabilize       int
 }
 
 func parseOptions(args []string) (options, error) {
@@ -77,6 +82,9 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.scenario, "scenario", "",
 		"run a named scenario from the registry catalog instead of assembling one from flags")
 	fs.BoolVar(&o.listScenarios, "list-scenarios", false, "list the catalogued scenarios and exit")
+	fs.StringVar(&o.adversary, "adversary", "",
+		"fault/network schedule: "+strings.Join(registry.AdversaryNames(), " | ")+" (default uniform; overrides the scenario's schedule when combined with -scenario)")
+	fs.BoolVar(&o.listAdversaries, "list-adversaries", false, "list the catalogued adversaries and exit")
 	fs.IntVar(&o.sweep, "sweep", 0, "sweep this many seeds (starting at -seed) instead of a single run")
 	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fs.IntVar(&o.n, "n", 6, "number of processes")
@@ -124,7 +132,17 @@ func run(args []string) error {
 	}
 	if o.listScenarios {
 		for _, sc := range registry.Scenarios() {
-			fmt.Printf("%-22s %s\n", sc.Name, sc.Description)
+			fmt.Printf("%-32s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+	if o.listAdversaries {
+		for _, info := range registry.Adversaries() {
+			kind := "crashes"
+			if info.Shapes {
+				kind = "crashes+channels"
+			}
+			fmt.Printf("%-18s %-16s %s\n", info.Name, kind, info.Description)
 		}
 		return nil
 	}
@@ -185,6 +203,14 @@ func run(args []string) error {
 		}
 	}
 
+	if o.adversary != "" {
+		adv, _, err := registry.Adversary(o.adversary)
+		if err != nil {
+			return err
+		}
+		spec.Adversary = adv
+	}
+
 	if o.sweep > 0 {
 		return runSweep(o, spec, eval, checkName)
 	}
@@ -224,10 +250,15 @@ func runSingle(o options, spec workload.Spec, eval workload.Evaluator, checkName
 	violations := eval(res.Run)
 
 	if !o.quiet {
-		fmt.Printf("scenario=%s oracle=%s check=%s seed=%d\n", spec.Name, oracleName, checkName, o.seed)
+		adversaryName := "uniform"
+		if spec.Adversary != nil {
+			adversaryName = spec.Adversary.Name()
+		}
+		fmt.Printf("scenario=%s oracle=%s check=%s adversary=%s seed=%d\n", spec.Name, oracleName, checkName, adversaryName, o.seed)
 		fmt.Print(trace.Summary(res.Run))
-		fmt.Printf("stats: sent=%d delivered=%d dropped=%d suspect-reports=%d\n",
-			res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.MessagesDropped, res.Stats.SuspectEvents)
+		fmt.Printf("stats: sent=%d delivered=%d dropped=%d duplicated=%d suspect-reports=%d\n",
+			res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.MessagesDropped,
+			res.Stats.MessagesDuplicated, res.Stats.SuspectEvents)
 	}
 	if o.timeline >= 0 && o.timeline < spec.N {
 		fmt.Printf("timeline of process %d:\n%s", o.timeline, trace.Timeline(res.Run, model.ProcID(o.timeline)))

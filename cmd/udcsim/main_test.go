@@ -130,6 +130,44 @@ func TestSweepMode(t *testing.T) {
 	}
 }
 
+func TestAdversaryMode(t *testing.T) {
+	if err := run([]string{"-list-adversaries"}); err != nil {
+		t.Fatalf("list-adversaries: %v", err)
+	}
+	for _, name := range registry.AdversaryNames() {
+		// targeted-final deliberately crashes after the last report; paired
+		// with a udc check (not an fd-* one) coordination still succeeds
+		// because the crashes land after the actions complete.
+		args := []string{
+			"-adversary", name,
+			"-protocol", "strong",
+			"-n", "5",
+			"-steps", "300",
+			"-failures", "2",
+			"-quiet",
+		}
+		if err := run(args); err != nil {
+			t.Errorf("run with adversary %q: %v", name, err)
+		}
+	}
+	if err := run([]string{"-adversary", "does-not-exist", "-quiet"}); err == nil {
+		t.Errorf("unknown adversary should fail")
+	}
+}
+
+// TestAdversaryOverridesScenario checks that -adversary swaps the schedule of
+// a named scenario: the stress scenario's expected strong-completeness
+// violation disappears once its targeted-final schedule is replaced by early
+// targeted crashes that the detector has time to report.
+func TestAdversaryOverridesScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "adv-targeted-final-fd", "-quiet"}); err == nil {
+		t.Fatalf("adv-targeted-final-fd should violate strong completeness")
+	}
+	if err := run([]string{"-scenario", "adv-targeted-final-fd", "-adversary", "targeted", "-quiet"}); err != nil {
+		t.Fatalf("early targeted crashes should satisfy fd-perfect: %v", err)
+	}
+}
+
 func TestScenarioMode(t *testing.T) {
 	if err := run([]string{"-list-scenarios"}); err != nil {
 		t.Fatalf("list-scenarios: %v", err)

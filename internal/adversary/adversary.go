@@ -1,0 +1,146 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Params describes the shape of the run an adversary plans against.  The
+// workload layer resolves its spec defaults (crash window bounds, failure
+// budget) before handing the parameters over, so adversaries never re-derive
+// them.
+type Params struct {
+	// N is the number of processes.
+	N int
+	// Horizon is the run length in steps.
+	Horizon int
+	// MaxFailures is the failure budget for the run.
+	MaxFailures int
+	// ExactFailures forces the budget to be spent exactly rather than
+	// sampling a failure count up to it.  Schedules that are targeted rather
+	// than sampled may ignore it and always spend the budget.
+	ExactFailures bool
+	// CrashStart and CrashEnd bound the crash window, both inclusive and
+	// already resolved to 1 <= CrashStart <= CrashEnd.
+	CrashStart, CrashEnd int
+}
+
+// Crash schedules the failure of one process at a global time.
+type Crash struct {
+	Time int
+	Proc model.ProcID
+}
+
+// Adversary plans the failure pattern of one run.  Implementations must be
+// immutable after construction: a single adversary value is shared by every
+// worker of a parallel sweep, so all per-run randomness must come from the
+// rng argument and all decisions must be pure functions of (rng draws,
+// arguments, configuration).  Identical (adversary, seed) pairs always yield
+// identical schedules.
+type Adversary interface {
+	// Name identifies the schedule, e.g. "uniform", "targeted-final".
+	Name() string
+	// PlanCrashes returns the failure pattern of the run.  It is called once
+	// per run, before the workload is generated, with the rng positioned at
+	// the start of the seed's stream; an adversary that ignores the rng must
+	// simply not draw from it.
+	PlanCrashes(rng *rand.Rand, p Params) []Crash
+}
+
+// Link identifies one message transmission to a ChannelShaper.  It carries
+// the run dimensions so shapers can be pure values with no per-run state.
+type Link struct {
+	// Now is the send time.
+	Now int
+	// From and To are the channel endpoints.
+	From, To model.ProcID
+	// N is the number of processes and Horizon the run length.
+	N, Horizon int
+}
+
+// Verdict is a ChannelShaper's decision about one message transmission.  The
+// zero Verdict leaves the message untouched.
+type Verdict struct {
+	// Drop requests that this copy be dropped.  Drops requested by a shaper
+	// share the network's fairness accounting (condition R5) with the base
+	// loss model, so a persistently retransmitted message is still forced
+	// through eventually and the channel stays fair-lossy.
+	Drop bool
+	// ExtraDelay adds to the base delivery delay, in steps.  It must not
+	// exceed MaxExtraDelay; the network clamps it there.
+	ExtraDelay int
+	// Duplicates delivers this many extra copies of the message, each with
+	// its own base delay draw.
+	Duplicates int
+}
+
+// ChannelShaper is implemented by adversaries that additionally decide the
+// fate of every message on a per-link basis.  Shape runs on the simulator's
+// hot path: implementations must not allocate and must draw any randomness
+// from the rng argument.
+type ChannelShaper interface {
+	// MaxExtraDelay bounds Verdict.ExtraDelay over all possible verdicts; the
+	// network sizes its delivery ring from it once per run.
+	MaxExtraDelay() int
+	// Shape decides the fate of one message transmission.
+	Shape(rng *rand.Rand, l Link) Verdict
+}
+
+// UniformCrashes is the baseline fault schedule: a uniformly random subset of
+// at most MaxFailures processes crashes at uniformly random times in the
+// crash window.  It reproduces the sampler that used to be inlined in the
+// workload generator draw for draw, so recorded runs of pre-existing
+// scenarios are byte-identical to what that sampler produced.
+type UniformCrashes struct{}
+
+// Name implements Adversary.
+func (UniformCrashes) Name() string { return "uniform" }
+
+// PlanCrashes implements Adversary.
+func (UniformCrashes) PlanCrashes(rng *rand.Rand, p Params) []Crash {
+	failures := p.MaxFailures
+	if failures > p.N {
+		failures = p.N
+	}
+	count := failures
+	if !p.ExactFailures && failures > 0 {
+		count = rng.Intn(failures + 1)
+	}
+	// The permutation is drawn even when count is zero so the rng stream
+	// stays aligned with the historical inline sampler.
+	perm := rng.Perm(p.N)
+	crashes := make([]Crash, 0, count)
+	for i := 0; i < count; i++ {
+		t := p.CrashStart
+		if p.CrashEnd > p.CrashStart {
+			t += rng.Intn(p.CrashEnd - p.CrashStart + 1)
+		}
+		crashes = append(crashes, Crash{Time: t, Proc: model.ProcID(perm[i])})
+	}
+	return crashes
+}
+
+// victimCount resolves the number of processes an exact-budget schedule
+// crashes.
+func victimCount(p Params) int {
+	count := p.MaxFailures
+	if count > p.N {
+		count = p.N
+	}
+	if count < 0 {
+		count = 0
+	}
+	return count
+}
+
+// clampTime forces t into [1, horizon].
+func clampTime(t, horizon int) int {
+	if t < 1 {
+		return 1
+	}
+	if t > horizon {
+		return horizon
+	}
+	return t
+}

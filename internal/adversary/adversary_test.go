@@ -1,0 +1,156 @@
+package adversary_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/model"
+)
+
+var planParams = adversary.Params{
+	N:           6,
+	Horizon:     400,
+	MaxFailures: 3,
+	CrashStart:  1,
+	CrashEnd:    100,
+}
+
+// catalog is one instance of every adversary in the package, as the registry
+// constructs them.
+func catalog() []adversary.Adversary {
+	return []adversary.Adversary{
+		adversary.UniformCrashes{},
+		adversary.TargetedCrashes{},
+		adversary.TargetedCrashes{AtFraction: 1},
+		adversary.CascadeCrashes{},
+		adversary.LateBurstCrashes{},
+		adversary.HealingPartition{},
+		adversary.SkewedDelays{},
+		adversary.DuplicateStorm{},
+		adversary.BurstLoss{},
+	}
+}
+
+// TestPlansAreDeterministicAndWellFormed pins the package contract: identical
+// (adversary, seed) pairs yield identical schedules, and every schedule stays
+// within the failure budget, the process range and the horizon.
+func TestPlansAreDeterministicAndWellFormed(t *testing.T) {
+	for _, adv := range catalog() {
+		for seed := int64(1); seed <= 20; seed++ {
+			first := adv.PlanCrashes(rand.New(rand.NewSource(seed)), planParams)
+			second := adv.PlanCrashes(rand.New(rand.NewSource(seed)), planParams)
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("%s seed %d: schedule not deterministic", adv.Name(), seed)
+			}
+			if len(first) > planParams.MaxFailures {
+				t.Errorf("%s seed %d: %d crashes exceed budget %d", adv.Name(), seed, len(first), planParams.MaxFailures)
+			}
+			seen := map[model.ProcID]bool{}
+			for _, cr := range first {
+				if cr.Time < 1 || cr.Time > planParams.Horizon {
+					t.Errorf("%s seed %d: crash time %d outside [1,%d]", adv.Name(), seed, cr.Time, planParams.Horizon)
+				}
+				if int(cr.Proc) < 0 || int(cr.Proc) >= planParams.N {
+					t.Errorf("%s seed %d: victim %d out of range", adv.Name(), seed, cr.Proc)
+				}
+				if seen[cr.Proc] {
+					t.Errorf("%s seed %d: victim %d crashes twice", adv.Name(), seed, cr.Proc)
+				}
+				seen[cr.Proc] = true
+			}
+		}
+	}
+}
+
+// TestTargetedCrashesHitTheCoordinators checks the targeting: the victims are
+// exactly the lowest-numbered processes, early or on the final step.
+func TestTargetedCrashesHitTheCoordinators(t *testing.T) {
+	early := adversary.TargetedCrashes{}.PlanCrashes(nil, planParams)
+	if len(early) != planParams.MaxFailures {
+		t.Fatalf("targeted: got %d crashes, want %d", len(early), planParams.MaxFailures)
+	}
+	for i, cr := range early {
+		if cr.Proc != model.ProcID(i) || cr.Time != planParams.CrashStart {
+			t.Errorf("targeted victim %d: got (p%d, t%d), want (p%d, t%d)", i, cr.Proc, cr.Time, i, planParams.CrashStart)
+		}
+	}
+	final := adversary.TargetedCrashes{AtFraction: 1}.PlanCrashes(nil, planParams)
+	for _, cr := range final {
+		if cr.Time != planParams.Horizon {
+			t.Errorf("targeted-final: crash of %d at %d, want horizon %d", cr.Proc, cr.Time, planParams.Horizon)
+		}
+	}
+}
+
+// TestCascadeCrashesAreCorrelated checks the avalanche shape: sorted crash
+// times follow the trigger at the configured interval until clamped.
+func TestCascadeCrashesAreCorrelated(t *testing.T) {
+	adv := adversary.CascadeCrashes{Interval: 3}
+	crashes := adv.PlanCrashes(rand.New(rand.NewSource(7)), planParams)
+	if len(crashes) != planParams.MaxFailures {
+		t.Fatalf("cascade: got %d crashes, want %d", len(crashes), planParams.MaxFailures)
+	}
+	for i := 1; i < len(crashes); i++ {
+		gap := crashes[i].Time - crashes[i-1].Time
+		if gap != 3 && crashes[i].Time != planParams.Horizon {
+			t.Errorf("cascade: gap %d between crash %d and %d, want 3", gap, i-1, i)
+		}
+	}
+}
+
+// TestLateBurstCrashesLandLate checks that every crash hits the final window.
+func TestLateBurstCrashesLandLate(t *testing.T) {
+	adv := adversary.LateBurstCrashes{Window: 0.1}
+	earliest := planParams.Horizon - planParams.Horizon/10
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, cr := range adv.PlanCrashes(rand.New(rand.NewSource(seed)), planParams) {
+			if cr.Time < earliest {
+				t.Errorf("seed %d: crash at %d precedes the final window start %d", seed, cr.Time, earliest)
+			}
+		}
+	}
+}
+
+// TestShaperVerdicts pins the per-link decisions of each channel shaper.
+func TestShaperVerdicts(t *testing.T) {
+	link := func(now int, from, to model.ProcID) adversary.Link {
+		return adversary.Link{Now: now, From: from, To: to, N: 6, Horizon: 400}
+	}
+
+	partition := adversary.HealingPartition{HealFraction: 0.5}
+	if v := partition.Shape(nil, link(10, 0, 5)); !v.Drop {
+		t.Errorf("partition: cross-partition message before heal not dropped")
+	}
+	if v := partition.Shape(nil, link(10, 0, 1)); v.Drop {
+		t.Errorf("partition: same-side message dropped")
+	}
+	if v := partition.Shape(nil, link(200, 0, 5)); v.Drop {
+		t.Errorf("partition: message after heal dropped")
+	}
+
+	skew := adversary.SkewedDelays{SlowExtra: 4}
+	if v := skew.Shape(nil, link(10, 5, 0)); v.ExtraDelay != 4 {
+		t.Errorf("skew: high-to-low link delay %d, want 4", v.ExtraDelay)
+	}
+	if v := skew.Shape(nil, link(10, 0, 5)); v.ExtraDelay != 0 {
+		t.Errorf("skew: low-to-high link delayed by %d", v.ExtraDelay)
+	}
+	if skew.MaxExtraDelay() != 4 {
+		t.Errorf("skew: MaxExtraDelay %d, want 4", skew.MaxExtraDelay())
+	}
+
+	dup := adversary.DuplicateStorm{Probability: 1, Copies: 3}
+	if v := dup.Shape(rand.New(rand.NewSource(1)), link(10, 0, 1)); v.Duplicates != 3 {
+		t.Errorf("duplicate-storm: got %d duplicates, want 3", v.Duplicates)
+	}
+
+	burst := adversary.BurstLoss{Period: 40, StormLen: 15, StormDrop: 1}
+	if v := burst.Shape(rand.New(rand.NewSource(1)), link(41, 0, 1)); !v.Drop {
+		t.Errorf("burst-loss: in-storm message not dropped at certainty")
+	}
+	if v := burst.Shape(rand.New(rand.NewSource(1)), link(20, 0, 1)); v.Drop {
+		t.Errorf("burst-loss: quiet-phase message dropped")
+	}
+}

@@ -1,0 +1,169 @@
+package adversary
+
+import (
+	"math/rand"
+)
+
+// The shapers in this file embed UniformCrashes: they keep the baseline fault
+// schedule and add per-link delivery shaping on top, so a channel regime can
+// be studied with the same failure statistics as the scenario it perturbs.
+
+// HealingPartition drops cross-partition traffic until a heal time.  The
+// processes split into a low-id group and a high-id group; messages between
+// the groups are dropped until the partition heals.  The partition is soft:
+// shaper drops share the network's fairness accounting, so a message that
+// keeps being retransmitted is still forced through eventually and the regime
+// stays within the paper's fair-lossy channel model (condition R5).
+type HealingPartition struct {
+	UniformCrashes
+	// HealFraction is the point of the horizon at which the partition heals
+	// (0 means 0.5).
+	HealFraction float64
+}
+
+// Name implements Adversary.
+func (HealingPartition) Name() string { return "healing-partition" }
+
+func (a HealingPartition) healFraction() float64 {
+	if a.HealFraction <= 0 {
+		return 0.5
+	}
+	return a.HealFraction
+}
+
+// MaxExtraDelay implements ChannelShaper.
+func (HealingPartition) MaxExtraDelay() int { return 0 }
+
+// Shape implements ChannelShaper.
+func (a HealingPartition) Shape(_ *rand.Rand, l Link) Verdict {
+	if l.Now >= int(a.healFraction()*float64(l.Horizon)) {
+		return Verdict{}
+	}
+	half := (l.N + 1) / 2
+	if (int(l.From) < half) != (int(l.To) < half) {
+		return Verdict{Drop: true}
+	}
+	return Verdict{}
+}
+
+// SkewedDelays slows the links from higher- to lower-numbered processes by a
+// fixed number of steps.  The paper's model is fully asynchronous, so no
+// protocol or detector conversion may depend on delivery symmetry; this
+// schedule surfaces accidental timing assumptions.
+type SkewedDelays struct {
+	UniformCrashes
+	// SlowExtra is the extra delay in steps on the slow links (0 means 6).
+	SlowExtra int
+}
+
+// Name implements Adversary.
+func (SkewedDelays) Name() string { return "skewed-delays" }
+
+func (a SkewedDelays) slowExtra() int {
+	if a.SlowExtra <= 0 {
+		return 6
+	}
+	return a.SlowExtra
+}
+
+// MaxExtraDelay implements ChannelShaper.
+func (a SkewedDelays) MaxExtraDelay() int { return a.slowExtra() }
+
+// Shape implements ChannelShaper.
+func (a SkewedDelays) Shape(_ *rand.Rand, l Link) Verdict {
+	if l.From > l.To {
+		return Verdict{ExtraDelay: a.slowExtra()}
+	}
+	return Verdict{}
+}
+
+// DuplicateStorm randomly delivers extra copies of messages.  Duplication
+// steps outside run condition R3's send/receive counting discipline, which is
+// exactly the point: the do-once semantics of performed actions must absorb
+// repeated deliveries even though the run conditions never promise them.
+type DuplicateStorm struct {
+	UniformCrashes
+	// Probability is the chance of duplicating each message (0 means 0.5).
+	Probability float64
+	// Copies is the number of extra copies per duplication (0 means 2).
+	Copies int
+}
+
+// Name implements Adversary.
+func (DuplicateStorm) Name() string { return "duplicate-storm" }
+
+func (a DuplicateStorm) probability() float64 {
+	if a.Probability <= 0 {
+		return 0.5
+	}
+	return a.Probability
+}
+
+func (a DuplicateStorm) copies() int {
+	if a.Copies <= 0 {
+		return 2
+	}
+	return a.Copies
+}
+
+// MaxExtraDelay implements ChannelShaper.
+func (DuplicateStorm) MaxExtraDelay() int { return 0 }
+
+// Shape implements ChannelShaper.
+func (a DuplicateStorm) Shape(rng *rand.Rand, _ Link) Verdict {
+	if rng.Float64() < a.probability() {
+		return Verdict{Duplicates: a.copies()}
+	}
+	return Verdict{}
+}
+
+// BurstLoss alternates quiet phases with loss storms in which almost every
+// message is dropped.  Within a storm the drop decisions still share the
+// network's fairness accounting, so the channel remains fair-lossy in the
+// sense of condition R5 and UDC-sufficient detector/protocol pairs must still
+// coordinate.
+type BurstLoss struct {
+	UniformCrashes
+	// Period is the storm cycle length in steps (0 means 40).
+	Period int
+	// StormLen is the storm length at the start of each cycle (0 means 15).
+	StormLen int
+	// StormDrop is the per-message drop probability inside a storm
+	// (0 means 0.95).
+	StormDrop float64
+}
+
+// Name implements Adversary.
+func (BurstLoss) Name() string { return "burst-loss" }
+
+func (a BurstLoss) period() int {
+	if a.Period <= 0 {
+		return 40
+	}
+	return a.Period
+}
+
+func (a BurstLoss) stormLen() int {
+	if a.StormLen <= 0 {
+		return 15
+	}
+	return a.StormLen
+}
+
+func (a BurstLoss) stormDrop() float64 {
+	if a.StormDrop <= 0 {
+		return 0.95
+	}
+	return a.StormDrop
+}
+
+// MaxExtraDelay implements ChannelShaper.
+func (BurstLoss) MaxExtraDelay() int { return 0 }
+
+// Shape implements ChannelShaper.
+func (a BurstLoss) Shape(rng *rand.Rand, l Link) Verdict {
+	if l.Now%a.period() < a.stormLen() && rng.Float64() < a.stormDrop() {
+		return Verdict{Drop: true}
+	}
+	return Verdict{}
+}

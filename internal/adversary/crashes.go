@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// TargetedCrashes crashes exactly the processes coordination leans on: the
+// lowest-numbered ones, which are the first rotating coordinators and the
+// earliest action initiators.  The full failure budget is always spent
+// (targeting is the point, not sampling), and every victim crashes at the
+// same instant.
+type TargetedCrashes struct {
+	// AtFraction positions the crash time at round(AtFraction*Horizon),
+	// clamped to [1, Horizon].  Zero means the start of the crash window.
+	// With AtFraction = 1 the crashes land on the final step of the run,
+	// after the last detector report whenever the report period does not
+	// divide the horizon, which makes the finite-trace reading of strong
+	// completeness unsatisfiable.
+	AtFraction float64
+}
+
+// Name implements Adversary.
+func (a TargetedCrashes) Name() string {
+	if a.AtFraction >= 1 {
+		return "targeted-final"
+	}
+	return "targeted"
+}
+
+// PlanCrashes implements Adversary.  It draws nothing from the rng: the
+// schedule is a pure function of the run shape.
+func (a TargetedCrashes) PlanCrashes(_ *rand.Rand, p Params) []Crash {
+	t := p.CrashStart
+	if a.AtFraction > 0 {
+		t = int(a.AtFraction*float64(p.Horizon) + 0.5)
+	}
+	t = clampTime(t, p.Horizon)
+	count := victimCount(p)
+	crashes := make([]Crash, 0, count)
+	for i := 0; i < count; i++ {
+		crashes = append(crashes, Crash{Time: t, Proc: model.ProcID(i)})
+	}
+	return crashes
+}
+
+// CascadeCrashes is a correlated failure avalanche: one randomly timed
+// trigger crash, with the remaining victims following at fixed short
+// intervals.  The paper's environments bound only the number of failures,
+// not their correlation, so sufficiency claims must survive temporal
+// clustering.
+type CascadeCrashes struct {
+	// Interval is the gap in steps between consecutive crashes (0 means 2).
+	Interval int
+}
+
+// Name implements Adversary.
+func (CascadeCrashes) Name() string { return "cascade" }
+
+func (a CascadeCrashes) interval() int {
+	if a.Interval <= 0 {
+		return 2
+	}
+	return a.Interval
+}
+
+// PlanCrashes implements Adversary.
+func (a CascadeCrashes) PlanCrashes(rng *rand.Rand, p Params) []Crash {
+	count := victimCount(p)
+	if count == 0 {
+		return nil
+	}
+	perm := rng.Perm(p.N)
+	t := p.CrashStart
+	if p.CrashEnd > p.CrashStart {
+		t += rng.Intn(p.CrashEnd - p.CrashStart + 1)
+	}
+	crashes := make([]Crash, 0, count)
+	for i := 0; i < count; i++ {
+		crashes = append(crashes, Crash{Time: clampTime(t, p.Horizon), Proc: model.ProcID(perm[i])})
+		t += a.interval()
+	}
+	return crashes
+}
+
+// LateBurstCrashes strikes every failure in the final fraction of the
+// horizon, long after detectors and protocols have settled, stressing the
+// bounded-horizon interpretation of the completeness properties.
+type LateBurstCrashes struct {
+	// Window is the final fraction of the horizon in which every crash lands
+	// (0 means 0.1).
+	Window float64
+}
+
+// Name implements Adversary.
+func (LateBurstCrashes) Name() string { return "late-burst" }
+
+func (a LateBurstCrashes) window() float64 {
+	if a.Window <= 0 {
+		return 0.1
+	}
+	return a.Window
+}
+
+// PlanCrashes implements Adversary.
+func (a LateBurstCrashes) PlanCrashes(rng *rand.Rand, p Params) []Crash {
+	count := victimCount(p)
+	if count == 0 {
+		return nil
+	}
+	perm := rng.Perm(p.N)
+	start := clampTime(p.Horizon-int(a.window()*float64(p.Horizon)), p.Horizon)
+	crashes := make([]Crash, 0, count)
+	for i := 0; i < count; i++ {
+		t := start
+		if p.Horizon > start {
+			t += rng.Intn(p.Horizon - start + 1)
+		}
+		crashes = append(crashes, Crash{Time: t, Proc: model.ProcID(perm[i])})
+	}
+	return crashes
+}

@@ -1,0 +1,68 @@
+// Package adversary provides deterministic, seedable fault and network
+// schedules for the simulator.  The paper's results are quantified over
+// failure patterns and environments: a failure detector is a function of the
+// failure pattern, and which detector class suffices for uniform distributed
+// coordination depends on which failure patterns the environment admits
+// (Table 1).  A simulator that only injects uniform-random crashes and a
+// single fair-lossy regime therefore explores a thin slice of the space the
+// theorems range over.  This package names the interesting corners of that
+// space and lets the engine consult them instead of a hard-coded sampler.
+//
+// An Adversary plans the failure pattern of one run (which processes crash,
+// and when).  An adversary that additionally implements ChannelShaper also
+// decides the fate of every message — drop, delay, duplicate — on a per-link
+// basis.  Implementations must be immutable after construction: one adversary
+// value is shared by every worker of a parallel sweep and consulted on the
+// simulator's hot path, so all per-run randomness must come from the *rand.Rand
+// passed in, and all decisions must be pure functions of (call arguments,
+// adversary configuration).  Identical (adversary, seed) pairs always yield
+// identical schedules.
+//
+// # Catalog and paper grounding
+//
+//   - UniformCrashes: the baseline sampler (a uniformly random subset of
+//     processes crashing at uniformly random times in the crash window).
+//     It reproduces the historical inline sampler draw-for-draw, so runs of
+//     pre-existing scenarios are byte-identical.
+//   - TargetedCrashes: crashes exactly the processes coordination leans on —
+//     by default the lowest-numbered ones, which are the first rotating
+//     coordinators and the earliest action initiators.  With AtFraction=1 the
+//     crashes land on the final step of the run, after the last detector
+//     report, which makes the finite-trace reading of "eventually permanently
+//     suspects" (strong completeness, Section 2.2) unsatisfiable: no report
+//     can suspect a process that has not yet crashed without violating
+//     strong accuracy.
+//   - CascadeCrashes: a correlated failure avalanche — one trigger crash and
+//     the remaining victims following at fixed short intervals.  The paper's
+//     environments bound only the number of failures, not their correlation,
+//     so sufficiency claims must survive temporal clustering.
+//   - LateBurstCrashes: every failure strikes in the final fraction of the
+//     horizon, long after detectors and protocols have settled, stressing the
+//     bounded-horizon interpretation of the completeness properties.
+//   - HealingPartition: drops cross-partition traffic until a heal time.  The
+//     partition is soft: the engine's fairness bound (condition R5) still
+//     forces every message that keeps being retransmitted through eventually,
+//     so the regime stays within the paper's fair-lossy channel model while
+//     approximating the classical worst case for quorum- and relay-based
+//     coordination.
+//   - SkewedDelays: asymmetric per-link delays (links from higher- to
+//     lower-numbered processes are slow).  The paper's model is fully
+//     asynchronous, so no protocol or detector conversion may depend on
+//     delivery symmetry; this schedule surfaces accidental timing
+//     assumptions.
+//   - DuplicateStorm: delivers extra copies of messages.  Duplication steps
+//     outside run condition R3's send/receive counting discipline, which is
+//     exactly the point: performed-action idempotence (the do-once semantics
+//     of Do) must absorb it even though the run conditions do not.
+//   - BurstLoss: periodic loss storms (windows of near-total loss between
+//     quiet phases).  Within a storm almost everything is dropped, but the
+//     fairness bound keeps the channel fair-lossy in the sense of R5, so
+//     UDC-sufficient detector/protocol pairs must still coordinate.
+//
+// Every catalog entry is registered by name in internal/registry and exposed
+// through "udcsim -adversary" and "udcsim -list-adversaries"; the adv-*
+// scenario family pairs each schedule with the detector and checker it
+// stresses, and the violations a schedule provokes (strong completeness
+// breaking under TargetedCrashes at the final step, for instance) are
+// recorded sweep results, locked by tests, rather than assumptions.
+package adversary

@@ -1,0 +1,134 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/workload"
+)
+
+// violationsOfRule filters validation output down to one run condition.
+func violationsOfRule(vs []model.Violation, rule string) []model.Violation {
+	var out []model.Violation
+	for _, v := range vs {
+		if v.Rule == rule {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestBurstLossRegimeStaysFair is the condition-R5 regression for the
+// burst-loss channel regime: storms drop most traffic, but the fairness
+// bound still forces persistently retransmitted messages through, so the
+// channel remains fair-lossy, the finite-trace R5 heuristic stays clean, and
+// the strong-detector protocol still coordinates.
+func TestBurstLossRegimeStaysFair(t *testing.T) {
+	sc := registry.MustScenario("adv-burst-loss-strong-udc")
+	for _, seed := range workload.Seeds(11, 5) {
+		res, err := workload.Execute(sc.Spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Stats.MessagesDropped == 0 {
+			t.Errorf("seed %d: no drops recorded; the storm regime is not biting", seed)
+		}
+		if res.Stats.MessagesDelivered == 0 {
+			t.Errorf("seed %d: nothing delivered; fairness bound not forcing messages through", seed)
+		}
+		if r5 := violationsOfRule(model.Validate(res.Run, model.DefaultValidateOptions()), "R5"); len(r5) != 0 {
+			t.Errorf("seed %d: burst loss broke channel fairness: %v", seed, r5[0])
+		}
+		if vs := sc.Eval(res.Run); len(vs) != 0 {
+			t.Errorf("seed %d: UDC violated under burst loss: %v", seed, vs[0])
+		}
+	}
+}
+
+// TestDuplicateStormIsAbsorbed is the condition-R5 regression for the
+// duplication regime, and records the one run condition duplication *does*
+// step outside: extra copies violate R3's receive/send counting (the checker
+// flags them), while fairness R5 stays intact and the do-once semantics of
+// performed actions absorb every repeated delivery, keeping nUDC clean.
+func TestDuplicateStormIsAbsorbed(t *testing.T) {
+	sc := registry.MustScenario("adv-duplicate-storm-nudc")
+	duplicated, r3Flagged := 0, 0
+	for _, seed := range workload.Seeds(23, 5) {
+		res, err := workload.Execute(sc.Spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		duplicated += res.Stats.MessagesDuplicated
+		all := model.Validate(res.Run, model.DefaultValidateOptions())
+		if r5 := violationsOfRule(all, "R5"); len(r5) != 0 {
+			t.Errorf("seed %d: duplication broke channel fairness: %v", seed, r5[0])
+		}
+		if len(violationsOfRule(all, "R3")) != 0 {
+			r3Flagged++
+		}
+		if vs := sc.Eval(res.Run); len(vs) != 0 {
+			t.Errorf("seed %d: nUDC violated under duplication: %v", seed, vs[0])
+		}
+	}
+	if duplicated == 0 {
+		t.Errorf("no duplicates injected across seeds; the storm regime is not biting")
+	}
+	if r3Flagged == 0 {
+		t.Errorf("duplication never tripped the R3 counting check; expected extra copies to step outside R3")
+	}
+}
+
+// TestTargetedFinalBreaksStrongCompleteness demonstrates an expected
+// detector-property violation under a targeted-crash adversary: crashes on
+// the final step land after the last detector report (the scenario's report
+// period does not divide its horizon), so even the perfect detector cannot
+// satisfy the finite-trace reading of strong completeness, while strong
+// accuracy — which would have to be sacrificed to fix it — stays intact.
+func TestTargetedFinalBreaksStrongCompleteness(t *testing.T) {
+	sc := registry.MustScenario("adv-targeted-final-fd")
+	if !sc.Stress {
+		t.Fatalf("adv-targeted-final-fd must be marked as a stress scenario")
+	}
+	for _, seed := range workload.Seeds(1, 3) {
+		res, err := workload.Execute(sc.Spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		faulty := res.Run.Faulty()
+		if faulty.Count() == 0 {
+			t.Fatalf("seed %d: targeted adversary crashed nobody", seed)
+		}
+		for _, q := range faulty.Members() {
+			if ct, ok := res.Run.CrashTime(q); !ok || ct != sc.Spec.MaxSteps {
+				t.Errorf("seed %d: victim %d crashed at %d, want final step %d", seed, q, ct, sc.Spec.MaxSteps)
+			}
+		}
+		if vs := fd.CheckStrongAccuracy(res.Run); len(vs) != 0 {
+			t.Errorf("seed %d: perfect detector lost strong accuracy: %v", seed, vs[0])
+		}
+		if vs := fd.CheckStrongCompleteness(res.Run); len(vs) == 0 {
+			t.Errorf("seed %d: expected strong-completeness violations under final-step crashes, found none", seed)
+		}
+	}
+}
+
+// TestHealingPartitionHeals checks that coordination completes despite the
+// pre-heal partition: the UDC check of the scenario passes and messages do
+// get dropped while the partition is up.
+func TestHealingPartitionHeals(t *testing.T) {
+	sc := registry.MustScenario("adv-healing-partition-quorum-udc")
+	for _, seed := range workload.Seeds(5, 3) {
+		res, err := workload.Execute(sc.Spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Stats.MessagesDropped == 0 {
+			t.Errorf("seed %d: partition dropped nothing", seed)
+		}
+		if vs := sc.Eval(res.Run); len(vs) != 0 {
+			t.Errorf("seed %d: UDC violated despite the heal: %v", seed, vs[0])
+		}
+	}
+}

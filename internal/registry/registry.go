@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/adversary"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/fd"
@@ -262,7 +263,10 @@ func OracleNames() []string {
 }
 
 // Evaluator builds the named specification checker.  The consensus evaluator
-// checks agreement/validity/termination against Proposals(opts.N).
+// checks agreement/validity/termination against Proposals(opts.N); the fd-*
+// checks verify the detector properties of Section 2.2 on the recorded
+// reports, so adversary schedules that break a property surface as recorded
+// violations rather than silent assumptions.
 func Evaluator(check string, opts Options) (workload.Evaluator, error) {
 	switch check {
 	case "udc":
@@ -277,6 +281,20 @@ func Evaluator(check string, opts Options) (workload.Evaluator, error) {
 		return func(r *model.Run) []model.Violation {
 			return consensus.CheckConsensus(r, proposals)
 		}, nil
+	case "fd-perfect":
+		return fd.CheckPerfect, nil
+	case "fd-strong":
+		return fd.CheckStrong, nil
+	case "fd-weak":
+		return fd.CheckWeak, nil
+	case "fd-strong-accuracy":
+		return fd.CheckStrongAccuracy, nil
+	case "fd-strong-completeness":
+		return fd.CheckStrongCompleteness, nil
+	case "fd-weak-accuracy":
+		return fd.CheckWeakAccuracy, nil
+	case "fd-weak-completeness":
+		return fd.CheckWeakCompleteness, nil
 	default:
 		return nil, fmt.Errorf("registry: unknown check %q (have %v)", check, CheckNames())
 	}
@@ -293,7 +311,99 @@ func MustEvaluator(check string, opts Options) workload.Evaluator {
 
 // CheckNames returns the known specification names.
 func CheckNames() []string {
-	return []string{"consensus", "nudc", "udc"}
+	return []string{
+		"consensus", "nudc", "udc",
+		"fd-perfect", "fd-strong", "fd-strong-accuracy", "fd-strong-completeness",
+		"fd-weak", "fd-weak-accuracy", "fd-weak-completeness",
+	}
+}
+
+// AdversaryInfo describes a registered fault/network schedule.
+type AdversaryInfo struct {
+	// Name is the registry key, e.g. "targeted-final".
+	Name string
+	// Description is a one-line summary for usage messages.
+	Description string
+	// Shapes reports whether the adversary also shapes per-link delivery.
+	Shapes bool
+}
+
+var adversaries = map[string]struct {
+	description string
+	value       adversary.Adversary
+}{
+	"uniform": {
+		description: "uniformly random crash subset in the crash window (the baseline sampler)",
+		value:       adversary.UniformCrashes{},
+	},
+	"targeted": {
+		description: "crashes the lowest-numbered processes (first coordinators and initiators) at the start of the crash window",
+		value:       adversary.TargetedCrashes{},
+	},
+	"targeted-final": {
+		description: "crashes the lowest-numbered processes on the final step, after the last detector report",
+		value:       adversary.TargetedCrashes{AtFraction: 1},
+	},
+	"cascade": {
+		description: "one randomly timed trigger crash followed by a correlated avalanche at short fixed intervals",
+		value:       adversary.CascadeCrashes{},
+	},
+	"late-burst": {
+		description: "every crash lands in the final tenth of the horizon, after detectors have settled",
+		value:       adversary.LateBurstCrashes{},
+	},
+	"healing-partition": {
+		description: "drops cross-partition traffic (softened by the R5 fairness bound) until the partition heals at mid-horizon",
+		value:       adversary.HealingPartition{},
+	},
+	"skewed-delays": {
+		description: "links from higher- to lower-numbered processes are several steps slower",
+		value:       adversary.SkewedDelays{},
+	},
+	"duplicate-storm": {
+		description: "randomly delivers extra copies of messages, stressing do-once idempotence",
+		value:       adversary.DuplicateStorm{},
+	},
+	"burst-loss": {
+		description: "periodic near-total loss storms between quiet phases, kept fair-lossy by the R5 bound",
+		value:       adversary.BurstLoss{},
+	},
+}
+
+// Adversary returns the named fault/network schedule and its registry info.
+// Adversaries are immutable shared values, so the same value is returned on
+// every call.
+func Adversary(name string) (adversary.Adversary, AdversaryInfo, error) {
+	entry, ok := adversaries[name]
+	if !ok {
+		return nil, AdversaryInfo{}, fmt.Errorf("registry: unknown adversary %q (have %v)", name, AdversaryNames())
+	}
+	_, shapes := entry.value.(adversary.ChannelShaper)
+	return entry.value, AdversaryInfo{Name: name, Description: entry.description, Shapes: shapes}, nil
+}
+
+// MustAdversary is Adversary for statically known names; it panics on error.
+func MustAdversary(name string) adversary.Adversary {
+	adv, _, err := Adversary(name)
+	if err != nil {
+		panic(err)
+	}
+	return adv
+}
+
+// AdversaryNames returns the registered adversary names, sorted.
+func AdversaryNames() []string {
+	return sortedKeys(adversaries)
+}
+
+// Adversaries returns the registered adversary descriptions, sorted by name.
+func Adversaries() []AdversaryInfo {
+	out := make([]AdversaryInfo, 0, len(adversaries))
+	for _, name := range AdversaryNames() {
+		_, info, _ := Adversary(name)
+		out = append(out, info)
+	}
+	return out
 }
 
 func sortedKeys[V any](m map[string]V) []string {

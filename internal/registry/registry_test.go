@@ -65,6 +65,53 @@ func TestEveryOracleConstructs(t *testing.T) {
 	}
 }
 
+func TestEveryAdversaryConstructs(t *testing.T) {
+	for _, name := range registry.AdversaryNames() {
+		adv, info, err := registry.Adversary(name)
+		if err != nil {
+			t.Fatalf("adversary %q: %v", name, err)
+		}
+		if adv == nil {
+			t.Fatalf("adversary %q: nil value", name)
+		}
+		if adv.Name() != name {
+			t.Errorf("adversary %q: value names itself %q", name, adv.Name())
+		}
+		if info.Name != name || info.Description == "" {
+			t.Errorf("adversary %q: incomplete info: %+v", name, info)
+		}
+	}
+	if _, _, err := registry.Adversary("bogus"); err == nil {
+		t.Errorf("unknown adversary should fail")
+	}
+}
+
+// TestEveryAdversaryHasAScenario pins the catalog contract: each registered
+// adversary is exercised by at least one registered scenario.
+func TestEveryAdversaryHasAScenario(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, sc := range registry.Scenarios() {
+		if sc.Spec.Adversary != nil {
+			covered[sc.Spec.Adversary.Name()] = true
+		}
+	}
+	// The uniform baseline additionally covers every scenario that leaves
+	// Spec.Adversary nil, but it must also be constructible explicitly.
+	for _, name := range registry.AdversaryNames() {
+		if !covered[name] {
+			t.Errorf("adversary %q is not exercised by any registered scenario", name)
+		}
+	}
+}
+
+func TestEveryCheckConstructs(t *testing.T) {
+	for _, name := range registry.CheckNames() {
+		if _, err := registry.Evaluator(name, registry.Options{N: 5}); err != nil {
+			t.Errorf("check %q: %v", name, err)
+		}
+	}
+}
+
 func TestEveryScenarioRunsCleanly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario sweep is slow")
@@ -82,10 +129,10 @@ func TestEveryScenarioRunsCleanly(t *testing.T) {
 			t.Fatalf("scenario %q: execute: %v", name, err)
 		}
 		// The catalog scenarios are the paper-sufficient combinations (plus
-		// the crossover stress shape, which is expected to be able to fail);
-		// a single fixed seed of each sufficient scenario must satisfy its
+		// the stress shapes, which exist to surface violations); a single
+		// fixed seed of each sufficient scenario must satisfy its
 		// specification.
-		if name == "crossover-quorum" {
+		if sc.Stress {
 			continue
 		}
 		if vs := sc.Eval(res.Run); len(vs) != 0 {

@@ -20,6 +20,10 @@ type Scenario struct {
 	Description string
 	// Check names the specification the evaluator enforces.
 	Check string
+	// Stress marks scenarios that are expected to be able to violate their
+	// check: the violations are the recorded result the scenario exists to
+	// surface, not a scenario bug.
+	Stress bool
 	// Spec is the parameterised workload.
 	Spec workload.Spec
 	// Eval checks the scenario's specification on each recorded run.
@@ -28,6 +32,7 @@ type Scenario struct {
 
 type scenarioEntry struct {
 	description string
+	stress      bool
 	build       func(name string) Scenario
 }
 
@@ -53,6 +58,16 @@ func udcShape(name string, n int, oracle, protocol, check string, opts Options, 
 		},
 		Eval: MustEvaluator(check, Options{N: n}),
 	}
+}
+
+// advShape is the shared shape of the adversary scenario family: a named
+// fault/network schedule from the adversary catalog paired with the
+// detector, protocol and check it stresses, on the standing UDC workload
+// shape.
+func advShape(name string, n int, adversaryName, oracle, protocol, check string, opts Options, failures int, net sim.NetworkConfig) Scenario {
+	sc := udcShape(name, n, oracle, protocol, check, opts, failures, net)
+	sc.Spec.Adversary = MustAdversary(adversaryName)
+	return sc
 }
 
 // consensusShape is the shared shape of the consensus scenarios.
@@ -135,6 +150,7 @@ var scenarios = map[string]scenarioEntry{
 	},
 	"crossover-quorum": {
 		description: "quorum protocol at the t = n/2 boundary under heavy loss and early crashes",
+		stress:      true,
 		build: func(name string) Scenario {
 			const n, t = 6, 3
 			return Scenario{
@@ -183,6 +199,69 @@ var scenarios = map[string]scenarioEntry{
 			}
 		},
 	},
+	// The adv-* family pairs each catalogued adversary with the detector,
+	// protocol and check its schedule stresses; sweeps over the family probe
+	// the space of failure patterns the paper's theorems quantify over.
+	"adv-uniform-strong-udc": {
+		description: "baseline: explicit uniform adversary under the Prop 3.1 strong-detector workload (locks adversary wiring against the historical sampler)",
+		build: func(name string) Scenario {
+			return advShape(name, 6, "uniform", "strong", "strong", "udc", Options{Seed: 1}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"adv-targeted-consensus": {
+		description: "targeted early crashes of the first rotating coordinators; consensus must survive losing exactly the processes it leans on",
+		build: func(name string) Scenario {
+			sc := consensusShape(name, 6, "strong", "consensus-rotating", Options{N: 6, Seed: 31}, 2, sim.FairLossyNetwork(0.3))
+			sc.Spec.Adversary = MustAdversary("targeted")
+			return sc
+		},
+	},
+	"adv-targeted-final-fd": {
+		description: "final-step targeted crashes land after the last report, making finite-trace strong completeness (Section 2.2) unsatisfiable even for the perfect detector",
+		stress:      true,
+		build: func(name string) Scenario {
+			// SuspectEvery (3) does not divide MaxSteps (400), so the last
+			// report precedes the final-step crashes and cannot suspect the
+			// victims without violating strong accuracy.
+			return advShape(name, 6, "targeted-final", "perfect", "strong", "fd-perfect", Options{}, 2, sim.FairLossyNetwork(0.2))
+		},
+	},
+	"adv-cascade-strong-udc": {
+		description: "correlated crash avalanche: the environment bounds only the number of failures, so Prop 3.1 must survive temporal clustering",
+		build: func(name string) Scenario {
+			return advShape(name, 6, "cascade", "strong", "strong", "udc", Options{Seed: 1}, 4, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"adv-late-burst-quorum-udc": {
+		description: "every crash in the final tenth of the horizon, stressing the bounded-horizon reading of completeness for the detector-free quorum protocol",
+		build: func(name string) Scenario {
+			return advShape(name, 7, "late-burst", "none", "quorum", "udc", Options{T: 3}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"adv-healing-partition-quorum-udc": {
+		description: "soft partition until mid-horizon (R5 fairness still forces retransmissions through), the classical worst case for quorum coordination",
+		build: func(name string) Scenario {
+			return advShape(name, 7, "healing-partition", "none", "quorum", "udc", Options{T: 3}, 3, sim.FairLossyNetwork(0.2))
+		},
+	},
+	"adv-skewed-delays-strong-udc": {
+		description: "asymmetric per-link delays: the asynchronous model permits them, so no protocol or conversion may depend on delivery symmetry",
+		build: func(name string) Scenario {
+			return advShape(name, 6, "skewed-delays", "strong", "strong", "udc", Options{Seed: 1}, 3, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"adv-duplicate-storm-nudc": {
+		description: "message duplication outside R3's counting discipline; do-once idempotence must absorb it for the Prop 2.3 nUDC protocol",
+		build: func(name string) Scenario {
+			return advShape(name, 6, "duplicate-storm", "none", "nudc", "nudc", Options{}, 4, sim.FairLossyNetwork(0.3))
+		},
+	},
+	"adv-burst-loss-strong-udc": {
+		description: "periodic near-total loss storms kept fair-lossy by the R5 bound; UDC-sufficient detector/protocol pairs must still coordinate",
+		build: func(name string) Scenario {
+			return advShape(name, 6, "burst-loss", "strong", "strong", "udc", Options{Seed: 1}, 3, sim.FairLossyNetwork(0.15))
+		},
+	},
 	"thm4.3-extraction": {
 		description: "system-sampling shape for the t-useful detector simulation of Theorem 4.3",
 		build: func(name string) Scenario {
@@ -210,6 +289,7 @@ func LookupScenario(name string) (Scenario, error) {
 	}
 	sc := entry.build(name)
 	sc.Description = entry.description
+	sc.Stress = entry.stress
 	return sc, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/adversary"
 	"repro/internal/fd"
 	"repro/internal/model"
 )
@@ -109,6 +110,11 @@ type Config struct {
 	SuspectEvery int
 	// Network is the channel behaviour.
 	Network NetworkConfig
+	// Shaper lets an adversary shape per-link delivery (drops, extra delay,
+	// duplicate copies) on top of Network's base loss model; nil means no
+	// shaping.  Shaper drops share the fairness accounting of condition R5
+	// with the base loss model, so shaped channels remain fair-lossy.
+	Shaper adversary.ChannelShaper
 	// Crashes is the failure pattern of the run.
 	Crashes []CrashEvent
 	// Initiations is the workload.
@@ -156,10 +162,13 @@ type Stats struct {
 	MessagesDelivered int
 	MessagesDropped   int
 	MessagesToCrashed int
-	DoEvents          int
-	InitEvents        int
-	SuspectEvents     int
-	CrashEvents       int
+	// MessagesDuplicated counts the extra copies injected by a channel
+	// shaper (each also counts as delivered or to-crashed on arrival).
+	MessagesDuplicated int
+	DoEvents           int
+	InitEvents         int
+	SuspectEvents      int
+	CrashEvents        int
 	// LastEventTime is the time of the last recorded event, a cheap
 	// quiescence indicator.
 	LastEventTime int

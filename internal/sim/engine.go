@@ -65,7 +65,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		e.epoch = 1
 	}
 	e.gt.reset(cfg)
-	e.net.reset(cfg.Network, e.rng, &e.stats)
+	e.net.reset(cfg, e.rng, &e.stats)
 	e.run = model.NewRunCap(cfg.N, eventCapacityHint(cfg))
 
 	if cap(e.procs) < cfg.N {

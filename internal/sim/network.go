@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 
+	"repro/internal/adversary"
 	"repro/internal/model"
 )
 
@@ -35,10 +36,11 @@ type channelKey struct {
 
 // network implements reliable and fair-lossy channels.  In-flight messages
 // live in a calendar queue: a ring of time buckets indexed by delivery time
-// modulo the ring size.  Delivery delays are bounded by MaxDelay+1 steps, so a
-// ring of MaxDelay+2 buckets guarantees each bucket is fully drained before it
-// is reused; the per-bucket slices and the intern table are retained across
-// runs by the owning Engine.
+// modulo the ring size.  Delivery delays are bounded by
+// MaxDelay+MaxExtraDelay+1 steps (the extra-delay term is zero without a
+// channel shaper), so a ring of MaxDelay+MaxExtraDelay+2 buckets guarantees
+// each bucket is fully drained before it is reused; the per-bucket slices and
+// the intern table are retained across runs by the owning Engine.
 type network struct {
 	cfg     NetworkConfig
 	rng     *rand.Rand
@@ -46,14 +48,28 @@ type network struct {
 	intern  map[msgIdentity]int32
 	drops   map[channelKey]int // consecutive drops per channel/message
 	stats   *Stats
+	// Channel shaping (nil shaper means none).  shaperMax caps the extra
+	// delay a verdict may add, and link carries the run dimensions every
+	// Shape call needs; only link.Now, link.From and link.To vary per send.
+	shaper    adversary.ChannelShaper
+	shaperMax int
+	link      adversary.Link
 }
 
 // reset prepares the network for a new run, reusing buffers where possible.
-func (nw *network) reset(cfg NetworkConfig, rng *rand.Rand, stats *Stats) {
-	nw.cfg = cfg
+func (nw *network) reset(cfg Config, rng *rand.Rand, stats *Stats) {
+	nw.cfg = cfg.Network
 	nw.rng = rng
 	nw.stats = stats
-	ring := cfg.MaxDelay + 2
+	nw.shaper = cfg.Shaper
+	nw.shaperMax = 0
+	if nw.shaper != nil {
+		if m := nw.shaper.MaxExtraDelay(); m > 0 {
+			nw.shaperMax = m
+		}
+	}
+	nw.link = adversary.Link{N: cfg.N, Horizon: cfg.MaxSteps}
+	ring := nw.cfg.MaxDelay + nw.shaperMax + 2
 	if len(nw.buckets) < ring {
 		grown := make([][]pendingMessage, ring)
 		copy(grown, nw.buckets)
@@ -91,22 +107,49 @@ func (nw *network) internMsg(msg model.Message) int32 {
 	return k
 }
 
-// send enqueues a message sent at time now, applying the loss model.
+// send enqueues a message sent at time now, applying the loss model and the
+// channel shaper, if any.  The shaper's verdict composes with the base model:
+// drops from either source share the fairness accounting, extra delay adds to
+// the base delay draw, and duplicates are enqueued as additional copies.
 func (nw *network) send(now int, from, to model.ProcID, msg model.Message) {
 	nw.stats.MessagesSent++
 	key := channelKey{from: from, to: to, msg: nw.internMsg(msg)}
-	if !nw.cfg.Reliable && nw.cfg.DropProbability > 0 {
-		if nw.rng.Float64() < nw.cfg.DropProbability {
-			if nw.drops[key]+1 < nw.fairnessBound() {
-				nw.drops[key]++
-				nw.stats.MessagesDropped++
-				return
-			}
-			// The fairness bound forces this copy through.
+	var verdict adversary.Verdict
+	if nw.shaper != nil {
+		nw.link.Now, nw.link.From, nw.link.To = now, from, to
+		verdict = nw.shaper.Shape(nw.rng, nw.link)
+		if verdict.ExtraDelay < 0 {
+			verdict.ExtraDelay = 0
+		} else if verdict.ExtraDelay > nw.shaperMax {
+			verdict.ExtraDelay = nw.shaperMax
 		}
 	}
+	drop := verdict.Drop
+	if !nw.cfg.Reliable && nw.cfg.DropProbability > 0 {
+		if nw.rng.Float64() < nw.cfg.DropProbability {
+			drop = true
+		}
+	}
+	if drop {
+		if nw.drops[key]+1 < nw.fairnessBound() {
+			nw.drops[key]++
+			nw.stats.MessagesDropped++
+			return
+		}
+		// The fairness bound forces this copy through.
+	}
 	nw.drops[key] = 0
-	delay := 1
+	nw.enqueue(now, from, to, msg, verdict.ExtraDelay)
+	for i := 0; i < verdict.Duplicates; i++ {
+		nw.stats.MessagesDuplicated++
+		nw.enqueue(now, from, to, msg, verdict.ExtraDelay)
+	}
+}
+
+// enqueue places one copy of a message into the delivery ring, drawing its
+// base delay and adding the shaper's extra delay.
+func (nw *network) enqueue(now int, from, to model.ProcID, msg model.Message, extraDelay int) {
+	delay := 1 + extraDelay
 	if nw.cfg.MaxDelay > 0 {
 		delay += nw.rng.Intn(nw.cfg.MaxDelay + 1)
 	}

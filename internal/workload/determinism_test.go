@@ -37,11 +37,20 @@ func outcomesJSON(t *testing.T, s workload.SweepResult) string {
 
 // determinismScenarios are the catalog shapes the regression locks down: a
 // lossy UDC workload with a randomised detector, a generalized-detector
-// workload, and a consensus workload.
+// workload, a consensus workload, and one scenario per adversary rng
+// signature (shaper drop draws, duplication draws, extra-delay scheduling,
+// cascade crash planning, and a deterministic no-draw schedule checked with
+// an fd property evaluator).
 var determinismScenarios = []string{
 	"prop3.1-strong-udc",
 	"prop4.1-tuseful-udc",
 	"consensus-majority",
+	"adv-burst-loss-strong-udc",
+	"adv-duplicate-storm-nudc",
+	"adv-skewed-delays-strong-udc",
+	"adv-healing-partition-quorum-udc",
+	"adv-cascade-strong-udc",
+	"adv-targeted-final-fd",
 }
 
 // TestSerialAndParallelSweepsAreByteIdentical locks the tentpole contract:

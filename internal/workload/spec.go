@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/adversary"
 	"repro/internal/fd"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -41,6 +42,14 @@ type Spec struct {
 	// CrashStart and CrashEnd bound the crash times; zero values default to
 	// [1, MaxSteps/2].
 	CrashStart, CrashEnd int
+	// Adversary plans the failure pattern and, when it also implements
+	// adversary.ChannelShaper, shapes per-link delivery.  The resolved
+	// crash window and failure budget above are passed to it as planning
+	// parameters, but positional schedules (targeted-final, late-burst, the
+	// tail of a cascade) deliberately place crashes outside the window.
+	// Nil means adversary.UniformCrashes, the baseline sampler, which does
+	// honour the window.
+	Adversary adversary.Adversary
 }
 
 // BuildConfig expands the spec into a concrete simulator configuration for the
@@ -72,23 +81,24 @@ func BuildConfig(spec Spec, seed int64) sim.Config {
 		crashEnd = crashStart
 	}
 
-	// Crash pattern: a random subset of processes of size at most MaxFailures.
-	failures := spec.MaxFailures
-	if failures > spec.N {
-		failures = spec.N
+	// Crash pattern: the adversary plans it from the resolved crash window
+	// and failure budget.  The default is the uniform baseline sampler,
+	// which reproduces the historically inlined sampling draw for draw.
+	adv := spec.Adversary
+	if adv == nil {
+		adv = adversary.UniformCrashes{}
 	}
-	count := failures
-	if !spec.ExactFailures && failures > 0 {
-		count = rng.Intn(failures + 1)
-	}
-	perm := rng.Perm(spec.N)
-	crashes := make([]sim.CrashEvent, 0, count)
-	for i := 0; i < count; i++ {
-		t := crashStart
-		if crashEnd > crashStart {
-			t += rng.Intn(crashEnd - crashStart + 1)
-		}
-		crashes = append(crashes, sim.CrashEvent{Time: t, Proc: model.ProcID(perm[i])})
+	planned := adv.PlanCrashes(rng, adversary.Params{
+		N:             spec.N,
+		Horizon:       spec.MaxSteps,
+		MaxFailures:   spec.MaxFailures,
+		ExactFailures: spec.ExactFailures,
+		CrashStart:    crashStart,
+		CrashEnd:      crashEnd,
+	})
+	crashes := make([]sim.CrashEvent, len(planned))
+	for i, cr := range planned {
+		crashes[i] = sim.CrashEvent{Time: cr.Time, Proc: cr.Proc}
 	}
 
 	// Initiation schedule: actions are spread round-robin over processes with
@@ -104,7 +114,7 @@ func BuildConfig(spec Spec, seed int64) sim.Config {
 		})
 	}
 
-	return sim.Config{
+	cfg := sim.Config{
 		N:            spec.N,
 		Seed:         seed,
 		MaxSteps:     spec.MaxSteps,
@@ -116,6 +126,10 @@ func BuildConfig(spec Spec, seed int64) sim.Config {
 		Protocol:     spec.Protocol,
 		Oracle:       spec.Oracle,
 	}
+	if shaper, ok := adv.(adversary.ChannelShaper); ok {
+		cfg.Shaper = shaper
+	}
+	return cfg
 }
 
 // Execute builds and runs the scenario for one seed on a fresh engine.

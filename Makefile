@@ -24,11 +24,14 @@ smoke:
 	$(GO) run ./cmd/udcsim -list-scenarios >/dev/null
 	$(GO) run ./cmd/udcsim -list-adversaries >/dev/null
 	$(GO) run ./cmd/udcsim -adversary burst-loss -protocol strong -n 5 -steps 300 -quiet
+	$(GO) run ./cmd/fdextract -list-scenarios >/dev/null
+	$(GO) run ./cmd/fdextract -scenario kx-perfect -runs 8 -workers 4 >/dev/null
 
-# bench runs the Table 1 benchmark plus the adversary sweep and records the
-# next BENCH_<n>.json snapshot, so the performance trajectory accumulates
-# across working sessions.  Tune the sample count with BENCHTIME=50x etc.
+# bench runs the Table 1 benchmark, the adversary sweep and the
+# knowledge-extraction benchmark, and records the next BENCH_<n>.json
+# snapshot, so the performance trajectory accumulates across working
+# sessions.  Tune the sample count with BENCHTIME=50x etc.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status

@@ -191,11 +191,11 @@ func BenchmarkCor42QuorumUDC(b *testing.B) {
 }
 
 // buildSystem samples a UDC system for the extraction benchmarks.
-func buildSystem(b *testing.B, spec workload.Spec, runs int) *epistemic.System {
+func buildSystem(b *testing.B, spec workload.Spec, runs int, baseSeed int64) *epistemic.System {
 	b.Helper()
 	eng := sim.NewEngine()
 	out := make(model.System, 0, runs)
-	for _, seed := range workload.Seeds(9000, runs) {
+	for _, seed := range workload.Seeds(baseSeed, runs) {
 		res, err := workload.ExecuteWith(eng, spec, seed)
 		if err != nil {
 			b.Fatalf("execute: %v", err)
@@ -209,7 +209,7 @@ func buildSystem(b *testing.B, spec workload.Spec, runs int) *epistemic.System {
 // (construction P1-P3) over a sampled system, including the property check
 // (E6).
 func BenchmarkTheorem36Extraction(b *testing.B) {
-	sys := buildSystem(b, registry.MustScenario("thm3.6-extraction").Spec, 10)
+	sys := buildSystem(b, registry.MustScenario("thm3.6-extraction").Spec, 10, 9000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		simulated := core.SimulatePerfectDetector(sys)
@@ -227,7 +227,7 @@ func BenchmarkTheorem36Extraction(b *testing.B) {
 // simulation (construction P3') over a sampled system (E8).
 func BenchmarkTheorem43Extraction(b *testing.B) {
 	const t = 2
-	sys := buildSystem(b, registry.MustScenario("thm4.3-extraction").Spec, 8)
+	sys := buildSystem(b, registry.MustScenario("thm4.3-extraction").Spec, 8, 9000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		simulated := core.SimulateTUsefulDetector(sys)
@@ -242,6 +242,61 @@ func BenchmarkTheorem43Extraction(b *testing.B) {
 	}
 }
 
+// BenchmarkExtraction tracks the knowledge-extraction hot path on the
+// standing kx-* sample shape (n=7, 64 runs): building the interned epistemic
+// index, the two knowledge-based run transforms over it (serial, so the
+// recorded trajectory tracks the per-run cost), and the full parallel
+// pipeline.  `make bench` records it to BENCH_<n>.json alongside the sweeps.
+func BenchmarkExtraction(b *testing.B) {
+	perfect := registry.MustExtraction("kx-perfect").Extraction
+	tuseful := registry.MustExtraction("kx-tuseful").Extraction
+	runs := buildSystem(b, perfect.Source, perfect.Runs, perfect.BaseSeed).Runs()
+
+	b.Run("index/n=7/runs=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := epistemic.NewSystem(runs)
+			if sys.Size() != len(runs) {
+				b.Fatalf("index dropped runs")
+			}
+		}
+	})
+
+	sys := epistemic.NewSystem(runs)
+	st := sys.Stats()
+	b.Run("perfect-transform/n=7/runs=64", func(b *testing.B) {
+		b.ReportMetric(float64(st.Classes), "classes")
+		for i := 0; i < b.N; i++ {
+			if out := core.SimulatePerfectDetector(sys); len(out) != sys.Size() {
+				b.Fatalf("transform dropped runs")
+			}
+		}
+	})
+	b.Run("tuseful-transform/n=7/runs=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := core.SimulateTUsefulDetector(sys); len(out) != sys.Size() {
+				b.Fatalf("transform dropped runs")
+			}
+		}
+	})
+
+	for _, bench := range []struct {
+		name string
+		ext  workload.Extraction
+	}{{"pipeline/kx-perfect", perfect}, {"pipeline/kx-tuseful", tuseful}} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Runner{}.Extract(bench.ext)
+				if err != nil {
+					b.Fatalf("extract: %v", err)
+				}
+				if !res.OK() {
+					b.Fatalf("extracted detector violated its properties")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEpistemicKnownCrashed benchmarks the knowledge queries that drive
 // the extraction (the hot path of Theorems 3.6/4.3).
 func BenchmarkEpistemicKnownCrashed(b *testing.B) {
@@ -252,7 +307,7 @@ func BenchmarkEpistemicKnownCrashed(b *testing.B) {
 		Protocol: registry.MustProtocol("strong", registry.Options{}), Actions: 5,
 		MaxFailures: 2, ExactFailures: true, CrashEnd: 70,
 	}
-	sys := buildSystem(b, spec, 8)
+	sys := buildSystem(b, spec, 8, 9000)
 	r := sys.RunAt(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

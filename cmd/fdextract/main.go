@@ -1,157 +1,126 @@
-// Command fdextract demonstrates Theorems 3.6 and 4.3: it runs a UDC-attaining
-// protocol over many seeds to build a sampled system, applies the
-// knowledge-based constructions f (perfect detector) or f' (t-useful
-// generalized detector), and verifies the resulting detectors' properties
-// against ground truth.
+// Command fdextract demonstrates Theorems 3.6 and 4.3: it executes a named
+// knowledge-extraction pipeline from the registry catalog — simulate a
+// UDC-attaining workload over many seeds, index the recorded runs into an
+// epistemic system, apply the knowledge-based construction f (perfect
+// detector) or f' (t-useful generalized detector), and verify the extracted
+// detector's properties against ground truth.  All stages distribute over a
+// worker pool with results byte-identical to a serial execution.
 //
 // Usage:
 //
-//	fdextract -mode perfect  -n 5 -runs 20 -failures 3
-//	fdextract -mode tuseful  -n 5 -runs 15 -t 2
+//	fdextract -scenario kx-perfect -workers 4
+//	fdextract -scenario kx-tuseful -runs 32
+//	fdextract -scenario kx-perfect -adversary cascade
+//	fdextract -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/epistemic"
-	"repro/internal/fd"
-	"repro/internal/model"
-	"repro/internal/sim"
+	"repro/internal/registry"
 	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fdextract:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	var (
-		mode     string
-		n        int
-		runs     int
-		failures int
-		t        int
-		steps    int
-		seed     int64
-		drop     float64
+		scenario      string
+		adversary     string
+		workers       int
+		runs          int
+		seed          int64
+		listScenarios bool
 	)
 	fs := flag.NewFlagSet("fdextract", flag.ContinueOnError)
-	fs.StringVar(&mode, "mode", "perfect", "construction to apply: perfect (Theorem 3.6) | tuseful (Theorem 4.3)")
-	fs.IntVar(&n, "n", 5, "number of processes")
-	fs.IntVar(&runs, "runs", 20, "number of runs in the sampled system")
-	fs.IntVar(&failures, "failures", 3, "crashes per run (Theorem 3.6 mode)")
-	fs.IntVar(&t, "t", 2, "failure bound (Theorem 4.3 mode)")
-	fs.IntVar(&steps, "steps", 450, "simulation horizon per run")
-	fs.Int64Var(&seed, "seed", 100, "first seed")
-	fs.Float64Var(&drop, "drop", 0.25, "message drop probability")
+	fs.StringVar(&scenario, "scenario", "kx-perfect",
+		"extraction pipeline: "+strings.Join(registry.ExtractionNames(), " | "))
+	fs.StringVar(&adversary, "adversary", "",
+		"fault/network schedule: "+strings.Join(registry.AdversaryNames(), " | ")+" (overrides the scenario's schedule)")
+	fs.IntVar(&workers, "workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
+	fs.IntVar(&runs, "runs", 0, "number of sampled runs (0 = the scenario's standing sample size)")
+	fs.Int64Var(&seed, "seed", 0, "first sampling seed (0 = the scenario's standing base seed)")
+	fs.BoolVar(&listScenarios, "list-scenarios", false, "list the catalogued extraction pipelines and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var spec workload.Spec
-	switch mode {
-	case "perfect":
-		spec = workload.Spec{
-			Name:          "fdextract-thm3.6",
-			N:             n,
-			MaxSteps:      steps,
-			TickEvery:     2,
-			SuspectEvery:  3,
-			Network:       sim.FairLossyNetwork(drop),
-			Oracle:        fd.StrongOracle{FalseSuspicionRate: 0.3, Seed: seed},
-			Protocol:      core.NewStrongFDUDC,
-			Actions:       2 * n,
-			LastInitTime:  steps * 2 / 3,
-			MaxFailures:   failures,
-			ExactFailures: true,
-			CrashEnd:      steps / 4,
+	if listScenarios {
+		for _, sc := range registry.Extractions() {
+			fmt.Fprintf(w, "%-28s %s\n", sc.Name, sc.Description)
 		}
-	case "tuseful":
-		spec = workload.Spec{
-			Name:          "fdextract-thm4.3",
-			N:             n,
-			MaxSteps:      steps,
-			TickEvery:     2,
-			SuspectEvery:  3,
-			Network:       sim.FairLossyNetwork(drop),
-			Oracle:        fd.FaultySetOracle{},
-			Protocol:      core.NewTUsefulUDC(t),
-			Actions:       2 * n,
-			LastInitTime:  steps * 2 / 3,
-			MaxFailures:   t,
-			ExactFailures: true,
-			CrashEnd:      steps / 4,
-		}
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return nil
 	}
 
-	fmt.Printf("building sampled system: %d runs of %s (n=%d)\n", runs, spec.Name, n)
-	sourceRuns := make(model.System, 0, runs)
-	udcFailures := 0
-	for _, s := range workload.Seeds(seed, runs) {
-		res, err := workload.Execute(spec, s)
+	sc, err := registry.LookupExtraction(scenario)
+	if err != nil {
+		return err
+	}
+	ext := sc.Extraction
+	if adversary != "" {
+		adv, _, err := registry.Adversary(adversary)
 		if err != nil {
 			return err
 		}
-		if vs := core.CheckUDC(res.Run); len(vs) > 0 {
-			udcFailures++
-			fmt.Printf("  warning: seed %d violated UDC (%d violations); excluded from the system\n", s, len(vs))
-			continue
-		}
-		sourceRuns = append(sourceRuns, res.Run)
+		ext.Source.Adversary = adv
 	}
-	if len(sourceRuns) == 0 {
-		return fmt.Errorf("no UDC-satisfying runs; cannot extract")
+	if runs > 0 {
+		ext.Runs = runs
 	}
-	fmt.Printf("system built: %d runs kept, %d excluded\n", len(sourceRuns), udcFailures)
+	if seed != 0 {
+		ext.BaseSeed = seed
+	}
 
-	sys := epistemic.NewSystem(sourceRuns)
+	fmt.Fprintf(w, "pipeline %s: sampling %d runs of %s (n=%d, mode=%s)\n",
+		ext.Name, ext.Runs, ext.Source.Name, ext.Source.N, ext.Mode)
+	result, err := workload.Runner{Workers: workers}.Extract(ext)
+	if err != nil {
+		return err
+	}
 
-	switch mode {
-	case "perfect":
-		// The source detector is strong but not perfect; report its false
-		// suspicions, then show the simulated detector has none.
-		sourceFalse := 0
-		for _, r := range sourceRuns {
-			sourceFalse += len(fd.CheckStrongAccuracy(r))
-		}
-		fmt.Printf("source (strong) detector: %d false suspicions across the system\n", sourceFalse)
+	fmt.Fprintf(w, "system built: %d runs kept, %d excluded (UDC violations)\n", result.Kept, result.Excluded)
+	for _, s := range result.ExcludedSeeds {
+		fmt.Fprintf(w, "  excluded seed %d\n", s)
+	}
+	st := result.Stats
+	fmt.Fprintf(w, "epistemic index: %d points, %d classes, %d intervals\n", st.Points, st.Classes, st.Intervals)
 
-		simulated := core.SimulatePerfectDetector(sys)
-		accuracy, completeness := 0, 0
-		for _, r := range simulated {
-			accuracy += len(fd.CheckStrongAccuracy(r))
-			completeness += len(fd.CheckStrongCompleteness(r))
-		}
-		fmt.Printf("simulated detector (construction P1-P3 of Theorem 3.6):\n")
-		fmt.Printf("  strong accuracy violations:     %d\n", accuracy)
-		fmt.Printf("  strong completeness violations: %d\n", completeness)
-		if accuracy == 0 && completeness == 0 {
-			fmt.Println("  => the simulated detector is perfect, as Theorem 3.6 predicts")
-			return nil
-		}
-		return fmt.Errorf("simulated detector violates perfection")
+	switch ext.Mode {
+	case workload.ExtractPerfect:
+		fmt.Fprintln(w, "simulated detector (construction P1-P3 of Theorem 3.6):")
 	default:
-		simulated := core.SimulateTUsefulDetector(sys)
-		accuracy, usefulness := 0, 0
-		for _, r := range simulated {
-			accuracy += len(fd.CheckGeneralizedStrongAccuracy(r))
-			usefulness += len(fd.CheckTUseful(r, t))
+		fmt.Fprintf(w, "simulated generalized detector (construction P3' of Theorem 4.3, t=%d):\n", ext.T)
+	}
+	fmt.Fprintf(w, "  property violations: %d across %d transformed runs\n",
+		result.TotalViolations(), len(result.Simulated))
+	if !result.OK() {
+		violating := 0
+		for _, v := range result.Verdicts {
+			if len(v.Violations) > 0 {
+				violating++
+				fmt.Fprintf(w, "  seed %d: %d violations (first: %v)\n", v.Seed, len(v.Violations), v.Violations[0])
+			}
 		}
-		fmt.Printf("simulated generalized detector (construction P3' of Theorem 4.3):\n")
-		fmt.Printf("  generalized strong accuracy violations: %d\n", accuracy)
-		fmt.Printf("  %d-usefulness violations:               %d\n", t, usefulness)
-		if accuracy == 0 && usefulness == 0 {
-			fmt.Printf("  => the simulated detector is %d-useful, as Theorem 4.3 predicts\n", t)
+		if sc.Stress {
+			fmt.Fprintln(w, "  (stress pipeline: the recorded violations are the expected result)")
 			return nil
 		}
-		return fmt.Errorf("simulated detector violates %d-usefulness", t)
+		return fmt.Errorf("extracted detector violates its properties on %d of %d runs", violating, len(result.Simulated))
 	}
+	switch ext.Mode {
+	case workload.ExtractPerfect:
+		fmt.Fprintln(w, "  => the simulated detector is perfect, as Theorem 3.6 predicts")
+	default:
+		fmt.Fprintf(w, "  => the simulated detector is %d-useful, as Theorem 4.3 predicts\n", ext.T)
+	}
+	return nil
 }

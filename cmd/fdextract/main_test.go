@@ -1,26 +1,76 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
-func TestRunPerfectMode(t *testing.T) {
-	args := []string{"-mode", "perfect", "-n", "4", "-runs", "5", "-failures", "2", "-steps", "300"}
-	if err := run(args); err != nil {
-		t.Fatalf("run: %v", err)
+func TestRunPerfectScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "kx-perfect", "-runs", "6", "-workers", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Theorem 3.6") || !strings.Contains(out.String(), "perfect") {
+		t.Fatalf("missing verdict in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "epistemic index:") {
+		t.Fatalf("missing index stats in output:\n%s", out.String())
 	}
 }
 
-func TestRunTUsefulMode(t *testing.T) {
-	args := []string{"-mode", "tuseful", "-n", "4", "-runs", "5", "-t", "1", "-steps", "400"}
-	if err := run(args); err != nil {
+func TestRunTUsefulScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "kx-tuseful", "-runs", "5"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Theorem 4.3") || !strings.Contains(out.String(), "2-useful") {
+		t.Fatalf("missing verdict in output:\n%s", out.String())
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"kx-perfect", "kx-tuseful", "kx-perfect-cascade"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("scenario listing missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestStressScenarioReportsViolationsWithoutFailing(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "kx-perfect-starved", "-runs", "6"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("stress pipeline should exit cleanly: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "stress pipeline") {
+		t.Fatalf("missing stress note in output:\n%s", out.String())
+	}
+}
+
+func TestAdversaryOverride(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "kx-perfect", "-runs", "4", "-adversary", "skewed-delays"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-mode", "nonsense"}); err == nil {
-		t.Fatalf("expected an error for an unknown mode")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nonsense"}, &out); err == nil {
+		t.Fatalf("expected an error for an unknown scenario")
 	}
-	if err := run([]string{"-bogus-flag"}); err == nil {
+	if err := run([]string{"-adversary", "nonsense"}, &out); err == nil {
+		t.Fatalf("expected an error for an unknown adversary")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
 		t.Fatalf("expected a flag parse error")
 	}
 }

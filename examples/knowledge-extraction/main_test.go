@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+
+// TestExampleOutputMatchesGolden locks the walk-through's full output: the
+// pipeline is deterministic end to end (seeded sampling, slot-indexed
+// parallel stages), so the rendered knowledge table and the extracted
+// detector's verdict must reproduce byte for byte.  Refresh with
+// `go test ./examples/knowledge-extraction -update` after intentional
+// changes.
+func TestExampleOutputMatchesGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	const golden = "testdata/output.golden"
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/epistemic"
 	"repro/internal/model"
+	"repro/internal/pool"
 )
 
 // This file implements the run transformations f and f' of Theorems 3.6 and
@@ -17,19 +18,36 @@ import (
 // the epistemic model checker over the sampled system; the resulting detector
 // events are then validated against ground truth by the fd package's property
 // checkers (see internal/core tests and cmd/fdextract).
+//
+// Runs are transformed independently of one another, so Transformer
+// distributes them over a pool of worker goroutines, mirroring
+// workload.Runner: every transformed run is written to its input run's slot,
+// which makes the output identical to the serial transform's for any worker
+// count and any scheduler interleaving.
+
+// processReporter computes the simulated detector's report for one process at
+// original time m.  It is created per (run, process), so implementations can
+// carry a monotone epistemic.Scan cursor across the times of the walk.
+type processReporter func(m int) model.SuspectReport
+
+// Transformer applies the knowledge-based run transforms over a pool of
+// worker goroutines, one run per job.
+type Transformer struct {
+	// Workers is the pool size; zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
 
 // SimulatePerfectDetector applies construction P1-P3 of Theorem 3.6 to every
 // run of the sampled system: original failure-detector events are removed and
 // at each odd step process p's new detector reports {q : K_p crash(q)}.
 // The returned runs form the system R^f of the theorem.
-func SimulatePerfectDetector(sys *epistemic.System) model.System {
-	out := make(model.System, 0, sys.Size())
-	for ri := 0; ri < sys.Size(); ri++ {
-		out = append(out, transformRun(sys, ri, func(p model.ProcID, pt epistemic.Point) model.SuspectReport {
-			return model.SuspectReport{Suspects: sys.KnownCrashed(p, pt)}
-		}))
-	}
-	return out
+func (t Transformer) SimulatePerfectDetector(sys *epistemic.System) model.System {
+	return t.transform(sys, func(ri int, p model.ProcID) processReporter {
+		scan := sys.Scan(p, ri)
+		return func(m int) model.SuspectReport {
+			return model.SuspectReport{Suspects: sys.KnownCrashedClass(p, scan.At(m))}
+		}
+	})
 }
 
 // SimulateTUsefulDetector applies construction P3' of Theorem 4.3: at the odd
@@ -37,15 +55,15 @@ func SimulatePerfectDetector(sys *epistemic.System) model.System {
 // (S_l, k) where S_l is the l-th subset of Proc in the fixed enumeration
 // (l taken modulo 2^n) and k is the largest number of processes in S_l that p
 // knows to have crashed.
-func SimulateTUsefulDetector(sys *epistemic.System) model.System {
+func (t Transformer) SimulateTUsefulDetector(sys *epistemic.System) model.System {
 	n := sys.N()
 	subsetCount := 1 << uint(n)
-	out := make(model.System, 0, sys.Size())
-	for ri := 0; ri < sys.Size(); ri++ {
+	return t.transform(sys, func(ri int, p model.ProcID) processReporter {
 		run := sys.RunAt(ri)
-		out = append(out, transformRun(sys, ri, func(p model.ProcID, pt epistemic.Point) model.SuspectReport {
+		scan := sys.Scan(p, ri)
+		return func(m int) model.SuspectReport {
 			// P3' indexes the subset by the length of r_p(m+1).
-			next := pt.Time + 1
+			next := m + 1
 			if next > run.Horizon {
 				next = run.Horizon
 			}
@@ -54,22 +72,52 @@ func SimulateTUsefulDetector(sys *epistemic.System) model.System {
 			return model.SuspectReport{
 				Generalized: true,
 				Group:       group,
-				MinFaulty:   sys.MaxKnownCrashedIn(p, pt, group),
+				MinFaulty:   sys.MaxKnownCrashedInClass(p, scan.At(m), group),
 			}
-		}))
-	}
+		}
+	})
+}
+
+// transform builds f(r) for every run of the system, distributing runs over
+// the shared slot-indexed worker pool and writing each result to its run's
+// slot.
+func (t Transformer) transform(sys *epistemic.System, forProc func(ri int, p model.ProcID) processReporter) model.System {
+	out := make(model.System, sys.Size())
+	pool.Each(t.Workers, sys.Size(), func(ri int) {
+		out[ri] = transformRun(sys, ri, forProc)
+	})
 	return out
+}
+
+// SimulatePerfectDetector is the serial reference form of
+// Transformer.SimulatePerfectDetector; the parallel transform is
+// slot-identical to it for any worker count.
+func SimulatePerfectDetector(sys *epistemic.System) model.System {
+	return Transformer{Workers: 1}.SimulatePerfectDetector(sys)
+}
+
+// SimulateTUsefulDetector is the serial reference form of
+// Transformer.SimulateTUsefulDetector.
+func SimulateTUsefulDetector(sys *epistemic.System) model.System {
+	return Transformer{Workers: 1}.SimulateTUsefulDetector(sys)
 }
 
 // transformRun builds f(r) for one run: events of r at time m are copied to
 // time 2m (dropping r's own failure-detector events), and at every odd time
-// 2m+1 a suspect' event computed by report is inserted for every process that
-// has not crashed by m.
-func transformRun(sys *epistemic.System, ri int, report func(model.ProcID, epistemic.Point) model.SuspectReport) *model.Run {
+// 2m+1 a suspect' event computed by the process's reporter is inserted for
+// every process that has not crashed by m.
+func transformRun(sys *epistemic.System, ri int, forProc func(ri int, p model.ProcID) processReporter) *model.Run {
 	r := sys.RunAt(ri)
-	out := model.NewRun(r.N)
+	capHint := 0
+	for p := range r.Events {
+		if hint := len(r.Events[p]) + r.Horizon + 1; hint > capHint {
+			capHint = hint
+		}
+	}
+	out := model.NewRunCap(r.N, capHint)
 	for p := model.ProcID(0); int(p) < r.N; p++ {
 		crashTime, crashed := r.CrashTime(p)
+		report := forProc(ri, p)
 		evIdx := 0
 		evs := r.Events[p]
 		for m := 0; m <= r.Horizon; m++ {
@@ -91,8 +139,7 @@ func transformRun(sys *epistemic.System, ri int, report func(model.ProcID, epist
 			if crashed && crashTime <= m {
 				continue
 			}
-			rep := report(p, epistemic.Point{Run: ri, Time: m})
-			_ = out.Append(p, 2*m+1, model.Event{Kind: model.EventSuspect, Report: rep})
+			_ = out.Append(p, 2*m+1, model.Event{Kind: model.EventSuspect, Report: report(m)})
 		}
 	}
 	out.SetHorizon(2*r.Horizon + 1)

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -195,5 +197,52 @@ func TestCheckA5(t *testing.T) {
 	}
 	if vs := core.CheckA5(nil, 0); len(vs) == 0 {
 		t.Fatalf("expected empty system to be rejected")
+	}
+}
+
+// TestTransformerParallelMatchesSerial locks the transform engine's contract:
+// for any worker count, the transformed system is byte-identical to the
+// serial reference, for both constructions.
+func TestTransformerParallelMatchesSerial(t *testing.T) {
+	spec := workload.Spec{
+		Name:          "transformer-determinism",
+		N:             5,
+		MaxSteps:      300,
+		TickEvery:     2,
+		SuspectEvery:  3,
+		Network:       sim.FairLossyNetwork(0.25),
+		Oracle:        fd.StrongOracle{FalseSuspicionRate: 0.3, Seed: 17},
+		Protocol:      core.NewStrongFDUDC,
+		Actions:       6,
+		LastInitTime:  200,
+		MaxFailures:   2,
+		ExactFailures: true,
+		CrashEnd:      80,
+	}
+	_, sys := buildUDCSystem(t, spec, workload.Seeds(800, 8))
+
+	digest := func(runs model.System) string {
+		var b strings.Builder
+		for _, r := range runs {
+			fmt.Fprintf(&b, "%d/%d:", r.N, r.Horizon)
+			for p := range r.Events {
+				for _, te := range r.Events[p] {
+					fmt.Fprintf(&b, "%d@%d=%s;", p, te.Time, te.Event.IdentityKey())
+				}
+			}
+		}
+		return b.String()
+	}
+
+	wantPerfect := digest(core.SimulatePerfectDetector(sys))
+	wantTUseful := digest(core.SimulateTUsefulDetector(sys))
+	for _, workers := range []int{0, 2, 8} {
+		tr := core.Transformer{Workers: workers}
+		if got := digest(tr.SimulatePerfectDetector(sys)); got != wantPerfect {
+			t.Errorf("perfect transform with %d workers differs from serial", workers)
+		}
+		if got := digest(tr.SimulateTUsefulDetector(sys)); got != wantTUseful {
+			t.Errorf("t-useful transform with %d workers differs from serial", workers)
+		}
 	}
 }

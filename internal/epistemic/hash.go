@@ -1,0 +1,79 @@
+package epistemic
+
+import "repro/internal/model"
+
+// FNV-1a folding over event fields.  The indexer interns local histories by a
+// hash chained over per-event identity hashes; folding the fields directly
+// avoids materialising the per-event identity strings that dominated the cost
+// of the historical string-keyed index.  The fields folded here are exactly
+// the ones model.Event.IdentityKey renders, so the class partition agrees with
+// the string-keyed checker's.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds the eight bytes of v into h.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvInt folds an integer field.
+func fnvInt(h uint64, v int) uint64 { return fnvUint64(h, uint64(int64(v))) }
+
+// fnvString folds a length-prefixed string field.
+func fnvString(h uint64, s string) uint64 {
+	h = fnvInt(h, len(s))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvAction folds an action identity.
+func fnvAction(h uint64, a model.ActionID) uint64 {
+	h = fnvInt(h, int(a.Initiator))
+	return fnvInt(h, a.Seq)
+}
+
+// eventHash returns the 64-bit identity hash of an event.  Events whose
+// IdentityKey strings differ hash differently (up to 64-bit collisions):
+// every field is folded behind the event kind, and variable-width fields are
+// length-prefixed.
+func eventHash(e model.Event) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, int(e.Kind))
+	h = fnvInt(h, int(e.Peer))
+	switch e.Kind {
+	case model.EventSend, model.EventRecv:
+		h = fnvString(h, e.Msg.Kind)
+		h = fnvAction(h, e.Msg.Action)
+		h = fnvInt(h, e.Msg.Round)
+		h = fnvInt(h, e.Msg.Phase)
+		h = fnvInt(h, e.Msg.Value)
+		h = fnvInt(h, e.Msg.Aux)
+		h = fnvUint64(h, uint64(e.Msg.Suspects))
+		h = fnvUint64(h, uint64(e.Msg.KnownCrashed))
+	case model.EventInit, model.EventDo:
+		h = fnvAction(h, e.Action)
+	case model.EventSuspect:
+		switch {
+		case e.Report.Generalized:
+			h = fnvInt(h, 1)
+			h = fnvUint64(h, uint64(e.Report.Group))
+			h = fnvInt(h, e.Report.MinFaulty)
+		case e.Report.CorrectReport:
+			h = fnvInt(h, 2)
+			h = fnvUint64(h, uint64(e.Report.Correct))
+		default:
+			h = fnvInt(h, 3)
+			h = fnvUint64(h, uint64(e.Report.Suspects))
+		}
+	}
+	return h
+}

@@ -1,7 +1,7 @@
 package epistemic
 
 import (
-	"hash/fnv"
+	"sort"
 	"strconv"
 
 	"repro/internal/model"
@@ -15,11 +15,18 @@ type Point struct {
 	Time int
 }
 
+// ClassID densely identifies one local-history equivalence class of one
+// process: all points of the system at which that process has the same local
+// history share a ClassID.  IDs are assigned per process, contiguously from 0,
+// at NewSystem time, so per-class data lives in slices rather than maps and
+// the query path never touches a string.
+type ClassID int32
+
 // interval is a maximal range of times [Start, End] within one run during
 // which a process's local history is constant.
 type interval struct {
-	run        int
-	start, end int
+	run        int32
+	start, end int32
 	// crashedByStart is the set of processes that have crashed in this run by
 	// time start.  Because crash(q) is stable, it is the minimal crashed set
 	// over the interval, which is what the knowledge fast paths need.
@@ -27,9 +34,32 @@ type interval struct {
 }
 
 // localClass groups all points of the system at which a given process has the
-// same local history.
+// same local history, together with the crash knowledge precomputed over them.
 type localClass struct {
 	intervals []interval
+	// knownCrashed is the intersection of crashedByStart over the class's
+	// intervals: exactly {q : K_p crash(q)} at every point of the class.
+	knownCrashed model.ProcSet
+	// crashSets holds the distinct crashedByStart values over the intervals.
+	// MaxKnownCrashedIn minimises over these instead of over every interval;
+	// systems have few distinct crash sets even when classes have many
+	// intervals.
+	crashSets []model.ProcSet
+	// key is the identity under which the class was interned; KeyAt renders it.
+	key classKey
+}
+
+// classKey is the interning identity of a local history: a 64-bit FNV-1a hash
+// chained over the event identities, the history length, and the identity hash
+// of the final event.  Two histories with equal keys are treated as identical
+// local states; the combination makes accidental collisions vanishingly
+// unlikely for the run sizes this repository works with (it carries the same
+// discriminating information as the historical string key, without building
+// strings).
+type classKey struct {
+	hash     uint64
+	length   int32
+	lastHash uint64
 }
 
 // System is a finite set of runs equipped with the indexes needed to answer
@@ -37,36 +67,35 @@ type localClass struct {
 type System struct {
 	runs model.System
 	n    int
-	// index[p][historyKey] groups indistinguishable points per process.
-	index []map[string]*localClass
-	// keys[p][runIdx] is the sequence of (boundary time, history key) pairs
-	// for process p in each run, used to locate a point's class quickly.
-	keys [][]boundarySeq
+	// classes[p] is process p's global class table, indexed by ClassID.
+	classes [][]localClass
+	// seqs[p][runIdx] is the step function time -> ClassID for process p in
+	// each run, used to locate a point's class by binary search.
+	seqs [][]boundarySeq
 }
 
-// boundarySeq is the step function time -> history key for one process in one
-// run.
+// boundarySeq is the step function time -> ClassID for one process in one run.
 type boundarySeq struct {
-	// starts[i] is the first time at which keys[i] is the history key; the
-	// key applies until starts[i+1]-1 (or the horizon).
-	starts []int
-	keys   []string
+	// starts[i] is the first time at which classes[i] is the class; the class
+	// applies until starts[i+1]-1 (or the horizon).
+	starts  []int32
+	classes []ClassID
 }
 
-// keyAt returns the history key in force at time m.
-func (b boundarySeq) keyAt(m int) string {
-	lo, hi := 0, len(b.starts)-1
+// classAt returns the class in force at time m.
+func (b boundarySeq) classAt(m int) ClassID {
+	lo, hi := 1, len(b.starts)-1
 	ans := 0
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		if b.starts[mid] <= m {
+		if int(b.starts[mid]) <= m {
 			ans = mid
 			lo = mid + 1
 		} else {
 			hi = mid - 1
 		}
 	}
-	return b.keys[ans]
+	return b.classes[ans]
 }
 
 // NewSystem indexes the given runs.  All runs must have the same number of
@@ -77,91 +106,150 @@ func NewSystem(runs model.System) *System {
 	}
 	n := runs[0].N
 	sys := &System{
-		runs:  runs,
-		n:     n,
-		index: make([]map[string]*localClass, n),
-		keys:  make([][]boundarySeq, n),
+		runs:    runs,
+		n:       n,
+		classes: make([][]localClass, n),
+		seqs:    make([][]boundarySeq, n),
 	}
+	interns := make([]map[classKey]ClassID, n)
 	for p := 0; p < n; p++ {
-		sys.index[p] = make(map[string]*localClass)
-		sys.keys[p] = make([]boundarySeq, len(runs))
+		interns[p] = make(map[classKey]ClassID)
+		sys.seqs[p] = make([]boundarySeq, len(runs))
 	}
 	for ri, r := range runs {
+		crashes := crashSchedule(r)
 		for p := model.ProcID(0); int(p) < n; p++ {
-			sys.indexProcess(ri, r, p)
+			sys.indexProcess(ri, r, p, interns[p], crashes)
 		}
+	}
+	for p := 0; p < n; p++ {
+		finalizeClasses(sys.classes[p])
 	}
 	return sys
 }
 
 // indexProcess builds the boundary sequence and local classes for one process
 // in one run.
-func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID) {
+func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map[classKey]ClassID, crashes []crashStep) {
 	evs := r.Events[p]
-	hash := fnv.New64a()
-	var lastEventKey string
-	count := 0
+	hash := uint64(fnvOffset64)
+	var lastHash uint64
+	count := int32(0)
 
-	currentKey := historyKey(hash.Sum64(), count, lastEventKey)
-	seq := boundarySeq{starts: []int{0}, keys: []string{currentKey}}
-
+	// Events at time 0 are part of the initial observable state, so fold them
+	// before interning the class in force at time 0 (interning earlier would
+	// leave an orphan zero-interval class in the table).
 	i := 0
+	for i < len(evs) && evs[i].Time == 0 {
+		lastHash = eventHash(evs[i].Event)
+		hash = fnvUint64(hash, lastHash)
+		count++
+		i++
+	}
+	seq := boundarySeq{
+		starts:  []int32{0},
+		classes: []ClassID{sys.internClass(p, intern, classKey{hash: hash, length: count, lastHash: lastHash})},
+	}
+
 	for i < len(evs) {
 		t := evs[i].Time
 		for i < len(evs) && evs[i].Time == t {
-			k := evs[i].Event.IdentityKey()
-			_, _ = hash.Write([]byte(k))
-			_, _ = hash.Write([]byte{0})
-			lastEventKey = k
+			lastHash = eventHash(evs[i].Event)
+			hash = fnvUint64(hash, lastHash)
 			count++
 			i++
 		}
-		currentKey = historyKey(hash.Sum64(), count, lastEventKey)
-		if t == 0 {
-			// Events at time 0 are part of the initial observable state.
-			seq.keys[len(seq.keys)-1] = currentKey
-			continue
-		}
-		seq.starts = append(seq.starts, t)
-		seq.keys = append(seq.keys, currentKey)
+		seq.starts = append(seq.starts, int32(t))
+		seq.classes = append(seq.classes, sys.internClass(p, intern, classKey{hash: hash, length: count, lastHash: lastHash}))
 	}
-	sys.keys[p][ri] = seq
+	sys.seqs[p][ri] = seq
 
 	// Convert the step function into intervals and register them.
 	for j := range seq.starts {
 		start := seq.starts[j]
-		end := r.Horizon
+		end := int32(r.Horizon)
 		if j+1 < len(seq.starts) {
 			end = seq.starts[j+1] - 1
 		}
 		if end < start {
 			continue
 		}
-		iv := interval{run: ri, start: start, end: end, crashedByStart: crashedBy(r, start)}
-		cls := sys.index[p][seq.keys[j]]
-		if cls == nil {
-			cls = &localClass{}
-			sys.index[p][seq.keys[j]] = cls
-		}
+		iv := interval{run: int32(ri), start: start, end: end, crashedByStart: crashedAt(crashes, int(start))}
+		cls := &sys.classes[p][seq.classes[j]]
 		cls.intervals = append(cls.intervals, iv)
 	}
 }
 
-// historyKey mirrors model.History.Key's format so that keys computed
-// incrementally here agree with keys computed from materialised histories.
-func historyKey(hash uint64, length int, lastEventKey string) string {
-	return strconv.FormatUint(hash, 16) + "/" + strconv.Itoa(length) + "/" + lastEventKey
+// internClass returns the ClassID for the key, allocating a fresh class in p's
+// table on first sight.
+func (sys *System) internClass(p model.ProcID, intern map[classKey]ClassID, key classKey) ClassID {
+	if id, ok := intern[key]; ok {
+		return id
+	}
+	id := ClassID(len(sys.classes[p]))
+	intern[key] = id
+	sys.classes[p] = append(sys.classes[p], localClass{key: key})
+	return id
 }
 
-// crashedBy returns the set of processes crashed in r by time m.
-func crashedBy(r *model.Run, m int) model.ProcSet {
-	var s model.ProcSet
+// finalizeClasses precomputes each class's crash knowledge: the distinct
+// crashedByStart values over its intervals and their intersection.
+func finalizeClasses(classes []localClass) {
+	for ci := range classes {
+		cls := &classes[ci]
+		known := ^model.ProcSet(0)
+		for _, iv := range cls.intervals {
+			seen := false
+			for _, s := range cls.crashSets {
+				if s == iv.crashedByStart {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				cls.crashSets = append(cls.crashSets, iv.crashedByStart)
+				known = known.Intersect(iv.crashedByStart)
+			}
+		}
+		if len(cls.crashSets) == 0 {
+			known = model.EmptySet()
+		}
+		cls.knownCrashed = known
+	}
+}
+
+// crashStep is one entry of a run's cumulative crash schedule.
+type crashStep struct {
+	time    int32
+	crashed model.ProcSet
+}
+
+// crashSchedule returns the run's crashes as a cumulative step function
+// sorted by time, so crashed-by-time queries during indexing are a binary
+// search over at most n entries instead of a scan of every history.
+func crashSchedule(r *model.Run) []crashStep {
+	out := make([]crashStep, 0, r.N)
 	for q := model.ProcID(0); int(q) < r.N; q++ {
-		if r.CrashedBy(q, m) {
-			s = s.Add(q)
+		if t, ok := r.CrashTime(q); ok {
+			out = append(out, crashStep{time: int32(t), crashed: model.Singleton(q)})
 		}
 	}
-	return s
+	sort.Slice(out, func(i, j int) bool { return out[i].time < out[j].time })
+	var acc model.ProcSet
+	for i := range out {
+		acc = acc.Union(out[i].crashed)
+		out[i].crashed = acc
+	}
+	return out
+}
+
+// crashedAt returns the set of processes crashed by time m in the schedule.
+func crashedAt(steps []crashStep, m int) model.ProcSet {
+	k := sort.Search(len(steps), func(i int) bool { return int(steps[i].time) > m })
+	if k == 0 {
+		return model.EmptySet()
+	}
+	return steps[k-1].crashed
 }
 
 // N returns the number of processes of the system.
@@ -176,22 +264,86 @@ func (sys *System) RunAt(i int) *model.Run { return sys.runs[i] }
 // Runs returns the underlying runs.
 func (sys *System) Runs() model.System { return sys.runs }
 
-// KeyAt returns process p's local-history key at the given point.
+// ClassAt returns process p's local-history class at the given point.  It is
+// the allocation-free entry point of the query API: a binary search over the
+// run's boundary sequence, with every per-class quantity an O(1) slice lookup
+// away.
+func (sys *System) ClassAt(p model.ProcID, pt Point) ClassID {
+	return sys.seqs[p][pt.Run].classAt(pt.Time)
+}
+
+// KeyAt returns a stable textual key for process p's local history at the
+// given point: two points get equal keys exactly when p cannot tell them
+// apart.  Queries should prefer ClassAt; KeyAt exists for diagnostics.
 func (sys *System) KeyAt(p model.ProcID, pt Point) string {
-	return sys.keys[p][pt.Run].keyAt(pt.Time)
+	key := sys.classes[p][sys.ClassAt(p, pt)].key
+	return strconv.FormatUint(key.hash, 16) + "/" + strconv.Itoa(int(key.length)) + "/" + strconv.FormatUint(key.lastHash, 16)
+}
+
+// Scan is a monotone cursor over one process's classes in one run.  Successive
+// At calls with nondecreasing times advance in amortised constant time, which
+// is what the run transforms of Theorems 3.6/4.3 need as they walk a run
+// forwards.  A time earlier than a previous call restarts the cursor from the
+// front and pays a linear re-walk; non-monotone access should use ClassAt.
+type Scan struct {
+	seq *boundarySeq
+	idx int
+}
+
+// Scan returns a cursor over process p's classes in run ri, positioned at
+// time 0.
+func (sys *System) Scan(p model.ProcID, ri int) Scan {
+	return Scan{seq: &sys.seqs[p][ri]}
+}
+
+// At returns the class in force at time m.
+func (s *Scan) At(m int) ClassID {
+	seq := s.seq
+	if s.idx < len(seq.starts) && int(seq.starts[s.idx]) > m {
+		// Time moved backwards: restart from the front.
+		s.idx = 0
+	}
+	for s.idx+1 < len(seq.starts) && int(seq.starts[s.idx+1]) <= m {
+		s.idx++
+	}
+	return seq.classes[s.idx]
+}
+
+// Stats reports the size of the index, for benchmarks and capacity planning.
+type Stats struct {
+	// Runs and Processes give the system's shape.
+	Runs, Processes int
+	// Points is the number of (run, time) points of the system.
+	Points int
+	// Classes is the total number of interned local-history classes across all
+	// processes; Intervals the total number of constant-history intervals they
+	// group.
+	Classes, Intervals int
+}
+
+// Stats returns the index's size statistics.
+func (sys *System) Stats() Stats {
+	st := Stats{Runs: len(sys.runs), Processes: sys.n}
+	for _, r := range sys.runs {
+		st.Points += r.Horizon + 1
+	}
+	for p := 0; p < sys.n; p++ {
+		st.Classes += len(sys.classes[p])
+		for ci := range sys.classes[p] {
+			st.Intervals += len(sys.classes[p][ci].intervals)
+		}
+	}
+	return st
 }
 
 // forEachIndistinguishable invokes fn for every point of the system whose
 // local history for p equals that at pt (including pt itself), stopping early
 // if fn returns false.
 func (sys *System) forEachIndistinguishable(p model.ProcID, pt Point, fn func(Point) bool) {
-	cls := sys.index[p][sys.KeyAt(p, pt)]
-	if cls == nil {
-		return
-	}
+	cls := &sys.classes[p][sys.ClassAt(p, pt)]
 	for _, iv := range cls.intervals {
-		for m := iv.start; m <= iv.end; m++ {
-			if !fn(Point{Run: iv.run, Time: m}) {
+		for m := int(iv.start); m <= int(iv.end); m++ {
+			if !fn(Point{Run: int(iv.run), Time: m}) {
 				return
 			}
 		}
@@ -217,13 +369,13 @@ func (sys *System) forEachGroupIndistinguishable(procs model.ProcSet, pt Point, 
 	}
 	first := members[0]
 	rest := members[1:]
-	keys := make([]string, len(rest))
+	classes := make([]ClassID, len(rest))
 	for i, p := range rest {
-		keys[i] = sys.KeyAt(p, pt)
+		classes[i] = sys.ClassAt(p, pt)
 	}
 	sys.forEachIndistinguishable(first, pt, func(other Point) bool {
 		for i, p := range rest {
-			if sys.KeyAt(p, other) != keys[i] {
+			if sys.ClassAt(p, other) != classes[i] {
 				return true
 			}
 		}
@@ -258,19 +410,16 @@ func (sys *System) Valid(f Formula) (bool, Point) {
 // KnownCrashed returns {q : K_p crash(q)} at the given point: the set of
 // processes p knows to have crashed.  This is the report emitted by the
 // simulated perfect failure detector of Theorem 3.6 (construction P3).
+// The set is precomputed per class, so the query is one class lookup.
 func (sys *System) KnownCrashed(p model.ProcID, pt Point) model.ProcSet {
-	cls := sys.index[p][sys.KeyAt(p, pt)]
-	if cls == nil {
-		return model.EmptySet()
-	}
-	known := model.FullSet(sys.n)
-	for _, iv := range cls.intervals {
-		known = known.Intersect(iv.crashedByStart)
-		if known.IsEmpty() {
-			break
-		}
-	}
-	return known
+	return sys.classes[p][sys.ClassAt(p, pt)].knownCrashed
+}
+
+// KnownCrashedClass is KnownCrashed for an already-located class, for callers
+// holding a ClassID from ClassAt or a Scan cursor.  It performs no allocation
+// and no search.
+func (sys *System) KnownCrashedClass(p model.ProcID, c ClassID) model.ProcSet {
+	return sys.classes[p][c].knownCrashed
 }
 
 // MaxKnownCrashedIn returns max{k : K_p "at least k processes in S have
@@ -278,15 +427,19 @@ func (sys *System) KnownCrashed(p model.ProcID, pt Point) model.ProcSet {
 // Theorem 4.3.  Because crash(q) is stable, the minimum over an
 // indistinguishability class is attained at an interval's start.
 func (sys *System) MaxKnownCrashedIn(p model.ProcID, pt Point, s model.ProcSet) int {
-	cls := sys.index[p][sys.KeyAt(p, pt)]
-	if cls == nil {
-		return 0
-	}
+	return sys.MaxKnownCrashedInClass(p, sys.ClassAt(p, pt), s)
+}
+
+// MaxKnownCrashedInClass is MaxKnownCrashedIn for an already-located class.
+// It minimises over the class's distinct crash sets rather than over every
+// interval, and performs no allocation.
+func (sys *System) MaxKnownCrashedInClass(p model.ProcID, c ClassID, s model.ProcSet) int {
+	cls := &sys.classes[p][c]
 	best := -1
-	for _, iv := range cls.intervals {
-		c := iv.crashedByStart.Intersect(s).Count()
-		if best < 0 || c < best {
-			best = c
+	for _, crashed := range cls.crashSets {
+		k := crashed.Intersect(s).Count()
+		if best < 0 || k < best {
+			best = k
 		}
 		if best == 0 {
 			break
@@ -302,13 +455,14 @@ func (sys *System) MaxKnownCrashedIn(p model.ProcID, pt Point, s model.ProcSet) 
 // at every point p knows whether it holds, i.e. the formula has a constant
 // truth value on every indistinguishability class of p.
 func (sys *System) IsLocal(p model.ProcID, f Formula) bool {
-	for _, cls := range sys.index[p] {
+	for ci := range sys.classes[p] {
+		cls := &sys.classes[p][ci]
 		first := true
 		var val bool
 		ok := true
 		for _, iv := range cls.intervals {
-			for m := iv.start; m <= iv.end; m++ {
-				v := f.Eval(sys, Point{Run: iv.run, Time: m})
+			for m := int(iv.start); m <= int(iv.end); m++ {
+				v := f.Eval(sys, Point{Run: int(iv.run), Time: m})
 				if first {
 					val, first = v, false
 					continue

@@ -1,0 +1,67 @@
+// Package pool provides the one slot-indexed worker-pool loop the
+// repository's parallel stages run on.  Work is distributed at slot
+// granularity and every worker writes its outcome to the slot it was handed,
+// so results are identical to a serial loop for any worker count and any
+// scheduler interleaving — the determinism contract the sweep and extraction
+// layers are built on.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested pool size for n queued slots: zero or negative
+// means runtime.GOMAXPROCS(0), and the result never exceeds n or drops below
+// one.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// EachSlot distributes slots [0, n) over Workers(workers, n) goroutines.
+// newState is called once per worker and its value passed to every fn call
+// that worker executes (one simulation engine per worker, typically); fn must
+// write its outcome to slot i.  With one worker the slots run inline on the
+// calling goroutine.
+func EachSlot[S any](workers, n int, newState func() S, fn func(state S, i int)) {
+	resolved := Workers(workers, n)
+	if resolved <= 1 {
+		state := newState()
+		for i := 0; i < n; i++ {
+			fn(state, i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(resolved)
+	for w := 0; w < resolved; w++ {
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for i := range next {
+				fn(state, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Each is EachSlot for stages that need no per-worker state.
+func Each(workers, n int, fn func(i int)) {
+	EachSlot(workers, n, func() struct{} { return struct{}{} }, func(_ struct{}, i int) { fn(i) })
+}

@@ -1,0 +1,61 @@
+package pool_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{2, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := pool.Workers(tc.requested, tc.n); got != tc.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", tc.requested, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestEachSlotCoversEverySlotOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 137
+		hits := make([]int32, n)
+		states := int32(0)
+		pool.EachSlot(workers, n, func() int32 { return atomic.AddInt32(&states, 1) }, func(state int32, i int) {
+			if state < 1 {
+				t.Errorf("worker state missing")
+			}
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: slot %d executed %d times", workers, i, h)
+			}
+		}
+		if want := int32(pool.Workers(workers, n)); states != want {
+			t.Errorf("workers=%d: %d states created, want %d", workers, states, want)
+		}
+	}
+}
+
+func TestEachHandlesEmptyAndSerial(t *testing.T) {
+	ran := false
+	pool.Each(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatalf("no slots should run for n=0")
+	}
+	sum := 0
+	pool.Each(1, 5, func(i int) { sum += i }) // serial: safe without atomics
+	if sum != 10 {
+		t.Fatalf("serial Each sum = %d, want 10", sum)
+	}
+}

@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ExtractionScenario is a named knowledge-extraction pipeline: a sampled
+// source workload plus the Theorem 3.6 / 4.3 construction to apply and the
+// property check the extracted detector must pass.  The kx-* family pairs
+// each construction with adversaries from the catalog, probing the space of
+// failure patterns the theorems quantify over.
+type ExtractionScenario struct {
+	// Name is the catalog key.
+	Name string
+	// Description says which construction and schedule the pipeline exercises.
+	Description string
+	// Stress marks pipelines expected to be able to violate the extracted
+	// detector's properties on a finite sample: the violations are the
+	// recorded result the scenario exists to surface, not a pipeline bug.
+	Stress bool
+	// Extraction is the parameterised pipeline.
+	Extraction workload.Extraction
+}
+
+type extractionEntry struct {
+	description string
+	stress      bool
+	build       func(name string) workload.Extraction
+}
+
+// kxPerfectSource is the shared source workload of the perfect-construction
+// pipelines: a strong (falsely suspecting) detector drives the Prop 3.1 UDC
+// protocol, so the perfection of the extracted detector is not inherited from
+// the source.  The shape matches BenchmarkExtraction (n=7, 64 runs).
+func kxPerfectSource(name string) workload.Spec {
+	return workload.Spec{
+		Name: name, N: 7, MaxSteps: 300, TickEvery: 2, SuspectEvery: 3,
+		Network:  sim.FairLossyNetwork(0.25),
+		Oracle:   MustOracle("strong", Options{Seed: 17, FalseSuspicionRate: 0.3}),
+		Protocol: MustProtocol("strong", Options{}), Actions: 10, LastInitTime: 200,
+		MaxFailures: 3, ExactFailures: true, CrashEnd: 80,
+	}
+}
+
+// kxTUsefulSource is the shared source workload of the t-useful pipelines:
+// the Prop 4.1 protocol under a faulty-set generalized detector with at most
+// kxT failures.
+func kxTUsefulSource(name string) workload.Spec {
+	return workload.Spec{
+		Name: name, N: 7, MaxSteps: 450, TickEvery: 2, SuspectEvery: 3,
+		Network:  sim.FairLossyNetwork(0.25),
+		Oracle:   MustOracle("faulty-set", Options{}),
+		Protocol: MustProtocol("tuseful", Options{T: kxT}), Actions: 10, LastInitTime: 300,
+		MaxFailures: kxT, ExactFailures: true, CrashEnd: 100,
+	}
+}
+
+// kxT is the failure bound of the t-useful pipelines.
+const kxT = 2
+
+// kxRuns and kxBaseSeed are the standing sample size of the kx-* family.
+const (
+	kxRuns     = 64
+	kxBaseSeed = 9000
+)
+
+// kxPerfect builds a perfect-construction pipeline over the shared source,
+// optionally under a named adversary.
+func kxPerfect(name, adversaryName string) workload.Extraction {
+	source := kxPerfectSource(name)
+	if adversaryName != "" {
+		source.Adversary = MustAdversary(adversaryName)
+	}
+	return workload.Extraction{
+		Name: name, Source: source, Runs: kxRuns, BaseSeed: kxBaseSeed,
+		Mode: workload.ExtractPerfect,
+	}
+}
+
+// kxTUseful builds a t-useful-construction pipeline over the shared source,
+// optionally under a named adversary.
+func kxTUseful(name, adversaryName string) workload.Extraction {
+	source := kxTUsefulSource(name)
+	if adversaryName != "" {
+		source.Adversary = MustAdversary(adversaryName)
+	}
+	return workload.Extraction{
+		Name: name, Source: source, Runs: kxRuns, BaseSeed: kxBaseSeed,
+		Mode: workload.ExtractTUseful, T: kxT,
+	}
+}
+
+var extractions = map[string]extractionEntry{
+	"kx-perfect": {
+		description: "Theorem 3.6: extract a perfect detector from what processes know under the strong-detector UDC workload (uniform crashes)",
+		build:       func(name string) workload.Extraction { return kxPerfect(name, "") },
+	},
+	"kx-perfect-cascade": {
+		description: "Theorem 3.6 under a correlated crash avalanche: knowledge-based extraction must survive temporal clustering of failures",
+		build:       func(name string) workload.Extraction { return kxPerfect(name, "cascade") },
+	},
+	"kx-perfect-skewed-delays": {
+		description: "Theorem 3.6 under asymmetric per-link delays: the construction may not depend on delivery symmetry",
+		build:       func(name string) workload.Extraction { return kxPerfect(name, "skewed-delays") },
+	},
+	"kx-perfect-starved": {
+		description: "Theorem 3.6 outside its information-flow hypotheses: a quiet relay-then-perform workload whose local histories coincide across runs, so correct processes never come to know the crashes and the extracted detector's strong completeness fails (accuracy, being knowledge-based, still holds)",
+		stress:      true,
+		build: func(name string) workload.Extraction {
+			return workload.Extraction{
+				Name: name,
+				Source: workload.Spec{
+					Name: name, N: 7, MaxSteps: 100, TickEvery: 3,
+					Network:  sim.ReliableNetwork(),
+					Protocol: MustProtocol("reliable", Options{}), Actions: 1, LastInitTime: 10,
+					MaxFailures: 3, ExactFailures: true, CrashEnd: 80,
+				},
+				Runs: kxRuns, BaseSeed: kxBaseSeed, Mode: workload.ExtractPerfect,
+			}
+		},
+	},
+	"kx-tuseful": {
+		description: "Theorem 4.3: extract a 2-useful generalized detector from the t-useful UDC workload (uniform crashes)",
+		build:       func(name string) workload.Extraction { return kxTUseful(name, "") },
+	},
+	"kx-tuseful-burst-loss": {
+		description: "Theorem 4.3 under periodic near-total loss storms kept fair-lossy by the R5 bound",
+		build:       func(name string) workload.Extraction { return kxTUseful(name, "burst-loss") },
+	},
+}
+
+// LookupExtraction builds the named extraction pipeline from the catalog.
+func LookupExtraction(name string) (ExtractionScenario, error) {
+	entry, ok := extractions[name]
+	if !ok {
+		return ExtractionScenario{}, fmt.Errorf("registry: unknown extraction %q (have %v)", name, ExtractionNames())
+	}
+	return ExtractionScenario{
+		Name:        name,
+		Description: entry.description,
+		Stress:      entry.stress,
+		Extraction:  entry.build(name),
+	}, nil
+}
+
+// MustExtraction is LookupExtraction for statically known names; it panics on
+// error.
+func MustExtraction(name string) ExtractionScenario {
+	sc, err := LookupExtraction(name)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// ExtractionNames returns the catalog's extraction names, sorted.
+func ExtractionNames() []string {
+	return sortedKeys(extractions)
+}
+
+// Extractions builds every catalogued extraction pipeline, sorted by name.
+func Extractions() []ExtractionScenario {
+	out := make([]ExtractionScenario, 0, len(extractions))
+	for _, name := range ExtractionNames() {
+		out = append(out, MustExtraction(name))
+	}
+	return out
+}

@@ -143,3 +143,63 @@ func TestEveryScenarioRunsCleanly(t *testing.T) {
 		t.Errorf("unknown scenario should fail")
 	}
 }
+
+// TestExtractionCatalog pins the kx-* family: every entry constructs with
+// complete metadata, a positive sample size and a valid mode, and unknown
+// names fail.
+func TestExtractionCatalog(t *testing.T) {
+	names := registry.ExtractionNames()
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 extraction pipelines, have %v", names)
+	}
+	for _, sc := range registry.Extractions() {
+		if sc.Name == "" || sc.Description == "" {
+			t.Errorf("extraction %q: incomplete metadata: %+v", sc.Name, sc)
+		}
+		ext := sc.Extraction
+		if ext.Name != sc.Name || ext.Runs <= 0 || ext.Source.N <= 0 {
+			t.Errorf("extraction %q: implausible pipeline: %+v", sc.Name, ext)
+		}
+		switch ext.Mode {
+		case workload.ExtractPerfect:
+		case workload.ExtractTUseful:
+			if ext.T <= 0 {
+				t.Errorf("extraction %q: t-useful pipeline without a failure bound", sc.Name)
+			}
+		default:
+			t.Errorf("extraction %q: unknown mode %q", sc.Name, ext.Mode)
+		}
+	}
+	if _, err := registry.LookupExtraction("bogus"); err == nil {
+		t.Errorf("unknown extraction should fail")
+	}
+}
+
+// TestExtractionPipelinesRunCleanly executes a shrunk sample of every kx-*
+// pipeline end to end: the extracted detector must satisfy its properties
+// (except in stress pipelines, whose violations are the recorded result).
+func TestExtractionPipelinesRunCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extraction sweep is slow")
+	}
+	for _, sc := range registry.Extractions() {
+		ext := sc.Extraction
+		ext.Runs = 6
+		res, err := (workload.Runner{}).Extract(ext)
+		if err != nil {
+			t.Fatalf("extraction %q: %v", sc.Name, err)
+		}
+		if sc.Stress {
+			// Stress pipelines exist to surface the violations; a clean result
+			// would mean the scenario no longer demonstrates its boundary.
+			if res.OK() {
+				t.Errorf("extraction %q: stress pipeline recorded no violations", sc.Name)
+			}
+			continue
+		}
+		if !res.OK() {
+			t.Errorf("extraction %q: %d property violations on a clean pipeline",
+				sc.Name, res.TotalViolations())
+		}
+	}
+}

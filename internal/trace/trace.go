@@ -23,7 +23,11 @@ func EncodeJSON(w io.Writer, r *model.Run) error {
 	return nil
 }
 
-// DecodeJSON reads a run previously written by EncodeJSON.
+// DecodeJSON reads a run previously written by EncodeJSON.  Beyond JSON
+// syntax it validates the run's structural invariants — a consistent process
+// count, a non-negative horizon, and per-process event times that are
+// non-negative, nondecreasing (R2) and within the horizon — so corrupt run
+// files fail loudly here instead of deep inside the epistemic indexer.
 func DecodeJSON(rd io.Reader) (*model.Run, error) {
 	var run model.Run
 	if err := json.NewDecoder(rd).Decode(&run); err != nil {
@@ -31,6 +35,24 @@ func DecodeJSON(rd io.Reader) (*model.Run, error) {
 	}
 	if run.N <= 0 || len(run.Events) != run.N {
 		return nil, fmt.Errorf("decode run: inconsistent process count n=%d with %d histories", run.N, len(run.Events))
+	}
+	if run.Horizon < 0 {
+		return nil, fmt.Errorf("decode run: negative horizon %d", run.Horizon)
+	}
+	for p, evs := range run.Events {
+		last := 0
+		for i, te := range evs {
+			if te.Time < 0 {
+				return nil, fmt.Errorf("decode run: process %d event %d has negative time %d", p, i, te.Time)
+			}
+			if te.Time < last {
+				return nil, fmt.Errorf("decode run: process %d event times not monotone: %d after %d (R2)", p, te.Time, last)
+			}
+			if te.Time > run.Horizon {
+				return nil, fmt.Errorf("decode run: process %d event %d at time %d exceeds horizon %d", p, i, te.Time, run.Horizon)
+			}
+			last = te.Time
+		}
 	}
 	return &run, nil
 }

@@ -53,11 +53,25 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 func TestDecodeJSONRejectsGarbage(t *testing.T) {
-	if _, err := trace.DecodeJSON(strings.NewReader("{not json")); err == nil {
-		t.Fatalf("expected a decode error")
+	cases := []struct {
+		name, input string
+	}{
+		{"syntax", "{not json"},
+		{"histories", `{"n": 3, "horizon": 1, "events": []}`},
+		{"negative horizon", `{"n": 1, "horizon": -2, "events": [[]]}`},
+		{"negative time", `{"n": 1, "horizon": 5, "events": [[{"time": -1, "event": {"kind": 3}}]]}`},
+		{"non-monotone times", `{"n": 1, "horizon": 5, "events": [[{"time": 4, "event": {"kind": 3}}, {"time": 2, "event": {"kind": 4}}]]}`},
+		{"time beyond horizon", `{"n": 1, "horizon": 5, "events": [[{"time": 9, "event": {"kind": 3}}]]}`},
 	}
-	if _, err := trace.DecodeJSON(strings.NewReader(`{"n": 3, "horizon": 1, "events": []}`)); err == nil {
-		t.Fatalf("expected an inconsistency error")
+	for _, tc := range cases {
+		if _, err := trace.DecodeJSON(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: expected a decode error", tc.name)
+		}
+	}
+	// Equal successive times (several events in one step) stay legal.
+	ok := `{"n": 1, "horizon": 5, "events": [[{"time": 2, "event": {"kind": 3}}, {"time": 2, "event": {"kind": 4}}]]}`
+	if _, err := trace.DecodeJSON(strings.NewReader(ok)); err != nil {
+		t.Fatalf("equal-time events should decode: %v", err)
 	}
 }
 

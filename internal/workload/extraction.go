@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/epistemic"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// This file names the knowledge-extraction pipeline of Theorems 3.6 and 4.3
+// as one seedable unit: simulate a UDC workload over many seeds, index the
+// recorded runs into an epistemic system, apply the knowledge-based run
+// transform (f or f'), and check the extracted detector's properties against
+// ground truth.  Every stage is deterministic in (spec, seeds) and the
+// parallel stages write to per-seed slots, so the full pipeline's output is
+// byte-identical for any worker count.
+
+// ExtractionMode selects which construction the pipeline applies.
+type ExtractionMode string
+
+const (
+	// ExtractPerfect applies construction P1-P3 of Theorem 3.6 and checks
+	// that the simulated detector is perfect.
+	ExtractPerfect ExtractionMode = "perfect"
+	// ExtractTUseful applies construction P3' of Theorem 4.3 and checks that
+	// the simulated generalized detector is t-useful.
+	ExtractTUseful ExtractionMode = "tuseful"
+)
+
+// Extraction is a parameterised knowledge-extraction pipeline.
+type Extraction struct {
+	// Name identifies the pipeline in reports.
+	Name string
+	// Source is the workload whose recorded runs form the sampled system.
+	Source Spec
+	// Runs is the number of seeds to sample.
+	Runs int
+	// BaseSeed is the first seed; the sampled seeds are Seeds(BaseSeed, Runs).
+	BaseSeed int64
+	// Mode selects the construction (perfect or tuseful).
+	Mode ExtractionMode
+	// T is the failure bound of the t-useful property check (ExtractTUseful).
+	T int
+}
+
+// ExtractionVerdict is the property check of one transformed run.
+type ExtractionVerdict struct {
+	// Seed generated the source run.
+	Seed int64
+	// Violations are the failure-detector property violations found on the
+	// transformed run (strong accuracy + strong completeness for the perfect
+	// construction; generalized strong accuracy + t-usefulness for P3').
+	Violations []model.Violation
+}
+
+// ExtractionResult is the output of one pipeline execution.
+type ExtractionResult struct {
+	// Extraction echoes the executed pipeline.
+	Extraction Extraction
+	// Kept and Excluded count the sampled runs that did and did not satisfy
+	// UDC; only UDC-satisfying runs enter the system (the theorems' hypothesis
+	// is a system that attains UDC).
+	Kept, Excluded int
+	// ExcludedSeeds lists the seeds of excluded runs, in seed order.
+	ExcludedSeeds []int64
+	// System is the epistemic index over the kept runs.
+	System *epistemic.System
+	// Stats reports the index's size.
+	Stats epistemic.Stats
+	// Simulated holds the transformed runs, in kept-seed order.
+	Simulated model.System
+	// Verdicts holds one property check per transformed run, index-aligned
+	// with Simulated.
+	Verdicts []ExtractionVerdict
+}
+
+// TotalViolations returns the number of property violations across all
+// transformed runs.
+func (res *ExtractionResult) TotalViolations() int {
+	total := 0
+	for _, v := range res.Verdicts {
+		total += len(v.Violations)
+	}
+	return total
+}
+
+// OK reports whether every transformed run satisfied the extracted detector's
+// properties.
+func (res *ExtractionResult) OK() bool { return res.TotalViolations() == 0 }
+
+// evaluator returns the property check the extraction's mode mandates.
+func (e Extraction) evaluator() (Evaluator, error) {
+	switch e.Mode {
+	case ExtractPerfect:
+		return fd.CheckPerfect, nil
+	case ExtractTUseful:
+		t := e.T
+		return func(r *model.Run) []model.Violation {
+			return append(fd.CheckGeneralizedStrongAccuracy(r), fd.CheckTUseful(r, t)...)
+		}, nil
+	default:
+		return nil, fmt.Errorf("extraction %q: unknown mode %q", e.Name, e.Mode)
+	}
+}
+
+// Extract executes the pipeline over the runner's worker pool: the simulate,
+// transform and property-check stages distribute work at run granularity with
+// slot-indexed results, and the filter and index stages are deterministic
+// folds in seed order, so the result is byte-identical to a single-worker
+// execution.
+func (r Runner) Extract(e Extraction) (*ExtractionResult, error) {
+	if e.Runs <= 0 {
+		return nil, fmt.Errorf("extraction %q: Runs must be positive", e.Name)
+	}
+	eval, err := e.evaluator()
+	if err != nil {
+		return nil, err
+	}
+
+	// Simulate: one source run per seed, each written to its seed's slot by a
+	// pool of workers owning one engine each (the workload.Runner recipe).
+	seeds := Seeds(e.BaseSeed, e.Runs)
+	sampled := make(model.System, len(seeds))
+	errs := make([]error, len(seeds))
+	r.eachWithEngine(len(seeds), func(eng *sim.Engine, i int) {
+		res, err := ExecuteWith(eng, e.Source, seeds[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sampled[i] = res.Run
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Filter: the theorems assume a system that attains UDC, so runs that
+	// violate it are excluded (and reported) rather than indexed.  The checks
+	// run over the pool into per-seed slots; the fold stays in seed order.
+	violatesUDC := make([]bool, len(sampled))
+	r.each(len(sampled), func(i int) {
+		violatesUDC[i] = len(core.CheckUDC(sampled[i])) > 0
+	})
+	result := &ExtractionResult{Extraction: e}
+	kept := make(model.System, 0, len(sampled))
+	keptSeeds := make([]int64, 0, len(sampled))
+	for i, run := range sampled {
+		if violatesUDC[i] {
+			result.Excluded++
+			result.ExcludedSeeds = append(result.ExcludedSeeds, seeds[i])
+			continue
+		}
+		kept = append(kept, run)
+		keptSeeds = append(keptSeeds, seeds[i])
+	}
+	result.Kept = len(kept)
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("extraction %q: no UDC-satisfying runs; cannot extract", e.Name)
+	}
+
+	// Index.
+	result.System = epistemic.NewSystem(kept)
+	result.Stats = result.System.Stats()
+
+	// Transform.
+	transformer := core.Transformer{Workers: r.Workers}
+	switch e.Mode {
+	case ExtractPerfect:
+		result.Simulated = transformer.SimulatePerfectDetector(result.System)
+	default:
+		result.Simulated = transformer.SimulateTUsefulDetector(result.System)
+	}
+
+	// Property check: one verdict per transformed run, slot-indexed.
+	result.Verdicts = make([]ExtractionVerdict, len(result.Simulated))
+	r.each(len(result.Simulated), func(i int) {
+		result.Verdicts[i] = ExtractionVerdict{Seed: keptSeeds[i], Violations: eval(result.Simulated[i])}
+	})
+	return result, nil
+}

@@ -1,0 +1,119 @@
+package workload_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/workload"
+)
+
+// extractionScenarios are the pipelines the determinism regression locks
+// down: one per construction, each with its own source protocol, detector and
+// knowledge-query signature (KnownCrashed for P1-P3, MaxKnownCrashedIn for
+// P3'), sampled small enough to keep the test fast.
+var extractionScenarios = []string{"kx-perfect", "kx-tuseful"}
+
+// smallExtraction shrinks a catalogued pipeline's sample for testing.
+func smallExtraction(t *testing.T, name string) workload.Extraction {
+	t.Helper()
+	ext := registry.MustExtraction(name).Extraction
+	ext.Runs = 6
+	return ext
+}
+
+// extractionDigest hashes the full pipeline output: every transformed run's
+// event log and every per-run property verdict.
+func extractionDigest(t *testing.T, res *workload.ExtractionResult) string {
+	t.Helper()
+	raw, err := json.Marshal(struct {
+		Kept, Excluded int
+		Excl           []int64
+		Simulated      any
+		Verdicts       []workload.ExtractionVerdict
+	}{res.Kept, res.Excluded, res.ExcludedSeeds, res.Simulated, res.Verdicts})
+	if err != nil {
+		t.Fatalf("marshal extraction result: %v", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestExtractionByteIdenticalAcrossWorkerCounts locks the pipeline's
+// determinism contract: the transformed runs and fd property verdicts must be
+// byte-identical to the single-worker execution for every worker count, and
+// for a reused runner.
+func TestExtractionByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, name := range extractionScenarios {
+		ext := smallExtraction(t, name)
+		serial, err := workload.Runner{Workers: 1}.Extract(ext)
+		if err != nil {
+			t.Fatalf("%s: serial extraction: %v", name, err)
+		}
+		want := extractionDigest(t, serial)
+		for _, workers := range []int{1, 2, 8} {
+			runner := workload.Runner{Workers: workers}
+			res, err := runner.Extract(ext)
+			if err != nil {
+				t.Fatalf("%s: extraction (%d workers): %v", name, workers, err)
+			}
+			if got := extractionDigest(t, res); got != want {
+				t.Errorf("%s: %d-worker extraction differs from serial", name, workers)
+			}
+			// Extract must be a pure function of the pipeline: invoking the
+			// same runner value again yields the same bytes.
+			again, err := runner.Extract(ext)
+			if err != nil {
+				t.Fatalf("%s: repeated extraction (%d workers): %v", name, workers, err)
+			}
+			if got := extractionDigest(t, again); got != want {
+				t.Errorf("%s: repeated %d-worker extraction differs from serial", name, workers)
+			}
+		}
+	}
+}
+
+// TestExtractionVerdictsAlignWithSimulatedRuns checks the result's shape
+// invariants: one verdict per transformed run, seeds strictly increasing in
+// sample order, and kept+excluded accounting consistent.
+func TestExtractionVerdictsAlignWithSimulatedRuns(t *testing.T) {
+	ext := smallExtraction(t, "kx-perfect")
+	res, err := workload.Runner{Workers: 4}.Extract(ext)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(res.Verdicts) != len(res.Simulated) {
+		t.Fatalf("%d verdicts for %d simulated runs", len(res.Verdicts), len(res.Simulated))
+	}
+	if res.Kept != len(res.Simulated) || res.Kept+res.Excluded != ext.Runs {
+		t.Fatalf("accounting wrong: kept=%d excluded=%d simulated=%d runs=%d",
+			res.Kept, res.Excluded, len(res.Simulated), ext.Runs)
+	}
+	for i := 1; i < len(res.Verdicts); i++ {
+		if res.Verdicts[i].Seed <= res.Verdicts[i-1].Seed {
+			t.Fatalf("verdict seeds out of order at %d: %d after %d", i, res.Verdicts[i].Seed, res.Verdicts[i-1].Seed)
+		}
+	}
+	if res.System == nil || res.System.Size() != res.Kept {
+		t.Fatalf("result system missing or mis-sized")
+	}
+	if res.Stats.Runs != res.Kept || res.Stats.Classes == 0 || res.Stats.Points == 0 {
+		t.Fatalf("index stats implausible: %+v", res.Stats)
+	}
+}
+
+// TestExtractionRejectsBadSpecs covers the error paths.
+func TestExtractionRejectsBadSpecs(t *testing.T) {
+	ext := smallExtraction(t, "kx-perfect")
+	ext.Runs = 0
+	if _, err := (workload.Runner{}).Extract(ext); err == nil {
+		t.Fatalf("expected an error for zero runs")
+	}
+	ext = smallExtraction(t, "kx-perfect")
+	ext.Mode = workload.ExtractionMode("nonsense")
+	if _, err := (workload.Runner{}).Extract(ext); err == nil {
+		t.Fatalf("expected an error for an unknown mode")
+	}
+}

@@ -1,9 +1,7 @@
 package workload
 
 import (
-	"runtime"
-	"sync"
-
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -24,19 +22,18 @@ type Runner struct {
 	Workers int
 }
 
-// workerCount resolves the effective pool size for n queued jobs.
-func (r Runner) workerCount(n int) int {
-	w := r.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+// each runs fn(i) for i in [0, n) over the runner's worker pool (the shared
+// slot-indexed loop of internal/pool), for stages that need no per-worker
+// state.
+func (r Runner) each(n int, fn func(i int)) {
+	pool.Each(r.Workers, n, fn)
+}
+
+// eachWithEngine is each with one sim.Engine owned per worker, for stages
+// that execute simulations.  Recorded results are independent of an engine's
+// prior runs, so sharing an engine within a worker does not affect slots.
+func (r Runner) eachWithEngine(n int, fn func(eng *sim.Engine, i int)) {
+	pool.EachSlot(r.Workers, n, sim.NewEngine, fn)
 }
 
 // Sweep runs one scenario for every seed, in parallel, and aggregates the
@@ -69,31 +66,17 @@ func (r Runner) SweepAll(tasks []Task) ([]SweepResult, error) {
 		errs[ti] = make([]error, len(t.Seeds))
 	}
 
-	workers := r.workerCount(len(jobs))
-	next := make(chan job)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			eng := sim.NewEngine()
-			for j := range next {
-				t := tasks[j.task]
-				seed := t.Seeds[j.seed]
-				res, err := ExecuteWith(eng, t.Spec, seed)
-				if err != nil {
-					errs[j.task][j.seed] = err
-					continue
-				}
-				outcomes[j.task][j.seed] = ScoreRun(res, seed, t.Eval)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
+	r.eachWithEngine(len(jobs), func(eng *sim.Engine, i int) {
+		j := jobs[i]
+		t := tasks[j.task]
+		seed := t.Seeds[j.seed]
+		res, err := ExecuteWith(eng, t.Spec, seed)
+		if err != nil {
+			errs[j.task][j.seed] = err
+			return
+		}
+		outcomes[j.task][j.seed] = ScoreRun(res, seed, t.Eval)
+	})
 
 	for _, j := range jobs {
 		if err := errs[j.task][j.seed]; err != nil {

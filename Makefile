@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 10x
 
-.PHONY: all build test race vet fmt-check smoke bench
+.PHONY: all build test race vet fmt-check smoke daemon-smoke bench
 
 all: build test
 
@@ -27,11 +27,18 @@ smoke:
 	$(GO) run ./cmd/fdextract -list-scenarios >/dev/null
 	$(GO) run ./cmd/fdextract -scenario kx-perfect -runs 8 -workers 4 >/dev/null
 
-# bench runs the Table 1 benchmark, the adversary sweep and the
-# knowledge-extraction benchmark, and records the next BENCH_<n>.json
-# snapshot, so the performance trajectory accumulates across working
-# sessions.  Tune the sample count with BENCHTIME=50x etc.
+# daemon-smoke boots udcd on a random port, sweeps the same request twice and
+# asserts the second response is a byte-identical cache hit — the end-to-end
+# check of the serving layer that CI also runs.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
+
+# bench runs the Table 1 benchmark, the adversary sweep, the
+# knowledge-extraction benchmark and the serving-layer benchmarks (codec,
+# cold/warm daemon sweeps, duplicate-request scheduling), and records the
+# next BENCH_<n>.json snapshot, so the performance trajectory accumulates
+# across working sessions.  Tune the sample count with BENCHTIME=50x etc.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction|BenchmarkCodec|BenchmarkServerSweep|BenchmarkSchedulerDuplicates)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status

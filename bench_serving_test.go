@@ -1,0 +1,218 @@
+package repro_test
+
+// Serving-layer benchmarks (PR 4): the binary run codec against the JSON
+// trace path, cold-versus-warm daemon sweep latency, and scheduler
+// throughput under concurrent duplicate requests.  BenchmarkCodec,
+// BenchmarkServerSweep and BenchmarkSchedulerDuplicates feed BENCH_<n>.json
+// via `make bench` alongside the simulation benchmarks.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// codecCorpus simulates a fixed corpus of recorded runs for the codec
+// benchmarks: the throughput scenario's shape, 16 seeds.
+func codecCorpus(b *testing.B) model.System {
+	b.Helper()
+	spec := registry.MustScenario("throughput").Spec
+	runs := make(model.System, 0, 16)
+	for _, seed := range workload.Seeds(1, 16) {
+		res, err := workload.Execute(spec, seed)
+		if err != nil {
+			b.Fatalf("simulate corpus: %v", err)
+		}
+		runs = append(runs, res.Run)
+	}
+	return runs
+}
+
+// BenchmarkCodec compares the binary run container against the JSON trace
+// encoding on the same corpus, reporting bytes per run for both so the size
+// ratio lands in the benchmark snapshot next to the speed ratio.
+func BenchmarkCodec(b *testing.B) {
+	runs := codecCorpus(b)
+
+	var binBytes, jsonBytes int
+	encoded := make([][]byte, len(runs))
+	var jsonBuf bytes.Buffer
+	for i, run := range runs {
+		encoded[i] = store.EncodeRun(run)
+		binBytes += len(encoded[i])
+		jsonBuf.Reset()
+		if err := trace.EncodeJSON(&jsonBuf, run); err != nil {
+			b.Fatal(err)
+		}
+		jsonBytes += jsonBuf.Len()
+	}
+	jsonDocs := make([][]byte, len(runs))
+	for i, run := range runs {
+		var buf bytes.Buffer
+		if err := trace.EncodeJSON(&buf, run); err != nil {
+			b.Fatal(err)
+		}
+		jsonDocs[i] = buf.Bytes()
+	}
+
+	b.Run(fmt.Sprintf("encode-bin/runs=%d", len(runs)), func(b *testing.B) {
+		b.ReportMetric(float64(binBytes)/float64(len(runs)), "bytes/run")
+		for i := 0; i < b.N; i++ {
+			for _, run := range runs {
+				if out := store.EncodeRun(run); len(out) == 0 {
+					b.Fatal("empty encoding")
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("encode-json/runs=%d", len(runs)), func(b *testing.B) {
+		b.ReportMetric(float64(jsonBytes)/float64(len(runs)), "bytes/run")
+		for i := 0; i < b.N; i++ {
+			for _, run := range runs {
+				jsonBuf.Reset()
+				if err := trace.EncodeJSON(&jsonBuf, run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("decode-bin/runs=%d", len(runs)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, data := range encoded {
+				if _, err := store.DecodeRun(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("decode-json/runs=%d", len(runs)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range jsonDocs {
+				if _, err := trace.DecodeJSON(bytes.NewReader(doc)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// newBenchServer assembles a memory-backed daemon for the serving
+// benchmarks.
+func newBenchServer(b *testing.B) (*server.Server, *httptest.Server) {
+	b.Helper()
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func benchGet(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerSweep measures /v1/sweep latency cold (every request a
+// fresh seed base, so the fleet simulates) and warm (one hot entry served
+// from the store).
+func BenchmarkServerSweep(b *testing.B) {
+	const scenario, seeds = "prop2.3-nudc", 8
+	b.Run(fmt.Sprintf("cold/%s/seeds=%d", scenario, seeds), func(b *testing.B) {
+		_, ts := newBenchServer(b)
+		for i := 0; i < b.N; i++ {
+			benchGet(b, fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d", ts.URL, scenario, seeds, 1+i*100000))
+		}
+	})
+	b.Run(fmt.Sprintf("warm/%s/seeds=%d", scenario, seeds), func(b *testing.B) {
+		_, ts := newBenchServer(b)
+		url := fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d", ts.URL, scenario, seeds)
+		benchGet(b, url) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchGet(b, url)
+		}
+	})
+}
+
+// BenchmarkSchedulerDuplicates measures the scheduler under 64 concurrent
+// duplicate requests per operation: cold (each round a fresh key, so
+// singleflight coalesces 64 requests onto one fleet computation) and warm
+// (all 64 served from the store).
+func BenchmarkSchedulerDuplicates(b *testing.B) {
+	const dups = 64
+	fire := func(b *testing.B, url string) {
+		var wg sync.WaitGroup
+		errs := make([]error, dups)
+		for d := 0; d < dups; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				resp, err := http.Get(url)
+				if err != nil {
+					errs[d] = err
+					return
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					errs[d] = fmt.Errorf("HTTP %d", resp.StatusCode)
+				}
+			}(d)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run(fmt.Sprintf("cold/dups=%d", dups), func(b *testing.B) {
+		srv, ts := newBenchServer(b)
+		for i := 0; i < b.N; i++ {
+			fire(b, fmt.Sprintf("%s/v1/sweep?scenario=prop2.3-nudc&seeds=8&seedBase=%d", ts.URL, 1+i*100000))
+		}
+		b.StopTimer()
+		ss := srv.SchedulerStats()
+		if ss.Computed != uint64(b.N) {
+			b.Fatalf("computed %d results for %d cold rounds (singleflight must compute once per round)", ss.Computed, b.N)
+		}
+		b.ReportMetric(float64(ss.Coalesced+ss.CacheHits)/float64(b.N), "coalesced/op")
+	})
+	b.Run(fmt.Sprintf("warm/dups=%d", dups), func(b *testing.B) {
+		_, ts := newBenchServer(b)
+		url := ts.URL + "/v1/sweep?scenario=prop2.3-nudc&seeds=8"
+		benchGet(b, url) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fire(b, url)
+		}
+	})
+}

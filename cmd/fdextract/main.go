@@ -11,7 +11,15 @@
 //	fdextract -scenario kx-perfect -workers 4
 //	fdextract -scenario kx-tuseful -runs 32
 //	fdextract -scenario kx-perfect -adversary cascade
+//	fdextract -scenario kx-perfect -o simulated.bin -format bin
+//	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
 //	fdextract -list-scenarios
+//
+// With -o the transformed runs (the extracted detector's simulated system)
+// are written to a file in the binary System container or as a JSON array.
+// With -remote the pipeline is served by a udcd daemon — cached and
+// coalesced — instead of executing locally; verdicts are identical either
+// way.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"strings"
 
 	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -40,6 +50,9 @@ func run(args []string, w io.Writer) error {
 		runs          int
 		seed          int64
 		listScenarios bool
+		outPath       string
+		format        string
+		remote        string
 	)
 	fs := flag.NewFlagSet("fdextract", flag.ContinueOnError)
 	fs.StringVar(&scenario, "scenario", "kx-perfect",
@@ -50,6 +63,9 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&runs, "runs", 0, "number of sampled runs (0 = the scenario's standing sample size)")
 	fs.Int64Var(&seed, "seed", 0, "first sampling seed (0 = the scenario's standing base seed)")
 	fs.BoolVar(&listScenarios, "list-scenarios", false, "list the catalogued extraction pipelines and exit")
+	fs.StringVar(&outPath, "o", "", "write the transformed runs (the simulated detector's system) to this file in -format")
+	fs.StringVar(&format, "format", store.FormatAuto, "run file format for -o: bin | json | auto (bin)")
+	fs.StringVar(&remote, "remote", "", "udcd base URL: serve the pipeline from the daemon instead of executing locally (incompatible with -o and -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +75,16 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "%-28s %s\n", sc.Name, sc.Description)
 		}
 		return nil
+	}
+
+	if remote != "" {
+		if outPath != "" {
+			return fmt.Errorf("-o needs the transformed runs, which only local execution materialises; drop -remote or -o")
+		}
+		if workers != 0 {
+			return fmt.Errorf("-workers sizes the local pool; the daemon's fleet is configured on its side (drop -remote or -workers)")
+		}
+		return runRemote(w, remote, scenario, adversary, runs, seed)
 	}
 
 	sc, err := registry.LookupExtraction(scenario)
@@ -85,6 +111,13 @@ func run(args []string, w io.Writer) error {
 	result, err := workload.Runner{Workers: workers}.Extract(ext)
 	if err != nil {
 		return err
+	}
+
+	if outPath != "" {
+		if err := store.WriteSystemFile(outPath, format, result.Simulated); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "transformed runs written to %s (format %s)\n", outPath, format)
 	}
 
 	fmt.Fprintf(w, "system built: %d runs kept, %d excluded (UDC violations)\n", result.Kept, result.Excluded)
@@ -121,6 +154,57 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, "  => the simulated detector is perfect, as Theorem 3.6 predicts")
 	default:
 		fmt.Fprintf(w, "  => the simulated detector is %d-useful, as Theorem 4.3 predicts\n", ext.T)
+	}
+	return nil
+}
+
+// runRemote serves the pipeline from a udcd daemon and prints the same
+// verdict-level report as a local execution (the transformed runs themselves
+// stay on the daemon; only the recorded verdicts travel).  The daemon's
+// catalog is authoritative — the pipeline name, and the stress flag that
+// decides whether violations are the expected result, both resolve on its
+// side, so a client can drive pipelines its own build does not know.
+func runRemote(w io.Writer, remote, scenario, adversary string, runs int, seed int64) error {
+	client := &server.Client{BaseURL: remote}
+	resp, cache, err := client.Extract(server.ExtractRequest{
+		Extraction: scenario,
+		Adversary:  adversary,
+		Runs:       runs,
+		SeedBase:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pipeline %s: %d runs sampled remotely (mode=%s) [remote cache %s]\n",
+		resp.Extraction, resp.Runs, resp.Mode, cache)
+	fmt.Fprintf(w, "system built: %d runs kept, %d excluded (UDC violations)\n", resp.Kept, resp.Excluded)
+	for _, s := range resp.ExcludedSeeds {
+		fmt.Fprintf(w, "  excluded seed %d\n", s)
+	}
+	fmt.Fprintf(w, "epistemic index: %d points, %d classes, %d intervals\n",
+		resp.Index.Points, resp.Index.Classes, resp.Index.Intervals)
+	fmt.Fprintf(w, "  property violations: %d across %d transformed runs\n",
+		resp.TotalViolations, len(resp.Verdicts))
+	if !resp.OK {
+		violating := 0
+		for _, v := range resp.Verdicts {
+			if !v.OK {
+				violating++
+				fmt.Fprintf(w, "  seed %d: %d violations (first: %s: %s)\n",
+					v.Seed, len(v.Violations), v.Violations[0].Rule, v.Violations[0].Detail)
+			}
+		}
+		if resp.Stress {
+			fmt.Fprintln(w, "  (stress pipeline: the recorded violations are the expected result)")
+			return nil
+		}
+		return fmt.Errorf("extracted detector violates its properties on %d of %d runs", violating, len(resp.Verdicts))
+	}
+	switch workload.ExtractionMode(resp.Mode) {
+	case workload.ExtractPerfect:
+		fmt.Fprintln(w, "  => the simulated detector is perfect, as Theorem 3.6 predicts")
+	default:
+		fmt.Fprintf(w, "  => the simulated detector is %d-useful, as Theorem 4.3 predicts\n", resp.T)
 	}
 	return nil
 }

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func TestRunPerfectScenario(t *testing.T) {
@@ -72,5 +78,69 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}, &out); err == nil {
 		t.Fatalf("expected a flag parse error")
+	}
+}
+
+// TestWritesTransformedRuns checks -o: the transformed system lands on disk
+// in the binary container and decodes back to the advertised number of runs.
+func TestWritesTransformedRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "simulated.bin")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "kx-perfect", "-runs", "6", "-o", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := store.DecodeSystem(data)
+	if err != nil {
+		t.Fatalf("decode system: %v", err)
+	}
+	if len(runs) != 6 {
+		t.Fatalf("decoded %d transformed runs, want 6", len(runs))
+	}
+}
+
+// TestRemoteExtract serves the pipeline through an in-process daemon.
+func TestRemoteExtract(t *testing.T) {
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-remote", ts.URL, "-scenario", "kx-perfect", "-runs", "6"}, &out); err != nil {
+		t.Fatalf("remote extract: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "remote cache miss") {
+		t.Fatalf("first remote output lacks cache state:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-remote", ts.URL, "-scenario", "kx-perfect", "-runs", "6"}, &out); err != nil {
+		t.Fatalf("warm remote extract: %v", err)
+	}
+	if !strings.Contains(out.String(), "remote cache hit") {
+		t.Fatalf("second remote output not a cache hit:\n%s", out.String())
+	}
+
+	// The stress pipeline's expected violations do not fail remotely either.
+	out.Reset()
+	if err := run([]string{"-remote", ts.URL, "-scenario", "kx-perfect-starved", "-runs", "6"}, &out); err != nil {
+		t.Fatalf("remote stress extract: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "expected result") {
+		t.Fatalf("remote stress output lacks the stress note:\n%s", out.String())
+	}
+
+	if err := run([]string{"-remote", ts.URL, "-scenario", "kx-perfect", "-o", "x.bin"}, &out); err == nil {
+		t.Fatalf("-remote with -o should fail")
 	}
 }

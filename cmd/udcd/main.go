@@ -1,0 +1,114 @@
+// Command udcd is the sweep/extraction service daemon: it serves the
+// catalogued scenarios and knowledge-extraction pipelines over an HTTP JSON
+// API backed by the content-addressed run-corpus store.  Identical requests
+// are answered from the cache (or coalesced while in flight), distinct
+// concurrent sweeps batch onto one shared worker-fleet pass, and every
+// response is byte-identical to a direct serial computation.
+//
+// Usage:
+//
+//	udcd -addr 127.0.0.1:8080 -store .udcd-store
+//	udcd -addr 127.0.0.1:0                 # random port, printed on startup
+//	udcsim -remote http://127.0.0.1:8080 -scenario prop3.1-strong-udc -sweep 64
+//	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
+//
+// Endpoints: /healthz, /v1/sweep, /v1/extract, /v1/scenarios,
+// /v1/adversaries, /v1/stats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "udcd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	storeDir    string
+	workers     int
+	batchWindow time.Duration
+	memEntries  int
+	memBytes    int64
+}
+
+func parseOptions(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("udcd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (port 0 picks a free port, printed on startup)")
+	fs.StringVar(&o.storeDir, "store", ".udcd-store", "run-corpus store directory (empty = memory-only, nothing persisted)")
+	fs.IntVar(&o.workers, "workers", 0, "worker-fleet size shared by all computations (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.batchWindow, "batch-window", 0, "how long to collect concurrent sweep requests into one fleet pass (0 = 2ms)")
+	fs.IntVar(&o.memEntries, "mem-entries", 0, "in-memory cache entry bound (0 = 256, negative disables the memory layer)")
+	fs.Int64Var(&o.memBytes, "mem-bytes", 0, "in-memory cache byte bound (0 = 64 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// buildServer opens the store and assembles the daemon; split out so tests
+// can exercise the full wiring without binding a socket.
+func buildServer(o options) (*server.Server, error) {
+	st, err := store.Open(o.storeDir, store.Options{MaxMemEntries: o.memEntries, MaxMemBytes: o.memBytes})
+	if err != nil {
+		return nil, err
+	}
+	return server.New(server.Config{Store: st, Workers: o.workers, BatchWindow: o.batchWindow})
+}
+
+func run(args []string, w io.Writer) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	srv, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Listen before announcing, so -addr :0 can print the resolved port and
+	// scripts can scrape it from the first output line.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	storeDesc := o.storeDir
+	if storeDesc == "" {
+		storeDesc = "(memory-only)"
+	}
+	fmt.Fprintf(w, "udcd listening on http://%s store=%s workers=%d\n", ln.Addr(), storeDesc, o.workers)
+
+	httpServer := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(w, "udcd: received %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpServer.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseOptions(t *testing.T) {
+	o, err := parseOptions([]string{"-addr", "127.0.0.1:0", "-store", "", "-workers", "3", "-mem-entries", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:0" || o.storeDir != "" || o.workers != 3 || o.memEntries != -1 {
+		t.Fatalf("parsed options: %+v", o)
+	}
+	if _, err := parseOptions([]string{"-no-such-flag"}); err == nil {
+		t.Fatalf("unknown flag accepted")
+	}
+}
+
+func TestBuildServerWiring(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := buildServer(options{storeDir: dir, workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Store().Dir() != dir {
+		t.Fatalf("store dir = %q, want %q", srv.Store().Dir(), dir)
+	}
+}
+
+// TestServeOnRandomPort boots the daemon exactly as the CI smoke job does:
+// random port, scrape the announced URL, hit /healthz and sweep twice to see
+// a cache hit, then shut down via SIGTERM.
+func TestServeOnRandomPort(t *testing.T) {
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-store", t.TempDir()}, pw)
+		pw.Close()
+	}()
+
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; run error: %v", <-errc)
+	}
+	line := sc.Text()
+	m := regexp.MustCompile(`http://[0-9.:]+`).FindString(line)
+	if m == "" {
+		t.Fatalf("startup line %q carries no URL", line)
+	}
+	go io.Copy(io.Discard, pr) // drain the shutdown message
+
+	resp, err := http.Get(m + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	sweep := m + "/v1/sweep?scenario=prop2.3-nudc&seeds=4"
+	var bodies [2]string
+	var caches [2]string
+	for i := range bodies {
+		resp, err := http.Get(sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep %d: HTTP %d, %v", i, resp.StatusCode, err)
+		}
+		bodies[i], caches[i] = string(raw), resp.Header.Get("X-Cache")
+	}
+	if caches[0] != "miss" || caches[1] != "hit" {
+		t.Fatalf("cache headers = %v, want [miss hit]", caches)
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("cached body differs from computed body")
+	}
+
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down on SIGINT")
+	}
+}

@@ -20,6 +20,15 @@
 //	udcsim -scenario adv-targeted-final-fd -quiet
 //	udcsim -list-scenarios
 //	udcsim -list-adversaries
+//
+// Recorded runs can be written in the compact binary container (-o run.bin,
+// -format bin|json) and decoded again (-decode run.bin); with -remote the
+// sweep is served by a udcd daemon — cached, coalesced and batched — instead
+// of simulating locally:
+//
+//	udcsim -protocol strong -o run.bin
+//	udcsim -decode run.bin
+//	udcsim -remote http://127.0.0.1:8080 -scenario prop3.1-strong-udc -sweep 64
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/registry"
+	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -65,6 +76,10 @@ type options struct {
 	tick            int
 	suspect         int
 	jsonPath        string
+	outPath         string
+	format          string
+	decodePath      string
+	remote          string
 	timeline        int
 	quiet           bool
 	stabilize       int
@@ -99,7 +114,11 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.crashEnd, "crash-end", 0, "latest crash time (0 = steps/2)")
 	fs.IntVar(&o.tick, "tick", 2, "protocol tick period")
 	fs.IntVar(&o.suspect, "suspect-every", 3, "failure-detector query period")
-	fs.StringVar(&o.jsonPath, "json", "", "write the recorded run as JSON to this file")
+	fs.StringVar(&o.jsonPath, "json", "", "write the recorded run as JSON to this file (shorthand for -o with -format json)")
+	fs.StringVar(&o.outPath, "o", "", "write the recorded run to this file in -format")
+	fs.StringVar(&o.format, "format", store.FormatAuto, "run file format for -o and -decode: bin | json | auto (bin on encode, sniffed on decode)")
+	fs.StringVar(&o.decodePath, "decode", "", "decode a recorded run file and print its summary instead of simulating (with -check, also re-check it)")
+	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep)")
 	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
 	fs.IntVar(&o.stabilize, "stabilize-at", 100, "stabilisation time for the eventually-strong detector")
@@ -129,6 +148,12 @@ func run(args []string) error {
 	o, err := parseOptions(args)
 	if err != nil {
 		return err
+	}
+	if o.decodePath != "" {
+		return runDecode(o)
+	}
+	if o.remote != "" {
+		return runRemote(o)
 	}
 	if o.listScenarios {
 		for _, sc := range registry.Scenarios() {
@@ -217,6 +242,82 @@ func run(args []string) error {
 	return runSingle(o, spec, eval, checkName, oracleName)
 }
 
+// runDecode loads a recorded run file (binary container or trace JSON) and
+// prints the same trace-level summary a fresh simulation would, optionally
+// re-checking a specification on it.
+func runDecode(o options) error {
+	run, err := store.ReadRunFile(o.decodePath, o.format)
+	if err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Printf("decoded %s: ", o.decodePath)
+		fmt.Print(trace.Summary(run))
+	}
+	if o.timeline >= 0 && o.timeline < run.N {
+		fmt.Printf("timeline of process %d:\n%s", o.timeline, trace.Timeline(run, model.ProcID(o.timeline)))
+	}
+	if o.check == "" {
+		return nil
+	}
+	eval, err := registry.Evaluator(o.check, registry.Options{N: run.N})
+	if err != nil {
+		return err
+	}
+	if violations := eval(run); len(violations) > 0 {
+		fmt.Printf("%s check FAILED with %d violations:\n", strings.ToUpper(o.check), len(violations))
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+		return fmt.Errorf("%s violated", o.check)
+	}
+	fmt.Printf("%s check passed (%d actions, faulty=%s)\n", strings.ToUpper(o.check), len(run.InitiatedActions()), run.Faulty())
+	return nil
+}
+
+// runRemote serves the sweep from a udcd daemon.  The daemon only knows the
+// catalogued scenarios, so -scenario is required; its response is
+// byte-identical to a local sweep of the same seeds.
+func runRemote(o options) error {
+	if o.scenario == "" {
+		return fmt.Errorf("-remote requires -scenario (the daemon serves the catalogued scenarios; see -list-scenarios)")
+	}
+	if o.sweep <= 0 {
+		return fmt.Errorf("-remote requires -sweep (the daemon serves sweeps, not single traces)")
+	}
+	if o.outPath != "" || o.jsonPath != "" {
+		return fmt.Errorf("-o/-json need a recorded run, which only local execution materialises; drop -remote or the output flag")
+	}
+	if o.workers != 0 {
+		return fmt.Errorf("-workers sizes the local pool; the daemon's fleet is configured on its side (drop -remote or -workers)")
+	}
+	client := &server.Client{BaseURL: o.remote}
+	resp, cache, err := client.Sweep(server.SweepRequest{
+		Scenario:  o.scenario,
+		Adversary: o.adversary,
+		Seeds:     o.sweep,
+		SeedBase:  o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s ok=%d/%d msgs=%8.0f latency=%6.1f violations=%d [remote cache %s]\n",
+		resp.Scenario, resp.Successes, resp.Seeds, resp.MeanMessages, resp.MeanLatency, resp.TotalViolations, cache)
+	if !o.quiet {
+		for _, out := range resp.Outcomes {
+			if !out.OK {
+				fmt.Printf("  seed %d: %d violations (first: %s: %s)\n",
+					out.Seed, len(out.Violations), out.Violations[0].Rule, out.Violations[0].Detail)
+			}
+		}
+	}
+	if resp.TotalViolations > 0 {
+		return fmt.Errorf("%s violated on %d of %d seeds", resp.Check, resp.Seeds-resp.Successes, resp.Seeds)
+	}
+	fmt.Printf("%s check passed on all %d seeds\n", strings.ToUpper(resp.Check), resp.Seeds)
+	return nil
+}
+
 // runSweep sweeps the spec over o.sweep seeds with a parallel worker pool.
 func runSweep(o options, spec workload.Spec, eval workload.Evaluator, checkName string) error {
 	seeds := workload.Seeds(o.seed, o.sweep)
@@ -264,15 +365,16 @@ func runSingle(o options, spec workload.Spec, eval workload.Evaluator, checkName
 		fmt.Printf("timeline of process %d:\n%s", o.timeline, trace.Timeline(res.Run, model.ProcID(o.timeline)))
 	}
 	if o.jsonPath != "" {
-		f, err := os.Create(o.jsonPath)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", o.jsonPath, err)
-		}
-		defer f.Close()
-		if err := trace.EncodeJSON(f, res.Run); err != nil {
+		if err := store.WriteRunFile(o.jsonPath, store.FormatJSON, res.Run); err != nil {
 			return err
 		}
 		fmt.Printf("run written to %s\n", o.jsonPath)
+	}
+	if o.outPath != "" {
+		if err := store.WriteRunFile(o.outPath, o.format, res.Run); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s (format %s)\n", o.outPath, o.format)
 	}
 
 	if len(violations) > 0 {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func TestRunAllProtocols(t *testing.T) {
@@ -182,5 +186,87 @@ func TestScenarioMode(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "does-not-exist"}); err == nil {
 		t.Fatalf("unknown scenario should fail")
+	}
+}
+
+// TestBinaryRunFileRoundTrip writes a recorded run with -o in both formats
+// and decodes each back, including a re-check of the specification.
+func TestBinaryRunFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "run.bin")
+	jsonPath := filepath.Join(dir, "run.json")
+	base := []string{"-protocol", "strong", "-n", "5", "-steps", "300", "-failures", "2", "-quiet"}
+	if err := run(append(append([]string{}, base...), "-o", binPath)); err != nil {
+		t.Fatalf("write bin: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-o", jsonPath, "-format", "json")); err != nil {
+		t.Fatalf("write json: %v", err)
+	}
+	// Binary files are smaller than the JSON for the same run.
+	binInfo, err1 := os.Stat(binPath)
+	jsonInfo, err2 := os.Stat(jsonPath)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("stat: %v, %v", err1, err2)
+	}
+	if binInfo.Size() >= jsonInfo.Size() {
+		t.Fatalf("binary run file (%d bytes) not smaller than JSON (%d bytes)", binInfo.Size(), jsonInfo.Size())
+	}
+	// -format auto sniffs both; an explicit -check re-evaluates the run.
+	for _, path := range []string{binPath, jsonPath} {
+		if err := run([]string{"-decode", path, "-quiet", "-check", "udc"}); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	if err := run([]string{"-decode", filepath.Join(dir, "missing.bin"), "-quiet"}); err == nil {
+		t.Fatalf("decoding a missing file should fail")
+	}
+	if err := run([]string{"-decode", binPath, "-format", "nope"}); err == nil {
+		t.Fatalf("unknown format should fail")
+	}
+}
+
+// TestRemoteSweep serves a sweep through an in-process daemon and checks the
+// -remote mode's validation.
+func TestRemoteSweep(t *testing.T) {
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	args := []string{"-remote", ts.URL, "-scenario", "prop2.3-nudc", "-sweep", "4", "-quiet"}
+	if err := run(args); err != nil {
+		t.Fatalf("remote sweep: %v", err)
+	}
+	// Second run of the same request is served from the daemon's cache.
+	if err := run(args); err != nil {
+		t.Fatalf("remote warm sweep: %v", err)
+	}
+	if st := srv.Store().Stats(); st.Puts != 1 || st.Hits() == 0 {
+		t.Fatalf("daemon store stats after two identical remote sweeps: %+v", st)
+	}
+
+	if err := run([]string{"-remote", ts.URL, "-sweep", "4"}); err == nil {
+		t.Fatalf("-remote without -scenario should fail")
+	}
+	// Output flags need a locally recorded run; silently dropping them would
+	// lose the user's requested file.
+	if err := run([]string{"-remote", ts.URL, "-scenario", "prop2.3-nudc", "-sweep", "4", "-o", "x.bin"}); err == nil {
+		t.Fatalf("-remote with -o should fail")
+	}
+	if err := run([]string{"-remote", ts.URL, "-scenario", "prop2.3-nudc", "-sweep", "4", "-workers", "2"}); err == nil {
+		t.Fatalf("-remote with -workers should fail")
+	}
+	if err := run([]string{"-remote", ts.URL, "-scenario", "prop2.3-nudc"}); err == nil {
+		t.Fatalf("-remote without -sweep should fail")
+	}
+	if err := run([]string{"-remote", ts.URL, "-scenario", "does-not-exist", "-sweep", "4"}); err == nil {
+		t.Fatalf("unknown remote scenario should fail")
 	}
 }

@@ -12,8 +12,9 @@ import (
 )
 
 // Workers resolves a requested pool size for n queued slots: zero or negative
-// means runtime.GOMAXPROCS(0), and the result never exceeds n or drops below
-// one.
+// means runtime.GOMAXPROCS(0), and the result is clamped to [1, max(n, 1)] —
+// negative or zero n resolves to one worker, so callers never have to
+// pre-sanitise either argument.
 func Workers(requested, n int) int {
 	w := requested
 	if w <= 0 {
@@ -32,8 +33,12 @@ func Workers(requested, n int) int {
 // newState is called once per worker and its value passed to every fn call
 // that worker executes (one simulation engine per worker, typically); fn must
 // write its outcome to slot i.  With one worker the slots run inline on the
-// calling goroutine.
+// calling goroutine.  When n <= 0 there is nothing to distribute and EachSlot
+// returns without creating any worker state.
 func EachSlot[S any](workers, n int, newState func() S, fn func(state S, i int)) {
+	if n <= 0 {
+		return
+	}
 	resolved := Workers(workers, n)
 	if resolved <= 1 {
 		state := newState()

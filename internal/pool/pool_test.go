@@ -15,8 +15,12 @@ func TestWorkersResolution(t *testing.T) {
 		{0, 100, runtime.GOMAXPROCS(0)},
 		{-3, 100, runtime.GOMAXPROCS(0)},
 		{4, 100, 4},
-		{8, 3, 3},
-		{2, 0, 1},
+		{8, 3, 3},  // workers > items: one worker per item
+		{2, 0, 1},  // zero items still resolve to one worker
+		{2, -5, 1}, // negative item counts clamp like zero
+		{-1, 0, 1}, // both degenerate: still one worker
+		{1, 1, 1},
+		{0, 1, 1}, // Workers(0) with one slot stays serial
 	}
 	for _, tc := range cases {
 		if got := pool.Workers(tc.requested, tc.n); got != tc.want {
@@ -57,5 +61,43 @@ func TestEachHandlesEmptyAndSerial(t *testing.T) {
 	pool.Each(1, 5, func(i int) { sum += i }) // serial: safe without atomics
 	if sum != 10 {
 		t.Fatalf("serial Each sum = %d, want 10", sum)
+	}
+}
+
+// TestEachSlotZeroItemsCreatesNoState pins the zero-work fast path: with
+// nothing to distribute, EachSlot must not build worker state (each state is
+// a full simulation engine in the sweep layers) for any requested pool size,
+// including Workers(0) and negative values.
+func TestEachSlotZeroItemsCreatesNoState(t *testing.T) {
+	for _, workers := range []int{0, 1, 8, -2} {
+		for _, n := range []int{0, -3} {
+			states := 0
+			pool.EachSlot(workers, n, func() int { states++; return states }, func(int, int) {
+				t.Fatalf("workers=%d n=%d: fn ran with no slots", workers, n)
+			})
+			if states != 0 {
+				t.Errorf("workers=%d n=%d: %d worker states created for zero slots", workers, n, states)
+			}
+		}
+	}
+}
+
+// TestEachSlotMoreWorkersThanItems checks that an oversized pool degrades to
+// one worker per item: every slot runs exactly once and at most n states are
+// created.
+func TestEachSlotMoreWorkersThanItems(t *testing.T) {
+	const n = 3
+	hits := make([]int32, n)
+	states := int32(0)
+	pool.EachSlot(16, n, func() int32 { return atomic.AddInt32(&states, 1) }, func(_ int32, i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("slot %d executed %d times", i, h)
+		}
+	}
+	if states != n {
+		t.Errorf("%d states created for %d items, want %d", states, n, n)
 	}
 }

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a udcd daemon.  The -remote modes of udcsim and fdextract
+// are built on it.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil means a client with a
+	// 10-minute timeout, matching long cold sweeps).
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Minute}
+}
+
+// post sends a JSON request and decodes the JSON response into out.  The
+// returned cache string is the response's X-Cache header ("hit" or "miss").
+func (c *Client) post(path string, req, out any) (cache string, err error) {
+	body := MarshalBody(req)
+	url := strings.TrimRight(c.BaseURL, "/") + path
+	resp, err := c.httpClient().Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("%s: read response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return "", fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return "", fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return "", fmt.Errorf("%s: decode response: %w", path, err)
+	}
+	return resp.Header.Get("X-Cache"), nil
+}
+
+// Sweep requests a sweep from the daemon.
+func (c *Client) Sweep(req SweepRequest) (*SweepResponse, string, error) {
+	var out SweepResponse
+	cache, err := c.post("/v1/sweep", req, &out)
+	if err != nil {
+		return nil, "", err
+	}
+	return &out, cache, nil
+}
+
+// Extract requests an extraction pipeline from the daemon.
+func (c *Client) Extract(req ExtractRequest) (*ExtractResponse, string, error) {
+	var out ExtractResponse
+	cache, err := c.post("/v1/extract", req, &out)
+	if err != nil {
+		return nil, "", err
+	}
+	return &out, cache, nil
+}
+
+// Stats fetches the daemon's store and scheduler counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/v1/stats"
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats: HTTP %d", resp.StatusCode)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("/v1/stats: decode response: %w", err)
+	}
+	return &out, nil
+}

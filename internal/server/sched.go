@@ -1,0 +1,347 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// SchedulerStats counts the scheduler's traffic.  All counters are cumulative
+// since the server started.
+type SchedulerStats struct {
+	// Requests counts sweep/extract requests that passed validation.
+	Requests uint64 `json:"requests"`
+	// CacheHits counts requests served straight from the store.
+	CacheHits uint64 `json:"cacheHits"`
+	// Coalesced counts requests that joined an identical in-flight
+	// computation instead of starting their own (singleflight).
+	Coalesced uint64 `json:"coalesced"`
+	// Computed counts computations actually executed on the worker fleet.
+	Computed uint64 `json:"computed"`
+	// Errors counts requests that failed (unknown names, compute errors).
+	Errors uint64 `json:"errors"`
+	// PutErrors counts computed payloads that could not be persisted; the
+	// result is still served (caching is an optimisation, not a
+	// correctness requirement), so PutErrors > 0 with Errors = 0 means a
+	// degraded store, not failing requests.
+	PutErrors uint64 `json:"putErrors"`
+	// Batches and BatchedTasks count dispatcher rounds and the jobs they
+	// carried; BatchedTasks/Batches > 1 means distinct concurrent requests
+	// shared a worker-fleet pass.
+	Batches      uint64 `json:"batches"`
+	BatchedTasks uint64 `json:"batchedTasks"`
+}
+
+// httpError carries the HTTP status an error should surface as.  Errors
+// without one are internal (500).
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// notFound marks an unknown catalog name (404).
+func notFound(err error) error { return &httpError{status: http.StatusNotFound, err: err} }
+
+// badRequest marks a malformed request (400).
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+// statusOf maps an error to its response status: a tagged status if one is
+// attached, 500 otherwise.
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+// call is one in-flight computation; duplicates wait on done.
+type call struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// fleetJob is one queued computation awaiting a dispatcher round: either a
+// sweep task (batched with its round's other sweeps into one SweepAll) or an
+// extraction (run on the same fleet after the round's sweep pass).
+type fleetJob struct {
+	sweep    *workload.Task
+	extract  *workload.Extraction
+	done     chan struct{}
+	result   workload.SweepResult
+	exResult *workload.ExtractionResult
+	err      error
+}
+
+// maxBatch bounds the number of jobs one dispatcher round carries.
+const maxBatch = 64
+
+// scheduler turns validated requests into store payloads.  It serves cache
+// hits from the store, coalesces identical concurrent requests into one
+// computation, and funnels every computation — sweeps and extractions alike
+// — through a single dispatcher so concurrent requests share one worker
+// fleet instead of each spawning their own pool and oversubscribing the
+// machine.
+type scheduler struct {
+	store       *store.Store
+	runner      workload.Runner
+	batchWindow time.Duration
+
+	mu       sync.Mutex
+	inflight map[store.Key]*call
+	stats    SchedulerStats
+
+	fleetq chan *fleetJob
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newScheduler(st *store.Store, workers int, batchWindow time.Duration) *scheduler {
+	if batchWindow <= 0 {
+		batchWindow = 2 * time.Millisecond
+	}
+	s := &scheduler{
+		store:       st,
+		runner:      workload.Runner{Workers: workers},
+		batchWindow: batchWindow,
+		inflight:    make(map[store.Key]*call),
+		fleetq:      make(chan *fleetJob),
+		quit:        make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// close stops the dispatcher.  Pending jobs are completed first because
+// submitters hold references to their jobs, not to the queue.
+func (s *scheduler) close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// dispatch is the batcher: it blocks for one queued job, keeps draining the
+// queue for the batch window (or until the batch is full), then runs the
+// round on the shared fleet — all sweep tasks as a single SweepAll pass,
+// extractions one after another (each is internally parallel across the same
+// worker count).  At most one fleet pass is ever active, and slot-indexed
+// distribution makes each task's results identical to a dedicated serial
+// computation, so the sharing is invisible in the responses.
+func (s *scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		var first *fleetJob
+		select {
+		case first = <-s.fleetq:
+		case <-s.quit:
+			return
+		}
+		jobs := []*fleetJob{first}
+		timer := time.NewTimer(s.batchWindow)
+	drain:
+		for len(jobs) < maxBatch {
+			select {
+			case job := <-s.fleetq:
+				jobs = append(jobs, job)
+			case <-timer.C:
+				break drain
+			}
+		}
+		timer.Stop()
+
+		var sweeps []*fleetJob
+		var extracts []*fleetJob
+		for _, job := range jobs {
+			if job.sweep != nil {
+				sweeps = append(sweeps, job)
+			} else {
+				extracts = append(extracts, job)
+			}
+		}
+
+		if len(sweeps) > 0 {
+			tasks := make([]workload.Task, len(sweeps))
+			for i, job := range sweeps {
+				tasks[i] = *job.sweep
+			}
+			results, err := s.runner.SweepAll(tasks)
+			for i, job := range sweeps {
+				if err != nil {
+					job.err = err
+				} else {
+					job.result = results[i]
+				}
+				close(job.done)
+			}
+		}
+		for _, job := range extracts {
+			job.exResult, job.err = s.runner.Extract(*job.extract)
+			close(job.done)
+		}
+
+		s.mu.Lock()
+		s.stats.Batches++
+		s.stats.BatchedTasks += uint64(len(jobs))
+		s.mu.Unlock()
+	}
+}
+
+// submit hands one job to the dispatcher and waits for its round.
+func (s *scheduler) submit(job *fleetJob) error {
+	select {
+	case s.fleetq <- job:
+	case <-s.quit:
+		return fmt.Errorf("server: scheduler shut down")
+	}
+	<-job.done
+	return job.err
+}
+
+func (s *scheduler) count(f func(*SchedulerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// do resolves one cacheable computation: store hit, join of an identical
+// in-flight call, or a fresh computation whose payload is stored for next
+// time.  cached reports whether the payload came from the store.
+func (s *scheduler) do(key store.Key, compute func() ([]byte, error)) (payload []byte, cached bool, err error) {
+	s.count(func(st *SchedulerStats) { st.Requests++ })
+	if payload, ok := s.store.Get(key); ok {
+		s.count(func(st *SchedulerStats) { st.CacheHits++ })
+		return payload, true, nil
+	}
+
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		return c.payload, false, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	// An identical call may have completed between our store miss and the
+	// flight registration; it stored its payload before deregistering, so
+	// one more store probe (uncounted — this request already recorded its
+	// miss) closes the race and keeps duplicate requests at exactly one
+	// computation.
+	if stored, ok := s.store.Probe(key); ok {
+		c.payload = stored
+		cached = true
+		s.count(func(st *SchedulerStats) { st.CacheHits++ })
+	} else {
+		c.payload, c.err = compute()
+		if c.err == nil {
+			s.count(func(st *SchedulerStats) { st.Computed++ })
+			// A failed Put degrades the cache, not the response: the
+			// computed payload is correct and is served regardless.
+			if perr := s.store.Put(key, c.payload); perr != nil {
+				s.count(func(st *SchedulerStats) { st.PutErrors++ })
+			}
+		}
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	return c.payload, cached, nil
+}
+
+// Sweep serves one validated sweep request, returning the encoded record.
+func (s *scheduler) Sweep(req SweepRequest) (payload []byte, cached bool, err error) {
+	sc, err := registry.LookupScenario(req.Scenario)
+	if err != nil {
+		s.count(func(st *SchedulerStats) { st.Errors++ })
+		return nil, false, notFound(err)
+	}
+	if req.Adversary != "" {
+		adv, _, err := registry.Adversary(req.Adversary)
+		if err != nil {
+			s.count(func(st *SchedulerStats) { st.Errors++ })
+			return nil, false, notFound(err)
+		}
+		sc.Spec.Adversary = adv
+	}
+	payload, cached, err = s.do(req.keySpec().Key(), func() ([]byte, error) {
+		job := &fleetJob{
+			sweep: &workload.Task{
+				Spec:  sc.Spec,
+				Seeds: workload.Seeds(req.SeedBase, req.Seeds),
+				Eval:  sc.Eval,
+			},
+			done: make(chan struct{}),
+		}
+		if err := s.submit(job); err != nil {
+			return nil, err
+		}
+		return store.EncodeSweepRecord(store.NewSweepRecord(sc.Name, sc.Check, req.Adversary, req.SeedBase, job.result)), nil
+	})
+	if err != nil {
+		s.count(func(st *SchedulerStats) { st.Errors++ })
+	}
+	return payload, cached, err
+}
+
+// Extract serves one validated extract request, returning the encoded record.
+func (s *scheduler) Extract(req ExtractRequest) (payload []byte, cached bool, err error) {
+	sc, err := registry.LookupExtraction(req.Extraction)
+	if err != nil {
+		s.count(func(st *SchedulerStats) { st.Errors++ })
+		return nil, false, notFound(err)
+	}
+	ext := sc.Extraction
+	if req.Adversary != "" {
+		adv, _, err := registry.Adversary(req.Adversary)
+		if err != nil {
+			s.count(func(st *SchedulerStats) { st.Errors++ })
+			return nil, false, notFound(err)
+		}
+		ext.Source.Adversary = adv
+	}
+	if req.Runs > 0 {
+		ext.Runs = req.Runs
+	}
+	if req.SeedBase != 0 {
+		ext.BaseSeed = req.SeedBase
+	}
+	spec := store.KeySpec{Kind: "extract", Name: req.Extraction, Adversary: req.Adversary, SeedBase: ext.BaseSeed, Count: ext.Runs}
+	payload, cached, err = s.do(spec.Key(), func() ([]byte, error) {
+		job := &fleetJob{extract: &ext, done: make(chan struct{})}
+		if err := s.submit(job); err != nil {
+			return nil, err
+		}
+		return store.EncodeExtractionRecord(store.NewExtractionRecord(req.Adversary, sc.Stress, job.exResult)), nil
+	})
+	if err != nil {
+		s.count(func(st *SchedulerStats) { st.Errors++ })
+	}
+	return payload, cached, err
+}

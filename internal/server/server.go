@@ -1,0 +1,258 @@
+// Package server is the serving layer on top of the run-corpus store: a
+// long-running HTTP JSON API that answers sweep and knowledge-extraction
+// requests for the catalogued scenarios.  Cache hits are served straight from
+// the content-addressed store, identical concurrent requests coalesce into a
+// single computation, and distinct concurrent sweeps batch onto one shared
+// worker-fleet pass — with every response byte-identical to a direct serial
+// workload.Sweep / Runner.Extract call.
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness probe
+//	GET|POST /v1/sweep               sweep a catalogued scenario
+//	GET|POST /v1/extract             run a catalogued extraction pipeline
+//	GET  /v1/scenarios               the scenario + extraction catalogs
+//	GET  /v1/adversaries             the adversary catalog
+//	GET  /v1/stats                   store + scheduler counters
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the run-corpus store backing the cache.  Nil means a fresh
+	// memory-only store.
+	Store *store.Store
+	// Workers is the worker-fleet size (0 = GOMAXPROCS), shared by all
+	// computations.
+	Workers int
+	// BatchWindow is how long the dispatcher keeps collecting concurrent
+	// sweep requests into one worker-fleet pass (0 = 2ms).
+	BatchWindow time.Duration
+}
+
+// Server is the daemon: an http.Handler plus the scheduler and store behind
+// it.
+type Server struct {
+	store *store.Store
+	sched *scheduler
+	mux   *http.ServeMux
+}
+
+// New assembles a server from the config.
+func New(cfg Config) (*Server, error) {
+	st := cfg.Store
+	if st == nil {
+		var err error
+		if st, err = store.Open("", store.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		store: st,
+		sched: newScheduler(st, cfg.Workers, cfg.BatchWindow),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/extract", s.handleExtract)
+	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("/v1/adversaries", s.handleAdversaries)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the backing store (for stats and tests).
+func (s *Server) Store() *store.Store { return s.store }
+
+// SchedulerStats returns a snapshot of the scheduler's counters.
+func (s *Server) SchedulerStats() SchedulerStats { return s.sched.Stats() }
+
+// Close stops the scheduler's dispatcher.  In-flight requests complete first.
+func (s *Server) Close() { s.sched.close() }
+
+// writeJSON writes a response body through MarshalBody, the same rendering
+// the golden tests and remote clients use.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body := MarshalBody(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError maps an error to a JSON error body using its tagged HTTP
+// status: 404 for unknown catalog names, 400 for malformed requests, and 500
+// for anything untagged (internal failures must not masquerade as client
+// errors).
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// decodeRequest fills req from the query string (GET) or the JSON body
+// (POST); other methods are rejected.  Query parameters use the JSON field
+// names.
+func decodeRequest(r *http.Request, fields map[string]any) error {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		for name, dst := range fields {
+			raw := q.Get(name)
+			if raw == "" {
+				continue
+			}
+			switch p := dst.(type) {
+			case *string:
+				*p = raw
+			case *int:
+				v, err := strconv.Atoi(raw)
+				if err != nil {
+					return fmt.Errorf("parameter %s: %w", name, err)
+				}
+				*p = v
+			case *int64:
+				v, err := strconv.ParseInt(raw, 10, 64)
+				if err != nil {
+					return fmt.Errorf("parameter %s: %w", name, err)
+				}
+				*p = v
+			}
+		}
+		return nil
+	case http.MethodPost:
+		target := make(map[string]json.RawMessage)
+		if err := json.NewDecoder(r.Body).Decode(&target); err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		for name, dst := range fields {
+			raw, ok := target[name]
+			if !ok {
+				continue
+			}
+			if err := json.Unmarshal(raw, dst); err != nil {
+				return fmt.Errorf("field %s: %w", name, err)
+			}
+		}
+		return nil
+	default:
+		return errMethod
+	}
+}
+
+var errMethod = errors.New("method not allowed (use GET or POST)")
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	err := decodeRequest(r, map[string]any{
+		"scenario":  &req.Scenario,
+		"adversary": &req.Adversary,
+		"seeds":     &req.Seeds,
+		"seedBase":  &req.SeedBase,
+	})
+	if err == errMethod {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: err.Error()})
+		return
+	}
+	if err == nil {
+		err = req.normalize()
+	}
+	if err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	payload, cached, err := s.sched.Sweep(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, err := store.DecodeSweepRecord(payload)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	setCacheHeader(w, cached)
+	writeJSON(w, http.StatusOK, SweepResponseOf(rec))
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req ExtractRequest
+	err := decodeRequest(r, map[string]any{
+		"extraction": &req.Extraction,
+		"adversary":  &req.Adversary,
+		"runs":       &req.Runs,
+		"seedBase":   &req.SeedBase,
+	})
+	if err == errMethod {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: err.Error()})
+		return
+	}
+	if err == nil {
+		err = req.normalize()
+	}
+	if err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	payload, cached, err := s.sched.Extract(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, err := store.DecodeExtractionRecord(payload)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	setCacheHeader(w, cached)
+	writeJSON(w, http.StatusOK, ExtractResponseOf(rec))
+}
+
+// setCacheHeader marks whether the body was served from the store.  The
+// indicator lives in a header, not the body, because cached and computed
+// bodies are byte-identical by design.
+func setCacheHeader(w http.ResponseWriter, cached bool) {
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, catalogResponse())
+}
+
+func (s *Server) handleAdversaries(w http.ResponseWriter, r *http.Request) {
+	out := []AdversaryJSON{}
+	for _, info := range registry.Adversaries() {
+		out = append(out, AdversaryJSON{Name: info.Name, Description: info.Description, Shapes: info.Shapes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Store:         s.store.Stats(),
+		Scheduler:     s.sched.Stats(),
+		EngineVersion: sim.EngineVersion,
+		CodecVersion:  store.CodecVersion,
+	})
+}

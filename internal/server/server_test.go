@@ -1,0 +1,453 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// newTestServer assembles a daemon over a fresh store (disk-backed when dir
+// is non-empty) and returns it with its httptest front.
+func newTestServer(t *testing.T, dir string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// goldenSweepBody renders the response body a direct serial workload.Sweep
+// would yield for the request — the byte-identity reference of the
+// acceptance criteria.
+func goldenSweepBody(t *testing.T, req server.SweepRequest) []byte {
+	t.Helper()
+	sc := registry.MustScenario(req.Scenario)
+	if req.Adversary != "" {
+		sc.Spec.Adversary = registry.MustAdversary(req.Adversary)
+	}
+	res, err := workload.Sweep(sc.Spec, workload.Seeds(req.SeedBase, req.Seeds), sc.Eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.NewSweepRecord(sc.Name, sc.Check, req.Adversary, req.SeedBase, res)
+	return server.MarshalBody(server.SweepResponseOf(rec))
+}
+
+// goldenExtractBody renders the response body a direct Runner.Extract would
+// yield for the request.
+func goldenExtractBody(t *testing.T, req server.ExtractRequest) []byte {
+	t.Helper()
+	sc, err := registry.LookupExtraction(req.Extraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := sc.Extraction
+	if req.Adversary != "" {
+		ext.Source.Adversary = registry.MustAdversary(req.Adversary)
+	}
+	if req.Runs > 0 {
+		ext.Runs = req.Runs
+	}
+	if req.SeedBase != 0 {
+		ext.BaseSeed = req.SeedBase
+	}
+	res, err := workload.Runner{}.Extract(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.NewExtractionRecord(req.Adversary, sc.Stress, res)
+	return server.MarshalBody(server.ExtractResponseOf(rec))
+}
+
+// TestSweepGoldenByteIdentical is the acceptance-criteria golden test: for
+// catalogued scenarios (including an adversary override and a stress
+// scenario with violations), the daemon's body equals a direct serial
+// sweep's rendering byte for byte — on the cold miss, on the warm cache hit,
+// and via GET and POST alike.
+func TestSweepGoldenByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	requests := []server.SweepRequest{
+		{Scenario: "prop3.1-strong-udc", Seeds: 8, SeedBase: 1},
+		{Scenario: "prop2.3-nudc", Seeds: 6, SeedBase: 40},
+		{Scenario: "adv-targeted-final-fd", Seeds: 5, SeedBase: 1},                      // records violations
+		{Scenario: "prop2.4-reliable-udc", Adversary: "cascade", Seeds: 6, SeedBase: 1}, // adversary override
+	}
+	for _, req := range requests {
+		golden := goldenSweepBody(t, req)
+
+		url := fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d&adversary=%s",
+			ts.URL, req.Scenario, req.Seeds, req.SeedBase, req.Adversary)
+		status, header, body := get(t, url)
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", req.Scenario, status, body)
+		}
+		if header.Get("X-Cache") != "miss" {
+			t.Fatalf("%s: first response X-Cache = %q, want miss", req.Scenario, header.Get("X-Cache"))
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: cold body differs from direct serial sweep:\n%s\nvs\n%s", req.Scenario, body, golden)
+		}
+
+		// Warm: served from the store, still byte-identical.
+		status, header, body = get(t, url)
+		if status != http.StatusOK || header.Get("X-Cache") != "hit" {
+			t.Fatalf("%s: warm response HTTP %d X-Cache %q", req.Scenario, status, header.Get("X-Cache"))
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: cached body differs from direct serial sweep", req.Scenario)
+		}
+
+		// POST path renders the same body.
+		payload := server.MarshalBody(req)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		postBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: POST HTTP %d: %v", req.Scenario, resp.StatusCode, err)
+		}
+		if !bytes.Equal(postBody, golden) {
+			t.Fatalf("%s: POST body differs from GET body", req.Scenario)
+		}
+	}
+}
+
+func TestExtractGoldenByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	requests := []server.ExtractRequest{
+		{Extraction: "kx-perfect", Runs: 8},
+		{Extraction: "kx-perfect-starved", Runs: 8}, // stress: verdicts carry violations
+		{Extraction: "kx-tuseful", Runs: 6, SeedBase: 77},
+	}
+	for _, req := range requests {
+		golden := goldenExtractBody(t, req)
+		url := fmt.Sprintf("%s/v1/extract?extraction=%s&runs=%d&seedBase=%d", ts.URL, req.Extraction, req.Runs, req.SeedBase)
+		status, header, body := get(t, url)
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", req.Extraction, status, body)
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: cold body differs from direct Runner.Extract:\n%s\nvs\n%s", req.Extraction, body, golden)
+		}
+		status, header, body = get(t, url)
+		if status != http.StatusOK || header.Get("X-Cache") != "hit" {
+			t.Fatalf("%s: warm response HTTP %d X-Cache %q", req.Extraction, status, header.Get("X-Cache"))
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: cached body differs", req.Extraction)
+		}
+	}
+}
+
+// TestConcurrentDuplicatesComputeOnce fires 64 concurrent identical sweep
+// requests at a cold daemon.  All 64 bodies must be byte-identical to the
+// direct serial sweep, and the singleflight layer must have computed (and
+// stored) the result exactly once — asserted via the store's Puts counter
+// and the scheduler's Computed counter.
+func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop3.1-strong-udc", Seeds: 8, SeedBase: 500}
+	golden := goldenSweepBody(t, req)
+	url := fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d", ts.URL, req.Scenario, req.Seeds, req.SeedBase)
+
+	const dups = 64
+	bodies := make([][]byte, dups)
+	errs := make([]error, dups)
+	var wg sync.WaitGroup
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < dups; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], golden) {
+			t.Fatalf("request %d body differs from direct serial sweep", i)
+		}
+	}
+
+	if st := srv.Store().Stats(); st.Puts != 1 {
+		t.Fatalf("store Puts = %d, want 1 (singleflight must compute once)", st.Puts)
+	}
+	ss := srv.SchedulerStats()
+	if ss.Computed != 1 {
+		t.Fatalf("scheduler Computed = %d, want 1", ss.Computed)
+	}
+	if ss.Requests != dups {
+		t.Fatalf("scheduler Requests = %d, want %d", ss.Requests, dups)
+	}
+	if ss.CacheHits+ss.Coalesced+ss.Computed != dups {
+		t.Fatalf("hits(%d) + coalesced(%d) + computed(%d) != %d requests",
+			ss.CacheHits, ss.Coalesced, ss.Computed, dups)
+	}
+}
+
+// TestBatchingSharesFleetPasses launches several distinct sweeps concurrently
+// and checks each result is still byte-identical to its dedicated serial
+// sweep (batched SweepAll distribution is invisible in the aggregates).
+func TestBatchingSharesFleetPasses(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	scenarios := []string{"prop2.3-nudc", "prop2.4-reliable-udc", "prop3.1-strong-udc", "quiescent-udc"}
+	goldens := make([][]byte, len(scenarios))
+	for i, name := range scenarios {
+		goldens[i] = goldenSweepBody(t, server.SweepRequest{Scenario: name, Seeds: 6, SeedBase: 9})
+	}
+	bodies := make([][]byte, len(scenarios))
+	var wg sync.WaitGroup
+	for i, name := range scenarios {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, _, body := get(t, fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=6&seedBase=9", ts.URL, name))
+			bodies[i] = body
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range scenarios {
+		if !bytes.Equal(bodies[i], goldens[i]) {
+			t.Fatalf("%s: concurrent batched body differs from dedicated serial sweep", scenarios[i])
+		}
+	}
+	ss := srv.SchedulerStats()
+	if ss.Computed != uint64(len(scenarios)) || ss.Batches == 0 || ss.BatchedTasks != uint64(len(scenarios)) {
+		t.Fatalf("scheduler stats after distinct concurrent sweeps: %+v", ss)
+	}
+}
+
+// TestCacheSurvivesRestart re-opens the store directory under a fresh server:
+// the sweep must come back as a disk-layer hit with an identical body.
+func TestCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, dir)
+	url := ts.URL + "/v1/sweep?scenario=prop2.3-nudc&seeds=6"
+	_, _, cold := get(t, url)
+
+	srv2, ts2 := newTestServer(t, dir)
+	status, header, warm := get(t, ts2.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=6")
+	if status != http.StatusOK || header.Get("X-Cache") != "hit" {
+		t.Fatalf("restarted daemon: HTTP %d X-Cache %q", status, header.Get("X-Cache"))
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("body changed across daemon restart")
+	}
+	if st := srv2.Store().Stats(); st.DiskHits != 1 {
+		t.Fatalf("restarted daemon store stats: %+v", st)
+	}
+}
+
+func TestCatalogAndStatsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	status, _, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+
+	status, _, body = get(t, ts.URL+"/v1/scenarios")
+	if status != http.StatusOK {
+		t.Fatalf("scenarios: HTTP %d", status)
+	}
+	var catalog server.CatalogResponse
+	if err := json.Unmarshal(body, &catalog); err != nil {
+		t.Fatal(err)
+	}
+	if len(catalog.Scenarios) != len(registry.ScenarioNames()) {
+		t.Fatalf("catalog lists %d scenarios, registry has %d", len(catalog.Scenarios), len(registry.ScenarioNames()))
+	}
+	if len(catalog.Extractions) != len(registry.ExtractionNames()) {
+		t.Fatalf("catalog lists %d extractions, registry has %d", len(catalog.Extractions), len(registry.ExtractionNames()))
+	}
+
+	status, _, body = get(t, ts.URL+"/v1/adversaries")
+	if status != http.StatusOK {
+		t.Fatalf("adversaries: HTTP %d", status)
+	}
+	var advs []server.AdversaryJSON
+	if err := json.Unmarshal(body, &advs); err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != len(registry.AdversaryNames()) {
+		t.Fatalf("adversary catalog lists %d entries, registry has %d", len(advs), len(registry.AdversaryNames()))
+	}
+
+	get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=4")
+	status, _, body = get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", status)
+	}
+	var stats server.StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Requests != 1 || stats.Store.Puts != 1 {
+		t.Fatalf("stats after one sweep: %+v", stats)
+	}
+	if stats.CodecVersion != store.CodecVersion {
+		t.Fatalf("stats codec version = %d", stats.CodecVersion)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/sweep", http.StatusBadRequest},                                    // missing scenario
+		{"/v1/sweep?scenario=no-such-scenario", http.StatusNotFound},            // unknown name
+		{"/v1/sweep?scenario=prop2.3-nudc&seeds=999999", http.StatusBadRequest}, // over MaxSeeds
+		{"/v1/sweep?scenario=prop2.3-nudc&seeds=abc", http.StatusBadRequest},    // unparsable
+		{"/v1/sweep?scenario=prop2.3-nudc&adversary=nope", http.StatusNotFound}, // unknown adversary
+		{"/v1/extract", http.StatusBadRequest},                                  // missing extraction
+		{"/v1/extract?extraction=no-such-pipeline", http.StatusNotFound},        // unknown name
+		{"/v1/extract?extraction=kx-perfect&runs=-2", http.StatusBadRequest},    // bad runs
+	}
+	for _, tc := range cases {
+		status, _, body := get(t, ts.URL+tc.url)
+		if status != tc.want {
+			t.Errorf("%s: HTTP %d, want %d (%s)", tc.url, status, tc.want, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", tc.url, body)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweep", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/sweep: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestClientMatchesServer drives the Client helpers the -remote command
+// modes use.
+func TestClientMatchesServer(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	c := &server.Client{BaseURL: ts.URL}
+
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 6}
+	resp, cache, err := c.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != "miss" || resp.Scenario != "prop2.3-nudc" || resp.Seeds != 6 {
+		t.Fatalf("client sweep: cache=%q resp=%+v", cache, resp)
+	}
+	req.Seeds = 6 // normalized identically on the server
+	if _, cache, err = c.Sweep(req); err != nil || cache != "hit" {
+		t.Fatalf("client warm sweep: cache=%q err=%v", cache, err)
+	}
+
+	eresp, _, err := c.Extract(server.ExtractRequest{Extraction: "kx-perfect", Runs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eresp.Extraction != "kx-perfect" || eresp.Runs != 6 || !eresp.OK {
+		t.Fatalf("client extract: %+v", eresp)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Requests != 3 {
+		t.Fatalf("client stats: %+v", stats.Scheduler)
+	}
+
+	if _, _, err := c.Sweep(server.SweepRequest{Scenario: "nope"}); err == nil {
+		t.Fatalf("unknown scenario did not error through the client")
+	}
+}
+
+// TestPutFailureStillServes breaks the store's directory out from under a
+// running daemon: the computation still succeeds and is served (caching is
+// an optimisation), with the failure surfaced in the scheduler's PutErrors
+// counter rather than the response.
+func TestPutFailureStillServes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	srv, ts := newTestServer(t, dir)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 4, SeedBase: 1}
+	golden := goldenSweepBody(t, req)
+	status, _, body := get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=4")
+	if status != http.StatusOK {
+		t.Fatalf("sweep with broken store dir: HTTP %d: %s", status, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("body differs despite successful computation")
+	}
+	ss := srv.SchedulerStats()
+	if ss.PutErrors != 1 || ss.Errors != 0 {
+		t.Fatalf("scheduler stats after failed persist: %+v", ss)
+	}
+}
+
+// TestColdRequestCountsOneMiss pins the store-stats contract: the
+// scheduler's singleflight re-probe must not double-count misses.
+func TestColdRequestCountsOneMiss(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=4")
+	st := srv.Store().Stats()
+	if st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("store stats after one cold sweep: %+v (one request must count one miss)", st)
+	}
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// This file defines the daemon's wire types and the pure record-to-response
+// rendering they share with the -remote clients.  Every response body is a
+// deterministic function of a store record, and a record is a deterministic
+// function of a serial workload.Sweep / Runner.Extract result — so a body
+// served from cache, from a coalesced duplicate or from a fresh computation
+// is byte-identical to a direct call, which the golden tests assert.
+
+// DefaultSeeds is the sweep size used when a request does not specify one.
+const DefaultSeeds = 64
+
+// MaxSeeds bounds the per-request seed count so one request cannot pin the
+// worker fleet indefinitely.
+const MaxSeeds = 4096
+
+// SweepRequest asks for a catalogued scenario swept over a seed range.
+type SweepRequest struct {
+	// Scenario is the catalogued scenario name.
+	Scenario string `json:"scenario"`
+	// Adversary optionally overrides the scenario's fault/network schedule.
+	Adversary string `json:"adversary,omitempty"`
+	// Seeds is the number of seeds to sweep (0 means DefaultSeeds).
+	Seeds int `json:"seeds,omitempty"`
+	// SeedBase is the first seed (0 means 1).
+	SeedBase int64 `json:"seedBase,omitempty"`
+}
+
+// normalize applies defaults and validates the request shape (not the names;
+// those are resolved against the catalog by the scheduler).
+func (r *SweepRequest) normalize() error {
+	if r.Scenario == "" {
+		return fmt.Errorf("scenario is required")
+	}
+	if r.Seeds == 0 {
+		r.Seeds = DefaultSeeds
+	}
+	if r.Seeds < 0 || r.Seeds > MaxSeeds {
+		return fmt.Errorf("seeds %d out of range [1, %d]", r.Seeds, MaxSeeds)
+	}
+	if r.SeedBase == 0 {
+		r.SeedBase = 1
+	}
+	return nil
+}
+
+// keySpec is the request's cache identity.
+func (r SweepRequest) keySpec() store.KeySpec {
+	return store.KeySpec{Kind: "sweep", Name: r.Scenario, Adversary: r.Adversary, SeedBase: r.SeedBase, Count: r.Seeds}
+}
+
+// ExtractRequest asks for a catalogued knowledge-extraction pipeline.
+type ExtractRequest struct {
+	// Extraction is the catalogued pipeline name.
+	Extraction string `json:"extraction"`
+	// Adversary optionally overrides the pipeline's fault/network schedule.
+	Adversary string `json:"adversary,omitempty"`
+	// Runs overrides the pipeline's standing sample size (0 keeps it).
+	Runs int `json:"runs,omitempty"`
+	// SeedBase overrides the pipeline's standing base seed (0 keeps it).
+	SeedBase int64 `json:"seedBase,omitempty"`
+}
+
+func (r *ExtractRequest) normalize() error {
+	if r.Extraction == "" {
+		return fmt.Errorf("extraction is required")
+	}
+	if r.Runs < 0 || r.Runs > MaxSeeds {
+		return fmt.Errorf("runs %d out of range [1, %d]", r.Runs, MaxSeeds)
+	}
+	return nil
+}
+
+// StatsJSON mirrors sim.Stats with JSON tags.
+type StatsJSON struct {
+	Steps              int `json:"steps"`
+	MessagesSent       int `json:"messagesSent"`
+	MessagesDelivered  int `json:"messagesDelivered"`
+	MessagesDropped    int `json:"messagesDropped"`
+	MessagesToCrashed  int `json:"messagesToCrashed"`
+	MessagesDuplicated int `json:"messagesDuplicated"`
+	DoEvents           int `json:"doEvents"`
+	InitEvents         int `json:"initEvents"`
+	SuspectEvents      int `json:"suspectEvents"`
+	CrashEvents        int `json:"crashEvents"`
+	LastEventTime      int `json:"lastEventTime"`
+}
+
+func statsJSON(s sim.Stats) StatsJSON {
+	return StatsJSON{
+		Steps:              s.Steps,
+		MessagesSent:       s.MessagesSent,
+		MessagesDelivered:  s.MessagesDelivered,
+		MessagesDropped:    s.MessagesDropped,
+		MessagesToCrashed:  s.MessagesToCrashed,
+		MessagesDuplicated: s.MessagesDuplicated,
+		DoEvents:           s.DoEvents,
+		InitEvents:         s.InitEvents,
+		SuspectEvents:      s.SuspectEvents,
+		CrashEvents:        s.CrashEvents,
+		LastEventTime:      s.LastEventTime,
+	}
+}
+
+// ViolationJSON mirrors model.Violation with JSON tags.
+type ViolationJSON struct {
+	Rule   string `json:"rule"`
+	Detail string `json:"detail"`
+}
+
+func violationsJSON(vs []model.Violation) []ViolationJSON {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]ViolationJSON, len(vs))
+	for i, v := range vs {
+		out[i] = ViolationJSON{Rule: v.Rule, Detail: v.Detail}
+	}
+	return out
+}
+
+// OutcomeJSON is one seed's evaluation in a sweep response.
+type OutcomeJSON struct {
+	Seed           int64           `json:"seed"`
+	OK             bool            `json:"ok"`
+	Stats          StatsJSON       `json:"stats"`
+	Violations     []ViolationJSON `json:"violations,omitempty"`
+	LatencySum     int             `json:"latencySum,omitempty"`
+	LatencyActions int             `json:"latencyActions,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep body.
+type SweepResponse struct {
+	Scenario        string        `json:"scenario"`
+	Check           string        `json:"check"`
+	Adversary       string        `json:"adversary,omitempty"`
+	SeedBase        int64         `json:"seedBase"`
+	Seeds           int           `json:"seeds"`
+	Successes       int           `json:"successes"`
+	SuccessRate     float64       `json:"successRate"`
+	TotalViolations int           `json:"totalViolations"`
+	MeanMessages    float64       `json:"meanMessages"`
+	MeanLatency     float64       `json:"meanLatency"`
+	Outcomes        []OutcomeJSON `json:"outcomes"`
+}
+
+// SweepResponseOf renders a stored sweep record.  It is the only way sweep
+// bodies are produced, so cached and freshly computed responses coincide.
+func SweepResponseOf(rec *store.SweepRecord) *SweepResponse {
+	agg := workload.SweepResult{Outcomes: rec.Outcomes}
+	resp := &SweepResponse{
+		Scenario:        rec.Scenario,
+		Check:           rec.Check,
+		Adversary:       rec.Adversary,
+		SeedBase:        rec.SeedBase,
+		Seeds:           len(rec.Outcomes),
+		Successes:       agg.Successes(),
+		SuccessRate:     agg.SuccessRate(),
+		TotalViolations: agg.TotalViolations(),
+		MeanMessages:    agg.MeanMessages(),
+		MeanLatency:     agg.MeanLatency(),
+		Outcomes:        make([]OutcomeJSON, len(rec.Outcomes)),
+	}
+	for i, o := range rec.Outcomes {
+		resp.Outcomes[i] = OutcomeJSON{
+			Seed:           o.Seed,
+			OK:             o.OK(),
+			Stats:          statsJSON(o.Stats),
+			Violations:     violationsJSON(o.Violations),
+			LatencySum:     o.LatencySum,
+			LatencyActions: o.LatencyActions,
+		}
+	}
+	return resp
+}
+
+// IndexJSON is the epistemic index's shape in an extract response.
+type IndexJSON struct {
+	Runs      int `json:"runs"`
+	Processes int `json:"processes"`
+	Points    int `json:"points"`
+	Classes   int `json:"classes"`
+	Intervals int `json:"intervals"`
+}
+
+// VerdictJSON is one transformed run's property check.
+type VerdictJSON struct {
+	Seed       int64           `json:"seed"`
+	OK         bool            `json:"ok"`
+	Violations []ViolationJSON `json:"violations,omitempty"`
+}
+
+// ExtractResponse is the /v1/extract body.
+type ExtractResponse struct {
+	Extraction      string        `json:"extraction"`
+	Mode            string        `json:"mode"`
+	T               int           `json:"t,omitempty"`
+	Adversary       string        `json:"adversary,omitempty"`
+	Runs            int           `json:"runs"`
+	SeedBase        int64         `json:"seedBase"`
+	Stress          bool          `json:"stress,omitempty"`
+	Kept            int           `json:"kept"`
+	Excluded        int           `json:"excluded"`
+	ExcludedSeeds   []int64       `json:"excludedSeeds,omitempty"`
+	Index           IndexJSON     `json:"index"`
+	OK              bool          `json:"ok"`
+	TotalViolations int           `json:"totalViolations"`
+	Verdicts        []VerdictJSON `json:"verdicts"`
+}
+
+// ExtractResponseOf renders a stored extraction record; like SweepResponseOf
+// it is the single producer of extract bodies.
+func ExtractResponseOf(rec *store.ExtractionRecord) *ExtractResponse {
+	resp := &ExtractResponse{
+		Extraction:    rec.Extraction,
+		Mode:          rec.Mode,
+		T:             rec.T,
+		Adversary:     rec.Adversary,
+		Runs:          rec.Runs,
+		SeedBase:      rec.SeedBase,
+		Stress:        rec.Stress,
+		Kept:          rec.Kept,
+		Excluded:      rec.Excluded,
+		ExcludedSeeds: rec.ExcludedSeeds,
+		Index: IndexJSON{
+			Runs:      rec.Index.Runs,
+			Processes: rec.Index.Processes,
+			Points:    rec.Index.Points,
+			Classes:   rec.Index.Classes,
+			Intervals: rec.Index.Intervals,
+		},
+		TotalViolations: rec.TotalViolations(),
+		Verdicts:        make([]VerdictJSON, len(rec.Verdicts)),
+	}
+	resp.OK = resp.TotalViolations == 0
+	for i, v := range rec.Verdicts {
+		resp.Verdicts[i] = VerdictJSON{Seed: v.Seed, OK: len(v.Violations) == 0, Violations: violationsJSON(v.Violations)}
+	}
+	return resp
+}
+
+// ScenarioJSON is one catalog entry in the /v1/scenarios body.
+type ScenarioJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Check       string `json:"check"`
+	N           int    `json:"n"`
+	Stress      bool   `json:"stress,omitempty"`
+	Adversary   string `json:"adversary,omitempty"`
+}
+
+// ExtractionJSON is one extraction-pipeline entry in the /v1/scenarios body.
+type ExtractionJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Mode        string `json:"mode"`
+	Runs        int    `json:"runs"`
+	SeedBase    int64  `json:"seedBase"`
+	Stress      bool   `json:"stress,omitempty"`
+}
+
+// CatalogResponse is the /v1/scenarios body: everything the daemon can serve.
+type CatalogResponse struct {
+	Scenarios   []ScenarioJSON   `json:"scenarios"`
+	Extractions []ExtractionJSON `json:"extractions"`
+}
+
+// AdversaryJSON is one entry in the /v1/adversaries body.
+type AdversaryJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Shapes      bool   `json:"shapes,omitempty"`
+}
+
+// catalogResponse renders the registry catalogs.
+func catalogResponse() *CatalogResponse {
+	resp := &CatalogResponse{}
+	for _, sc := range registry.Scenarios() {
+		entry := ScenarioJSON{
+			Name:        sc.Name,
+			Description: sc.Description,
+			Check:       sc.Check,
+			N:           sc.Spec.N,
+			Stress:      sc.Stress,
+		}
+		if sc.Spec.Adversary != nil {
+			entry.Adversary = sc.Spec.Adversary.Name()
+		}
+		resp.Scenarios = append(resp.Scenarios, entry)
+	}
+	for _, ex := range registry.Extractions() {
+		resp.Extractions = append(resp.Extractions, ExtractionJSON{
+			Name:        ex.Name,
+			Description: ex.Description,
+			Mode:        string(ex.Extraction.Mode),
+			Runs:        ex.Extraction.Runs,
+			SeedBase:    ex.Extraction.BaseSeed,
+			Stress:      ex.Stress,
+		})
+	}
+	return resp
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	Store         store.Stats    `json:"store"`
+	Scheduler     SchedulerStats `json:"scheduler"`
+	EngineVersion int            `json:"engineVersion"`
+	CodecVersion  int            `json:"codecVersion"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// MarshalBody renders any wire value as the daemon writes it: compact JSON
+// with a trailing newline.  Clients and golden tests use it to reproduce
+// response bodies bit for bit.
+func MarshalBody(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Wire types contain only marshalable fields; reaching this is a
+		// programming error.
+		panic(err)
+	}
+	return append(raw, '\n')
+}

@@ -8,6 +8,13 @@ import (
 	"repro/internal/model"
 )
 
+// EngineVersion identifies the recorded-run semantics of the simulator.  Two
+// binaries with the same EngineVersion produce byte-identical recorded runs
+// for the same configuration.  Bump it whenever a change alters recorded runs
+// (event ordering, sampling draws, new event kinds); the run-corpus store
+// folds it into every cache key, so stale entries are never served.
+const EngineVersion = 1
+
 // Engine executes simulations.  One Engine can run many configurations in
 // sequence, reusing its internal buffers (network buckets, intern tables,
 // per-process harnesses and schedule slices) between runs; only the recorded

@@ -1,0 +1,532 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// The binary codec serialises recorded runs and sweep/extraction records into
+// a compact, deterministic container: a fixed magic, a format version, a kind
+// byte, a varint-encoded payload, and a trailing CRC-32 of everything before
+// it.  Encoding the same value always yields the same bytes, decoding is
+// allocation-light, and any truncation or bit flip fails the checksum (or a
+// bounds check) instead of producing a plausible-looking wrong value.  The
+// codec preserves every field of every event, so a decoded run re-encodes to
+// byte-identical JSON under trace.EncodeJSON.
+
+// CodecVersion is the binary format version.  It participates in cache keys,
+// so bumping it invalidates every stored entry.
+const CodecVersion = 1
+
+// Container kinds.
+const (
+	// KindRun is a single recorded model.Run.
+	KindRun byte = 1
+	// KindSystem is an ordered sequence of recorded runs.
+	KindSystem byte = 2
+	// KindSweep is a SweepRecord.
+	KindSweep byte = 3
+	// KindExtraction is an ExtractionRecord.
+	KindExtraction byte = 4
+)
+
+var magic = [4]byte{'U', 'D', 'C', CodecVersion}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// writer accumulates the varint-encoded payload.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) svarint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *writer) int(v int) { w.svarint(int64(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader decodes a varint payload.  The first malformed field latches err and
+// every subsequent read returns a zero value, so decode functions only need
+// one error check at the end.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("store: truncated uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) svarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("store: truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) int() int { return int(r.svarint()) }
+
+// length reads a count that will size an allocation and bounds it by the
+// bytes remaining, so corrupt counts cannot force huge allocations.
+func (r *reader) length(what string) int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.data)-r.pos) {
+		r.fail("store: %s count %d exceeds remaining %d bytes", what, v, len(r.data)-r.pos)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.data) {
+		r.fail("store: truncated bool at offset %d", r.pos)
+		return false
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b != 0
+}
+
+func (r *reader) str() string {
+	n := r.length("string")
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("store: %d trailing bytes after payload", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// seal wraps a payload in the container framing: magic, kind, payload,
+// trailing CRC-32C of everything before it.
+func seal(kind byte, payload []byte) []byte {
+	out := make([]byte, 0, len(magic)+1+len(payload)+4)
+	out = append(out, magic[:]...)
+	out = append(out, kind)
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// unseal verifies the container framing and returns the payload.
+func unseal(data []byte, wantKind byte) ([]byte, error) {
+	if err := Check(data); err != nil {
+		return nil, err
+	}
+	if data[4] != wantKind {
+		return nil, fmt.Errorf("store: container kind %d, want %d", data[4], wantKind)
+	}
+	return data[5 : len(data)-4], nil
+}
+
+// Check verifies the container framing — magic, version, a known kind and the
+// trailing checksum — without decoding the payload.  It is what the on-disk
+// store uses to detect corrupt or truncated entries.
+func Check(data []byte) error {
+	if len(data) < len(magic)+1+4 {
+		return fmt.Errorf("store: container truncated to %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return fmt.Errorf("store: bad magic %q (version mismatch or not a store container)", data[:4])
+	}
+	if kind := data[4]; kind < KindRun || kind > KindExtraction {
+		return fmt.Errorf("store: unknown container kind %d", kind)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("store: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return nil
+}
+
+// Kind returns the container kind byte of a framed blob, or an error if the
+// framing is invalid.
+func Kind(data []byte) (byte, error) {
+	if err := Check(data); err != nil {
+		return 0, err
+	}
+	return data[4], nil
+}
+
+// --- model value encoding -------------------------------------------------
+
+// Field-presence masks keep non-message events to a couple of bytes each
+// while still preserving every field exactly (required for byte-identical
+// JSON round trips even on events that carry unusual field combinations).
+
+func (w *writer) action(a model.ActionID) {
+	w.svarint(int64(a.Initiator))
+	w.int(a.Seq)
+}
+
+func (r *reader) action() model.ActionID {
+	return model.ActionID{Initiator: model.ProcID(r.svarint()), Seq: r.int()}
+}
+
+func (w *writer) message(m model.Message) {
+	var mask uint64
+	if m.Kind != "" {
+		mask |= 1 << 0
+	}
+	if !m.Action.IsZero() {
+		mask |= 1 << 1
+	}
+	if m.Round != 0 {
+		mask |= 1 << 2
+	}
+	if m.Phase != 0 {
+		mask |= 1 << 3
+	}
+	if m.Value != 0 {
+		mask |= 1 << 4
+	}
+	if m.Aux != 0 {
+		mask |= 1 << 5
+	}
+	if m.Suspects != 0 {
+		mask |= 1 << 6
+	}
+	if m.KnownCrashed != 0 {
+		mask |= 1 << 7
+	}
+	if m.KnownInits {
+		mask |= 1 << 8
+	}
+	w.uvarint(mask)
+	if mask&(1<<0) != 0 {
+		w.str(m.Kind)
+	}
+	if mask&(1<<1) != 0 {
+		w.action(m.Action)
+	}
+	if mask&(1<<2) != 0 {
+		w.int(m.Round)
+	}
+	if mask&(1<<3) != 0 {
+		w.int(m.Phase)
+	}
+	if mask&(1<<4) != 0 {
+		w.int(m.Value)
+	}
+	if mask&(1<<5) != 0 {
+		w.int(m.Aux)
+	}
+	if mask&(1<<6) != 0 {
+		w.uvarint(uint64(m.Suspects))
+	}
+	if mask&(1<<7) != 0 {
+		w.uvarint(uint64(m.KnownCrashed))
+	}
+	// KnownInits is fully carried by its mask bit.
+}
+
+func (r *reader) message() model.Message {
+	var m model.Message
+	mask := r.uvarint()
+	if mask&(1<<0) != 0 {
+		m.Kind = r.str()
+	}
+	if mask&(1<<1) != 0 {
+		m.Action = r.action()
+	}
+	if mask&(1<<2) != 0 {
+		m.Round = r.int()
+	}
+	if mask&(1<<3) != 0 {
+		m.Phase = r.int()
+	}
+	if mask&(1<<4) != 0 {
+		m.Value = r.int()
+	}
+	if mask&(1<<5) != 0 {
+		m.Aux = r.int()
+	}
+	if mask&(1<<6) != 0 {
+		m.Suspects = model.ProcSet(r.uvarint())
+	}
+	if mask&(1<<7) != 0 {
+		m.KnownCrashed = model.ProcSet(r.uvarint())
+	}
+	m.KnownInits = mask&(1<<8) != 0
+	return m
+}
+
+func (w *writer) report(rep model.SuspectReport) {
+	var mask uint64
+	if rep.Suspects != 0 {
+		mask |= 1 << 0
+	}
+	if rep.Generalized {
+		mask |= 1 << 1
+	}
+	if rep.Group != 0 {
+		mask |= 1 << 2
+	}
+	if rep.MinFaulty != 0 {
+		mask |= 1 << 3
+	}
+	if rep.CorrectReport {
+		mask |= 1 << 4
+	}
+	if rep.Correct != 0 {
+		mask |= 1 << 5
+	}
+	w.uvarint(mask)
+	if mask&(1<<0) != 0 {
+		w.uvarint(uint64(rep.Suspects))
+	}
+	if mask&(1<<2) != 0 {
+		w.uvarint(uint64(rep.Group))
+	}
+	if mask&(1<<3) != 0 {
+		w.int(rep.MinFaulty)
+	}
+	if mask&(1<<5) != 0 {
+		w.uvarint(uint64(rep.Correct))
+	}
+}
+
+func (r *reader) suspectReport() model.SuspectReport {
+	var rep model.SuspectReport
+	mask := r.uvarint()
+	if mask&(1<<0) != 0 {
+		rep.Suspects = model.ProcSet(r.uvarint())
+	}
+	rep.Generalized = mask&(1<<1) != 0
+	if mask&(1<<2) != 0 {
+		rep.Group = model.ProcSet(r.uvarint())
+	}
+	if mask&(1<<3) != 0 {
+		rep.MinFaulty = r.int()
+	}
+	rep.CorrectReport = mask&(1<<4) != 0
+	if mask&(1<<5) != 0 {
+		rep.Correct = model.ProcSet(r.uvarint())
+	}
+	return rep
+}
+
+func (w *writer) event(e model.Event) {
+	var mask uint64
+	if e.Peer != 0 {
+		mask |= 1 << 0
+	}
+	hasMsg := e.Msg != (model.Message{})
+	if hasMsg {
+		mask |= 1 << 1
+	}
+	if !e.Action.IsZero() {
+		mask |= 1 << 2
+	}
+	hasReport := e.Report != (model.SuspectReport{})
+	if hasReport {
+		mask |= 1 << 3
+	}
+	w.uvarint(uint64(e.Kind))
+	w.uvarint(mask)
+	if mask&(1<<0) != 0 {
+		w.svarint(int64(e.Peer))
+	}
+	if hasMsg {
+		w.message(e.Msg)
+	}
+	if mask&(1<<2) != 0 {
+		w.action(e.Action)
+	}
+	if hasReport {
+		w.report(e.Report)
+	}
+}
+
+func (r *reader) event() model.Event {
+	var e model.Event
+	e.Kind = model.EventKind(r.uvarint())
+	mask := r.uvarint()
+	if mask&(1<<0) != 0 {
+		e.Peer = model.ProcID(r.svarint())
+	}
+	if mask&(1<<1) != 0 {
+		e.Msg = r.message()
+	}
+	if mask&(1<<2) != 0 {
+		e.Action = r.action()
+	}
+	if mask&(1<<3) != 0 {
+		e.Report = r.suspectReport()
+	}
+	return e
+}
+
+func (w *writer) run(r *model.Run) {
+	w.int(r.N)
+	w.int(r.Horizon)
+	for _, evs := range r.Events {
+		w.uvarint(uint64(len(evs)))
+		for _, te := range evs {
+			w.int(te.Time)
+			w.event(te.Event)
+		}
+	}
+}
+
+func (r *reader) run() *model.Run {
+	n := r.int()
+	if r.err == nil && (n <= 0 || n > model.MaxProcs) {
+		r.fail("store: run process count %d out of range (0, %d]", n, model.MaxProcs)
+	}
+	if r.err != nil {
+		return nil
+	}
+	run := &model.Run{N: n, Horizon: r.int(), Events: make([][]model.TimedEvent, n)}
+	for p := 0; p < n; p++ {
+		count := r.length("event")
+		if r.err != nil {
+			return nil
+		}
+		evs := make([]model.TimedEvent, count)
+		for i := range evs {
+			evs[i] = model.TimedEvent{Time: r.int(), Event: r.event()}
+		}
+		run.Events[p] = evs
+	}
+	return run
+}
+
+// EncodeRun serialises one recorded run.
+func EncodeRun(run *model.Run) []byte {
+	var w writer
+	w.run(run)
+	return seal(KindRun, w.buf)
+}
+
+// DecodeRun deserialises a run encoded by EncodeRun, validating the container
+// framing, the payload bounds, and — like trace.DecodeJSON — the run's
+// structural invariants, so a well-framed container holding an impossible run
+// shape (negative horizon, non-monotone event times) is rejected rather than
+// handed to the evaluators.
+func DecodeRun(data []byte) (*model.Run, error) {
+	payload, err := unseal(data, KindRun)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{data: payload}
+	run := r.run()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if err := trace.ValidateStructure(run); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// EncodeSystem serialises an ordered sequence of recorded runs.
+func EncodeSystem(runs model.System) []byte {
+	var w writer
+	w.uvarint(uint64(len(runs)))
+	for _, run := range runs {
+		w.run(run)
+	}
+	return seal(KindSystem, w.buf)
+}
+
+// DecodeSystem deserialises a sequence encoded by EncodeSystem.
+func DecodeSystem(data []byte) (model.System, error) {
+	payload, err := unseal(data, KindSystem)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{data: payload}
+	count := r.length("run")
+	if r.err != nil {
+		return nil, r.err
+	}
+	runs := make(model.System, count)
+	for i := range runs {
+		runs[i] = r.run()
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	for i, run := range runs {
+		if err := trace.ValidateStructure(run); err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return runs, nil
+}
+
+func (w *writer) violations(vs []model.Violation) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.str(v.Rule)
+		w.str(v.Detail)
+	}
+}
+
+func (r *reader) violations() []model.Violation {
+	count := r.length("violation")
+	if r.err != nil || count == 0 {
+		return nil
+	}
+	vs := make([]model.Violation, count)
+	for i := range vs {
+		vs[i] = model.Violation{Rule: r.str(), Detail: r.str()}
+	}
+	return vs
+}

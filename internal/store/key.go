@@ -1,0 +1,46 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Key is the content address of a stored entry: a SHA-256 digest of the
+// request identity that produced it.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeySpec is the canonical identity of a cacheable computation.  Two requests
+// with equal specs are guaranteed to produce identical results: every field
+// that influences the output — which catalogued workload, which adversary
+// override, the seed range, and the engine and codec versions (so entries
+// recorded by an incompatible binary are never served) — participates in the
+// digest, and nothing else does.
+type KeySpec struct {
+	// Kind is the computation family: "sweep" or "extract".
+	Kind string
+	// Name is the catalogued scenario or extraction pipeline name.
+	Name string
+	// Adversary is the overriding adversary name ("" means the catalog
+	// entry's own schedule).
+	Adversary string
+	// SeedBase is the first seed of the deterministic seed range.
+	SeedBase int64
+	// Count is the number of seeds (sweeps) or sampled runs (extractions).
+	Count int
+}
+
+// Key digests the spec.
+func (ks KeySpec) Key() Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "udc-store|codec=%d|engine=%d|%s|%s|%s|%d|%d",
+		CodecVersion, sim.EngineVersion, ks.Kind, ks.Name, ks.Adversary, ks.SeedBase, ks.Count)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

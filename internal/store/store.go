@@ -1,0 +1,228 @@
+// Package store is the run-corpus layer: a compact deterministic binary codec
+// for recorded runs and sweep/extraction results, plus a content-addressed
+// on-disk store with an in-memory LRU front.  Entries are keyed by a digest
+// of the request identity (catalogued workload, adversary override, seed
+// range, engine and codec versions), written atomically so concurrent readers
+// never observe torn entries, and checksummed so corruption or truncation is
+// detected and treated as a miss rather than served.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxMemEntries bounds the in-memory LRU layer's entry count.
+	// Zero means 256; negative disables the memory layer.
+	MaxMemEntries int
+	// MaxMemBytes bounds the in-memory LRU layer's total payload bytes.
+	// Zero means 64 MiB.
+	MaxMemBytes int64
+}
+
+func (o Options) maxMemEntries() int {
+	if o.MaxMemEntries == 0 {
+		return 256
+	}
+	return o.MaxMemEntries
+}
+
+func (o Options) maxMemBytes() int64 {
+	if o.MaxMemBytes == 0 {
+		return 64 << 20
+	}
+	return o.MaxMemBytes
+}
+
+// Stats counts a store's traffic.  All counters are cumulative since Open.
+type Stats struct {
+	// MemHits and DiskHits are Gets served from the LRU layer and from disk.
+	MemHits, DiskHits uint64
+	// Misses are Gets that found no (valid) entry.
+	Misses uint64
+	// Puts counts successful writes.
+	Puts uint64
+	// CorruptEntries counts on-disk entries rejected by the container check
+	// (bad magic, bad checksum, truncation); each also counts as a miss.
+	CorruptEntries uint64
+	// Evictions counts entries dropped from the LRU layer to respect its
+	// bounds.
+	Evictions uint64
+	// MemEntries and MemBytes are the LRU layer's current occupancy.
+	MemEntries int
+	MemBytes   int64
+}
+
+// Hits returns the total number of Gets served from any layer.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+type memEntry struct {
+	key     Key
+	payload []byte
+}
+
+// Store is a content-addressed blob store.  It is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	entries  map[Key]*list.Element // of *memEntry
+	lru      *list.List            // front = most recently used
+	memBytes int64
+	stats    Stats
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+// An empty dir means memory-only (nothing is persisted).
+func Open(dir string, opts Options) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		dir:     dir,
+		opts:    opts,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+	}, nil
+}
+
+// Dir returns the store's on-disk root ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key Key) string {
+	return filepath.Join(s.dir, key.String()+".bin")
+}
+
+// Get returns the payload stored under key, if a valid entry exists.  The
+// returned slice is shared with the cache and must not be modified.  A
+// corrupt or truncated on-disk entry is counted and treated as a miss.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	return s.get(key, true)
+}
+
+// Probe is Get for opportunistic re-checks (the scheduler's post-singleflight
+// probe): hits count normally, but a miss is not added to the miss counter,
+// so one logical request never inflates Misses twice.
+func (s *Store) Probe(key Key) ([]byte, bool) {
+	return s.get(key, false)
+}
+
+func (s *Store) get(key Key, countMiss bool) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.MemHits++
+		payload := el.Value.(*memEntry).payload
+		s.mu.Unlock()
+		return payload, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.miss(false, countMiss)
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.miss(false, countMiss)
+		return nil, false
+	}
+	if err := Check(data); err != nil {
+		s.miss(true, countMiss)
+		return nil, false
+	}
+
+	s.mu.Lock()
+	s.stats.DiskHits++
+	s.admit(key, data)
+	s.mu.Unlock()
+	return data, true
+}
+
+func (s *Store) miss(corrupt, count bool) {
+	s.mu.Lock()
+	if count {
+		s.stats.Misses++
+	}
+	if corrupt {
+		s.stats.CorruptEntries++
+	}
+	s.mu.Unlock()
+}
+
+// Put stores the payload under key.  The on-disk write goes through a
+// temporary file and an atomic rename, so a concurrent Get sees either the
+// previous complete entry or the new complete entry, never a torn one.  The
+// store keeps its own reference to payload; callers must not modify it after
+// Put returns.
+func (s *Store) Put(key Key, payload []byte) error {
+	if s.dir != "" {
+		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+		if err != nil {
+			return fmt.Errorf("store: put %s: %w", key, err)
+		}
+		_, werr := tmp.Write(payload)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), s.path(key))
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: put %s: %w", key, werr)
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.Puts++
+	s.admit(key, payload)
+	s.mu.Unlock()
+	return nil
+}
+
+// admit inserts or refreshes a memory-layer entry and evicts down to the
+// configured bounds.  Callers hold s.mu.
+func (s *Store) admit(key Key, payload []byte) {
+	maxEntries := s.opts.maxMemEntries()
+	if maxEntries < 0 {
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		ent := el.Value.(*memEntry)
+		s.memBytes += int64(len(payload)) - int64(len(ent.payload))
+		ent.payload = payload
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[key] = s.lru.PushFront(&memEntry{key: key, payload: payload})
+		s.memBytes += int64(len(payload))
+	}
+	maxBytes := s.opts.maxMemBytes()
+	for s.lru.Len() > maxEntries || (s.memBytes > maxBytes && s.lru.Len() > 1) {
+		el := s.lru.Back()
+		ent := el.Value.(*memEntry)
+		s.lru.Remove(el)
+		delete(s.entries, ent.key)
+		s.memBytes -= int64(len(ent.payload))
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemEntries = s.lru.Len()
+	st.MemBytes = s.memBytes
+	return st
+}

@@ -1,0 +1,222 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func keyOf(i int) store.Key {
+	return store.KeySpec{Kind: "sweep", Name: fmt.Sprintf("scenario-%d", i), SeedBase: 1, Count: 8}.Key()
+}
+
+// payloadOf builds a small but valid container so disk reads pass the
+// integrity check.
+func payloadOf(rule string) []byte {
+	return store.EncodeSweepRecord(&store.SweepRecord{Scenario: rule, Check: "udc", SeedBase: 1})
+}
+
+func TestStorePutGetAcrossLayers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, payload := keyOf(1), payloadOf("a")
+	if _, ok := s.Get(key); ok {
+		t.Fatalf("empty store returned a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("memory-layer Get = %v, %v", got, ok)
+	}
+
+	// A fresh store over the same directory must serve the entry from disk.
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk-layer Get = %v, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 || st.Misses != 0 {
+		t.Fatalf("stats after disk hit: %+v", st)
+	}
+	// The disk hit is promoted into the memory layer.
+	if _, ok := s2.Get(key); !ok {
+		t.Fatalf("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, payload := keyOf(1), payloadOf("a")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("memory-only Get = %v, %v", got, ok)
+	}
+	if _, ok := s.Get(keyOf(2)); ok {
+		t.Fatalf("unexpected hit for unknown key")
+	}
+}
+
+// TestStoreConcurrentSameKey hammers one key with parallel Puts and Gets from
+// 8 goroutines.  Every hit must return one of the complete payloads written
+// by some goroutine — never a torn or mixed entry — and the run must be
+// race-clean.
+func TestStoreConcurrentSameKey(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(1)
+	const goroutines = 8
+	valid := make(map[string]bool)
+	for g := 0; g < goroutines; g++ {
+		valid[string(payloadOf(fmt.Sprintf("writer-%d", g)))] = true
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := payloadOf(fmt.Sprintf("writer-%d", g))
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key, payload); err != nil {
+					errc <- err
+					return
+				}
+				if got, ok := s.Get(key); ok && !valid[string(got)] {
+					errc <- fmt.Errorf("goroutine %d read a torn payload of %d bytes", g, len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// After the dust settles the entry is valid and decodable.
+	got, ok := s.Get(key)
+	if !ok || !valid[string(got)] {
+		t.Fatalf("final entry invalid")
+	}
+	if _, err := store.DecodeSweepRecord(got); err != nil {
+		t.Fatalf("final entry does not decode: %v", err)
+	}
+}
+
+// TestStoreCorruptEntryIsAMiss verifies the checksum path: flipping a byte of
+// the on-disk file, or truncating it, turns the entry into a counted miss
+// rather than a crash or a wrong payload.
+func TestStoreCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf(1)
+	if err := s.Put(key, payloadOf("a")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.bin"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("glob: %v, %v", entries, err)
+	}
+	path := entries[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	for name, mutated := range map[string][]byte{
+		"bit-flipped": corrupt,
+		"truncated":   raw[:len(raw)/2],
+		"empty":       {},
+	} {
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := fresh.Get(key); ok {
+			t.Fatalf("%s entry served as a hit", name)
+		}
+		st := fresh.Stats()
+		if st.CorruptEntries != 1 || st.Misses != 1 {
+			t.Fatalf("%s entry stats: %+v", name, st)
+		}
+	}
+
+	// A fresh Put repairs the entry.
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := again.Get(key); !ok || !bytes.Equal(got, raw) {
+		t.Fatalf("repaired entry not served")
+	}
+}
+
+func TestStoreLRUBounds(t *testing.T) {
+	s, err := store.Open("", store.Options{MaxMemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(keyOf(i), payloadOf(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.MemEntries != 4 {
+		t.Fatalf("MemEntries = %d, want 4", st.MemEntries)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("Evictions = %d, want 6", st.Evictions)
+	}
+	// The most recent entries survive (memory-only store: evicted = gone).
+	for i := 6; i < 10; i++ {
+		if _, ok := s.Get(keyOf(i)); !ok {
+			t.Fatalf("recent entry %d evicted", i)
+		}
+	}
+	if _, ok := s.Get(keyOf(0)); ok {
+		t.Fatalf("oldest entry survived eviction")
+	}
+}

@@ -24,37 +24,49 @@ func EncodeJSON(w io.Writer, r *model.Run) error {
 }
 
 // DecodeJSON reads a run previously written by EncodeJSON.  Beyond JSON
-// syntax it validates the run's structural invariants — a consistent process
-// count, a non-negative horizon, and per-process event times that are
-// non-negative, nondecreasing (R2) and within the horizon — so corrupt run
-// files fail loudly here instead of deep inside the epistemic indexer.
+// syntax it validates the run's structural invariants (ValidateStructure), so
+// corrupt run files fail loudly here instead of deep inside the epistemic
+// indexer.
 func DecodeJSON(rd io.Reader) (*model.Run, error) {
 	var run model.Run
 	if err := json.NewDecoder(rd).Decode(&run); err != nil {
 		return nil, fmt.Errorf("decode run: %w", err)
 	}
+	if err := ValidateStructure(&run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}
+
+// ValidateStructure checks a deserialised run's structural invariants — a
+// consistent process count, a non-negative horizon, and per-process event
+// times that are non-negative, nondecreasing (R2) and within the horizon.
+// Every decode path (JSON and the binary store container) runs it, so a file
+// with intact framing but an impossible run shape is rejected identically
+// everywhere.
+func ValidateStructure(run *model.Run) error {
 	if run.N <= 0 || len(run.Events) != run.N {
-		return nil, fmt.Errorf("decode run: inconsistent process count n=%d with %d histories", run.N, len(run.Events))
+		return fmt.Errorf("decode run: inconsistent process count n=%d with %d histories", run.N, len(run.Events))
 	}
 	if run.Horizon < 0 {
-		return nil, fmt.Errorf("decode run: negative horizon %d", run.Horizon)
+		return fmt.Errorf("decode run: negative horizon %d", run.Horizon)
 	}
 	for p, evs := range run.Events {
 		last := 0
 		for i, te := range evs {
 			if te.Time < 0 {
-				return nil, fmt.Errorf("decode run: process %d event %d has negative time %d", p, i, te.Time)
+				return fmt.Errorf("decode run: process %d event %d has negative time %d", p, i, te.Time)
 			}
 			if te.Time < last {
-				return nil, fmt.Errorf("decode run: process %d event times not monotone: %d after %d (R2)", p, te.Time, last)
+				return fmt.Errorf("decode run: process %d event times not monotone: %d after %d (R2)", p, te.Time, last)
 			}
 			if te.Time > run.Horizon {
-				return nil, fmt.Errorf("decode run: process %d event %d at time %d exceeds horizon %d", p, i, te.Time, run.Horizon)
+				return fmt.Errorf("decode run: process %d event %d at time %d exceeds horizon %d", p, i, te.Time, run.Horizon)
 			}
 			last = te.Time
 		}
 	}
-	return &run, nil
+	return nil
 }
 
 // Counts aggregates per-kind event counts.

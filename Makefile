@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 10x
 
-.PHONY: all build test race vet fmt-check smoke daemon-smoke bench
+.PHONY: all build test race vet fmt-check smoke daemon-smoke bench bench-compare
 
 all: build test
 
@@ -39,6 +39,16 @@ daemon-smoke:
 # next BENCH_<n>.json snapshot, so the performance trajectory accumulates
 # across working sessions.  Tune the sample count with BENCHTIME=50x etc.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction|BenchmarkCodec|BenchmarkServerSweep|BenchmarkSchedulerDuplicates)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction|BenchmarkCodec|BenchmarkServerSweep|BenchmarkSchedulerDuplicates|BenchmarkStoreMultiGet)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status
+
+# bench-compare diffs the two most recent BENCH_<n>.json snapshots,
+# printing per-benchmark ns/op deltas and flagging >10% regressions
+# (non-zero exit with FAIL_ON_REGRESS=1).
+bench-compare:
+	@prev=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2 | head -1); \
+	latest=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$prev" ] || [ "$$prev" = "$$latest" ]; then echo "bench-compare: need at least two BENCH_<n>.json snapshots"; exit 1; fi; \
+	echo "comparing $$prev -> $$latest"; \
+	$(GO) run ./cmd/benchjson -compare $${FAIL_ON_REGRESS:+-fail-on-regress} "$$prev" "$$latest"

@@ -1,12 +1,16 @@
 // Command benchjson converts `go test -bench` text output (read from stdin)
 // into a JSON snapshot and writes it to the next free BENCH_<n>.json in the
 // target directory, so repeated `make bench` invocations accumulate a
-// machine-readable performance trajectory.
+// machine-readable performance trajectory.  With -compare it instead diffs
+// two snapshots, printing per-benchmark ns/op deltas and flagging
+// regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkTable1|BenchmarkAdversarySweep' . | benchjson -dir .
 //	go test -bench . ./... | benchjson -o snapshot.json
+//	benchjson -compare BENCH_3.json BENCH_4.json
+//	benchjson -compare -fail-on-regress BENCH_3.json BENCH_4.json
 package main
 
 import (
@@ -124,10 +128,99 @@ func run(in io.Reader, dir, out string) (string, error) {
 	return path, nil
 }
 
+// regressThreshold is the ns/op growth fraction above which a benchmark
+// counts as regressed in -compare mode.
+const regressThreshold = 0.10
+
+// loadSnapshot reads one BENCH_<n>.json file.
+func loadSnapshot(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// compare prints per-benchmark ns/op deltas between two snapshots and
+// returns the names of benchmarks whose ns/op regressed by more than the
+// threshold.  Benchmarks present in only one snapshot are listed but never
+// count as regressions — additions and retirements are normal between PRs.
+func compare(w io.Writer, oldPath, newPath string) ([]string, error) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return nil, err
+	}
+	oldNs := make(map[string]float64, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			oldNs[b.Name] = ns
+		}
+	}
+
+	fmt.Fprintf(w, "%-72s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressions []string
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+	for _, b := range newSnap.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		old, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-72s %14s %14.0f %9s\n", b.Name, "-", ns, "new")
+			continue
+		}
+		delta := (ns - old) / old
+		mark := ""
+		if delta > regressThreshold {
+			mark = "  << REGRESSION"
+			regressions = append(regressions, b.Name)
+		}
+		fmt.Fprintf(w, "%-72s %14.0f %14.0f %+8.1f%%%s\n", b.Name, old, ns, delta*100, mark)
+	}
+	for _, b := range oldSnap.Benchmarks {
+		if _, ok := b.Metrics["ns/op"]; ok && !seen[b.Name] {
+			fmt.Fprintf(w, "%-72s %14.0f %14s %9s\n", b.Name, b.Metrics["ns/op"], "-", "gone")
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory for the auto-numbered BENCH_<n>.json output")
 	out := flag.String("o", "", "explicit output path (overrides -dir auto-numbering)")
+	comp := flag.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of reading bench output from stdin")
+	failOnRegress := flag.Bool("fail-on-regress", false, fmt.Sprintf("with -compare, exit non-zero if any benchmark's ns/op grew more than %.0f%%", regressThreshold*100))
 	flag.Parse()
+
+	if *comp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot paths (old.json new.json)")
+			os.Exit(2)
+		}
+		regressions, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Printf("%d benchmark(s) regressed more than %.0f%%\n", len(regressions), regressThreshold*100)
+			if *failOnRegress {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	path, err := run(os.Stdin, *dir, *out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

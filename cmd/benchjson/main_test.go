@@ -77,3 +77,62 @@ func TestRunRequiresResults(t *testing.T) {
 		t.Errorf("empty bench output should fail")
 	}
 }
+
+// writeSnapshot writes a snapshot file with the given name → ns/op pairs.
+func writeSnapshot(t *testing.T, path string, ns map[string]float64) {
+	t.Helper()
+	snap := Snapshot{RecordedAt: "2026-01-01T00:00:00Z"}
+	for name, v := range ns {
+		snap.Benchmarks = append(snap.Benchmarks, Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": v}})
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]float64{
+		"BenchmarkStable-8":    1000,
+		"BenchmarkImproved-8":  2000,
+		"BenchmarkRegressed-8": 1000,
+		"BenchmarkRetired-8":   500,
+	})
+	writeSnapshot(t, newPath, map[string]float64{
+		"BenchmarkStable-8":    1040, // +4%: within threshold
+		"BenchmarkImproved-8":  900,  // -55%
+		"BenchmarkRegressed-8": 1300, // +30%: regression
+		"BenchmarkAdded-8":     700,  // new: never a regression
+	})
+
+	var buf strings.Builder
+	regressions, err := compare(&buf, oldPath, newPath)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if len(regressions) != 1 || regressions[0] != "BenchmarkRegressed-8" {
+		t.Fatalf("regressions = %v, want exactly BenchmarkRegressed-8", regressions)
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkRegressed-8", "REGRESSION", "+30.0%", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("exactly one regression marker expected:\n%s", out)
+	}
+}
+
+func TestCompareRejectsMissingFiles(t *testing.T) {
+	var buf strings.Builder
+	if _, err := compare(&buf, filepath.Join(t.TempDir(), "nope.json"), filepath.Join(t.TempDir(), "also-nope.json")); err == nil {
+		t.Errorf("missing snapshot files should fail")
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	udcd -addr 127.0.0.1:8080 -store .udcd-store
 //	udcd -addr 127.0.0.1:0                 # random port, printed on startup
+//	udcd -stats -addr 127.0.0.1:8080       # print a running daemon's counters
 //	udcsim -remote http://127.0.0.1:8080 -scenario prop3.1-strong-udc -sweep 64
 //	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
 //
@@ -46,6 +47,7 @@ type options struct {
 	batchWindow time.Duration
 	memEntries  int
 	memBytes    int64
+	stats       bool
 }
 
 func parseOptions(args []string) (options, error) {
@@ -57,10 +59,33 @@ func parseOptions(args []string) (options, error) {
 	fs.DurationVar(&o.batchWindow, "batch-window", 0, "how long to collect concurrent sweep requests into one fleet pass (0 = 2ms)")
 	fs.IntVar(&o.memEntries, "mem-entries", 0, "in-memory cache entry bound (0 = 256, negative disables the memory layer)")
 	fs.Int64Var(&o.memBytes, "mem-bytes", 0, "in-memory cache byte bound (0 = 64 MiB)")
+	fs.BoolVar(&o.stats, "stats", false, "query the daemon running at -addr for its counters (full/partial/miss hits, seed traffic, store layers) and exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	return o, nil
+}
+
+// printStats renders /v1/stats of a running daemon: request classification
+// (full hits / partial hits / misses), seed-granular traffic, fleet activity
+// and the store's layer counters.
+func printStats(w io.Writer, baseURL string) error {
+	client := &server.Client{BaseURL: baseURL}
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	sch, st := stats.Scheduler, stats.Store
+	fmt.Fprintf(w, "requests=%d fullHits=%d partialHits=%d misses=%d coalesced=%d errors=%d\n",
+		sch.Requests, sch.FullHits, sch.PartialHits, sch.Misses, sch.Coalesced, sch.Errors)
+	fmt.Fprintf(w, "seeds: requested=%d cached=%d computed=%d coalesced=%d\n",
+		sch.SeedsRequested, sch.SeedsCached, sch.SeedsComputed, sch.SeedsCoalesced)
+	fmt.Fprintf(w, "fleet: jobs=%d batches=%d batchedTasks=%d putErrors=%d\n",
+		sch.Computed, sch.Batches, sch.BatchedTasks, sch.PutErrors)
+	fmt.Fprintf(w, "store: memHits=%d diskHits=%d misses=%d puts=%d corrupt=%d evictions=%d memEntries=%d memBytes=%d\n",
+		st.MemHits, st.DiskHits, st.Misses, st.Puts, st.CorruptEntries, st.Evictions, st.MemEntries, st.MemBytes)
+	fmt.Fprintf(w, "versions: engine=%d codec=%d\n", stats.EngineVersion, stats.CodecVersion)
+	return nil
 }
 
 // buildServer opens the store and assembles the daemon; split out so tests
@@ -77,6 +102,9 @@ func run(args []string, w io.Writer) error {
 	o, err := parseOptions(args)
 	if err != nil {
 		return err
+	}
+	if o.stats {
+		return printStats(w, "http://"+o.addr)
 	}
 	srv, err := buildServer(o)
 	if err != nil {

@@ -89,6 +89,32 @@ func TestServeOnRandomPort(t *testing.T) {
 		t.Fatalf("cached body differs from computed body")
 	}
 
+	// A grown window is a partial hit (4 cached seeds + 4 computed)…
+	resp, err = http.Get(m + "/v1/sweep?scenario=prop2.3-nudc&seeds=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cache"); got != "partial" {
+		t.Fatalf("grown window X-Cache = %q, want partial", got)
+	}
+
+	// …and -stats against the running daemon reports the classification.
+	var stats strings.Builder
+	if err := run([]string{"-stats", "-addr", strings.TrimPrefix(m, "http://")}, &stats); err != nil {
+		t.Fatalf("-stats: %v", err)
+	}
+	out := stats.String()
+	for _, want := range []string{
+		"fullHits=1", "partialHits=1", "misses=1",
+		"seeds: requested=12 cached=4 computed=8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-stats output lacks %q:\n%s", want, out)
+		}
+	}
+
 	proc, err := os.FindProcess(os.Getpid())
 	if err != nil {
 		t.Fatal(err)

@@ -118,7 +118,7 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.outPath, "o", "", "write the recorded run to this file in -format")
 	fs.StringVar(&o.format, "format", store.FormatAuto, "run file format for -o and -decode: bin | json | auto (bin on encode, sniffed on decode)")
 	fs.StringVar(&o.decodePath, "decode", "", "decode a recorded run file and print its summary instead of simulating (with -check, also re-check it)")
-	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep)")
+	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep; the summary line reports the daemon's X-Cache verdict: hit, partial or miss)")
 	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
 	fs.IntVar(&o.stabilize, "stabilize-at", 100, "stabilisation time for the eventually-strong detector")

@@ -248,8 +248,19 @@ func TestRemoteSweep(t *testing.T) {
 	if err := run(args); err != nil {
 		t.Fatalf("remote warm sweep: %v", err)
 	}
-	if st := srv.Store().Stats(); st.Puts != 1 || st.Hits() == 0 {
+	// The cold sweep persisted 4 per-seed records plus the window record;
+	// the warm sweep was a pure window-record hit.
+	if st := srv.Store().Stats(); st.Puts != 5 || st.Hits() == 0 {
 		t.Fatalf("daemon store stats after two identical remote sweeps: %+v", st)
+	}
+	// A grown window through the same client path is a partial hit — the
+	// daemon's X-Cache verdict the summary line prints comes back as
+	// "partial", and the scheduler classifies it so.
+	if err := run([]string{"-remote", ts.URL, "-scenario", "prop2.3-nudc", "-sweep", "8", "-quiet"}); err != nil {
+		t.Fatalf("remote grown sweep: %v", err)
+	}
+	if ss := srv.SchedulerStats(); ss.PartialHits != 1 || ss.FullHits != 1 {
+		t.Fatalf("scheduler stats after grown remote sweep: %+v", ss)
 	}
 
 	if err := run([]string{"-remote", ts.URL, "-sweep", "4"}); err == nil {

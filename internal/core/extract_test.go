@@ -123,7 +123,7 @@ func TestTheorem36PreservesEvents(t *testing.T) {
 				t.Fatalf("run %d process %d: %d non-detector events became %d", i, p, len(origEvents), len(xformEvents))
 			}
 			for j := range origEvents {
-				if origEvents[j].IdentityKey() != xformEvents[j].IdentityKey() {
+				if origEvents[j].IdentityHash() != xformEvents[j].IdentityHash() {
 					t.Fatalf("run %d process %d: event %d changed under f", i, p, j)
 				}
 			}
@@ -227,7 +227,7 @@ func TestTransformerParallelMatchesSerial(t *testing.T) {
 			fmt.Fprintf(&b, "%d/%d:", r.N, r.Horizon)
 			for p := range r.Events {
 				for _, te := range r.Events[p] {
-					fmt.Fprintf(&b, "%d@%d=%s;", p, te.Time, te.Event.IdentityKey())
+					fmt.Fprintf(&b, "%d@%d=%x;", p, te.Time, te.Event.IdentityHash())
 				}
 			}
 		}

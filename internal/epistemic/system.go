@@ -132,7 +132,7 @@ func NewSystem(runs model.System) *System {
 // in one run.
 func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map[classKey]ClassID, crashes []crashStep) {
 	evs := r.Events[p]
-	hash := uint64(fnvOffset64)
+	hash := model.IdentityHashSeed
 	var lastHash uint64
 	count := int32(0)
 
@@ -141,8 +141,8 @@ func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map
 	// leave an orphan zero-interval class in the table).
 	i := 0
 	for i < len(evs) && evs[i].Time == 0 {
-		lastHash = eventHash(evs[i].Event)
-		hash = fnvUint64(hash, lastHash)
+		lastHash = evs[i].Event.IdentityHash()
+		hash = model.ChainHash(hash, lastHash)
 		count++
 		i++
 	}
@@ -154,8 +154,8 @@ func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map
 	for i < len(evs) {
 		t := evs[i].Time
 		for i < len(evs) && evs[i].Time == t {
-			lastHash = eventHash(evs[i].Event)
-			hash = fnvUint64(hash, lastHash)
+			lastHash = evs[i].Event.IdentityHash()
+			hash = model.ChainHash(hash, lastHash)
 			count++
 			i++
 		}

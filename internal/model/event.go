@@ -201,26 +201,3 @@ func (e Event) String() string {
 		return "?" + strconv.Itoa(int(e.Kind))
 	}
 }
-
-// IdentityKey returns a stable identity string for the event, used by the
-// epistemic checker to compare local histories.
-func (e Event) IdentityKey() string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(int(e.Kind)))
-	b.WriteByte(':')
-	b.WriteString(strconv.Itoa(int(e.Peer)))
-	b.WriteByte(':')
-	switch e.Kind {
-	case EventSend, EventRecv:
-		b.WriteString(e.Msg.Key())
-		b.WriteByte(':')
-		b.WriteString(e.Msg.Suspects.String())
-		b.WriteByte(':')
-		b.WriteString(e.Msg.KnownCrashed.String())
-	case EventInit, EventDo:
-		b.WriteString(e.Action.String())
-	case EventSuspect:
-		b.WriteString(e.Report.String())
-	}
-	return b.String()
-}

@@ -1,0 +1,109 @@
+package model
+
+// FNV-1a folding over event fields.  The epistemic indexer and the history
+// fingerprint intern local states by a hash chained over per-event identity
+// hashes; folding the fields directly avoids materialising per-event identity
+// strings (the historical string-keyed classing path, retired in favour of
+// this fold).  The fields folded here are exactly the ones the legacy
+// Event.IdentityKey rendered, which the cross-check test in hash_test.go pins.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// IdentityHashSeed is the initial value of a chained identity hash.
+const IdentityHashSeed uint64 = fnvOffset64
+
+// ChainHash folds the eight bytes of v into h (FNV-1a over the little-endian
+// byte representation).  It is how per-event identity hashes combine into
+// history fingerprints.
+func ChainHash(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvInt folds an integer field.
+func fnvInt(h uint64, v int) uint64 { return ChainHash(h, uint64(int64(v))) }
+
+// fnvString folds a length-prefixed string field.
+func fnvString(h uint64, s string) uint64 {
+	h = fnvInt(h, len(s))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvAction folds an action identity.
+func fnvAction(h uint64, a ActionID) uint64 {
+	h = fnvInt(h, int(a.Initiator))
+	return fnvInt(h, a.Seq)
+}
+
+// IdentityHash returns the 64-bit identity hash of the event, used by the
+// epistemic checker to compare local histories.  Two events the checker must
+// distinguish hash differently (up to 64-bit collisions): every identity
+// field is folded behind the event kind, and variable-width fields are
+// length-prefixed.
+func (e Event) IdentityHash() uint64 {
+	h := uint64(IdentityHashSeed)
+	h = fnvInt(h, int(e.Kind))
+	h = fnvInt(h, int(e.Peer))
+	switch e.Kind {
+	case EventSend, EventRecv:
+		h = fnvString(h, e.Msg.Kind)
+		h = fnvAction(h, e.Msg.Action)
+		h = fnvInt(h, e.Msg.Round)
+		h = fnvInt(h, e.Msg.Phase)
+		h = fnvInt(h, e.Msg.Value)
+		h = fnvInt(h, e.Msg.Aux)
+		h = ChainHash(h, uint64(e.Msg.Suspects))
+		h = ChainHash(h, uint64(e.Msg.KnownCrashed))
+	case EventInit, EventDo:
+		h = fnvAction(h, e.Action)
+	case EventSuspect:
+		switch {
+		case e.Report.Generalized:
+			h = fnvInt(h, 1)
+			h = ChainHash(h, uint64(e.Report.Group))
+			h = fnvInt(h, e.Report.MinFaulty)
+		case e.Report.CorrectReport:
+			h = fnvInt(h, 2)
+			h = ChainHash(h, uint64(e.Report.Correct))
+		default:
+			h = fnvInt(h, 3)
+			h = ChainHash(h, uint64(e.Report.Suspects))
+		}
+	}
+	return h
+}
+
+// HistoryKey is the fingerprint of a History.  Two histories with equal keys
+// are treated as identical local states by the epistemic checker.  The
+// fingerprint combines the chained identity hash with the history length and
+// the identity hash of the final event, which makes accidental collisions
+// vanishingly unlikely for the run sizes this repository works with.
+type HistoryKey struct {
+	// Hash is the chained fold of all per-event identity hashes.
+	Hash uint64
+	// Len is the number of events.
+	Len int
+	// Last is the identity hash of the final event (zero for an empty
+	// history).
+	Last uint64
+}
+
+// Key returns the history's fingerprint.
+func (h History) Key() HistoryKey {
+	hash := IdentityHashSeed
+	var last uint64
+	for _, e := range h {
+		last = e.IdentityHash()
+		hash = ChainHash(hash, last)
+	}
+	return HistoryKey{Hash: hash, Len: len(h), Last: last}
+}

@@ -1,10 +1,5 @@
 package model
 
-import (
-	"hash/fnv"
-	"strings"
-)
-
 // History is the sequence of events recorded at one process, in the order they
 // occurred (Section 2.1: "the events that take place at a particular process
 // are totally ordered, and are recorded in that process's history").
@@ -72,66 +67,5 @@ func (h History) Suspects() ProcSet {
 	return rep.Suspects
 }
 
-// Key returns a stable fingerprint of the history.  Two histories with equal
-// Keys are treated as identical local states by the epistemic checker.  The
-// fingerprint combines a 64-bit FNV-1a hash with the history length and the
-// key of the final event, which makes accidental collisions vanishingly
-// unlikely for the run sizes this repository works with.
-func (h History) Key() string {
-	hash := fnv.New64a()
-	var last string
-	for _, e := range h {
-		k := e.IdentityKey()
-		_, _ = hash.Write([]byte(k))
-		_, _ = hash.Write([]byte{0})
-		last = k
-	}
-	var b strings.Builder
-	b.WriteString(uitohex(hash.Sum64()))
-	b.WriteByte('/')
-	b.WriteString(itoa(len(h)))
-	b.WriteByte('/')
-	b.WriteString(last)
-	return b.String()
-}
-
 // Cut is a tuple of finite histories, one per process.
 type Cut []History
-
-// uitohex formats v as lowercase hex without allocation-heavy fmt.
-func uitohex(v uint64) string {
-	const digits = "0123456789abcdef"
-	if v == 0 {
-		return "0"
-	}
-	var buf [16]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = digits[v&0xf]
-		v >>= 4
-	}
-	return string(buf[i:])
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
-}

@@ -82,16 +82,16 @@ func TestSuspectsAtAppliesGMapping(t *testing.T) {
 	}
 }
 
-func TestIdentityKeyDistinguishesReportForms(t *testing.T) {
+func TestIdentityHashDistinguishesReportForms(t *testing.T) {
 	standard := Event{Kind: EventSuspect, Report: SuspectReport{Suspects: SetOf(1)}}
 	correct := Event{Kind: EventSuspect, Report: SuspectReport{CorrectReport: true, Correct: SetOf(0, 2, 3)}}
 	generalized := Event{Kind: EventSuspect, Report: SuspectReport{Generalized: true, Group: SetOf(1), MinFaulty: 1}}
-	keys := map[string]bool{
-		standard.IdentityKey():    true,
-		correct.IdentityKey():     true,
-		generalized.IdentityKey(): true,
+	keys := map[uint64]bool{
+		standard.IdentityHash():    true,
+		correct.IdentityHash():     true,
+		generalized.IdentityHash(): true,
 	}
 	if len(keys) != 3 {
-		t.Fatalf("report forms must have distinct identity keys")
+		t.Fatalf("report forms must have distinct identity hashes")
 	}
 }

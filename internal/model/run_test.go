@@ -101,7 +101,7 @@ func TestHistoryAtIsPrefix(t *testing.T) {
 			t.Fatalf("history at %d longer than final", m)
 		}
 		for i := range h {
-			if h[i].IdentityKey() != full[i].IdentityKey() {
+			if h[i].IdentityHash() != full[i].IdentityHash() {
 				t.Fatalf("history at %d is not a prefix of the final history", m)
 			}
 		}
@@ -142,7 +142,7 @@ func TestHistoryHelpers(t *testing.T) {
 
 func TestHistoryKeyDistinguishesHistories(t *testing.T) {
 	r := sampleRun(t)
-	keys := make(map[string]int)
+	keys := make(map[HistoryKey]int)
 	for p := ProcID(0); int(p) < r.N; p++ {
 		for m := 0; m <= r.Horizon; m++ {
 			k := r.HistoryAt(p, m).Key()

@@ -28,7 +28,10 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // post sends a JSON request and decodes the JSON response into out.  The
-// returned cache string is the response's X-Cache header ("hit" or "miss").
+// returned cache string is the response's X-Cache header — "hit" (served
+// entirely from the daemon's run corpus), "partial" (assembled from cached
+// and freshly computed seeds) or "miss" — which the -remote command modes
+// print verbatim.
 func (c *Client) post(path string, req, out any) (cache string, err error) {
 	body := MarshalBody(req)
 	url := strings.TrimRight(c.BaseURL, "/") + path

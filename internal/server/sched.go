@@ -7,29 +7,63 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/registry"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
 
+// CacheStatus is the X-Cache value of a response: how much of it came from
+// the run corpus.
+type CacheStatus string
+
+const (
+	// CacheHit means nothing was computed: the whole response came from the
+	// store (a request-level record, or every per-seed record).
+	CacheHit CacheStatus = "hit"
+	// CachePartial means the response was assembled from cached per-seed
+	// records plus freshly computed ones (or, for extractions, the pipeline
+	// ran over at least one cached source run).
+	CachePartial CacheStatus = "partial"
+	// CacheMiss means nothing usable was cached.
+	CacheMiss CacheStatus = "miss"
+)
+
 // SchedulerStats counts the scheduler's traffic.  All counters are cumulative
-// since the server started.
+// since the server started, and FullHits + PartialHits + Misses + Errors =
+// Requests.
 type SchedulerStats struct {
-	// Requests counts sweep/extract requests that passed validation.
+	// Requests counts sweep/extract requests that reached the scheduler
+	// (including ones whose catalog lookup then failed, which also count as
+	// Errors).
 	Requests uint64 `json:"requests"`
-	// CacheHits counts requests served straight from the store.
-	CacheHits uint64 `json:"cacheHits"`
-	// Coalesced counts requests that joined an identical in-flight
-	// computation instead of starting their own (singleflight).
+	// FullHits, PartialHits and Misses classify served requests by how much
+	// of the response came from the corpus: everything, something, nothing.
+	FullHits    uint64 `json:"fullHits"`
+	PartialHits uint64 `json:"partialHits"`
+	Misses      uint64 `json:"misses"`
+	// Coalesced counts requests that computed nothing themselves because
+	// every seed (or the whole extraction) was already being computed by
+	// concurrent requests they joined.
 	Coalesced uint64 `json:"coalesced"`
-	// Computed counts computations actually executed on the worker fleet.
+	// SeedsRequested, SeedsCached, SeedsComputed and SeedsCoalesced are the
+	// seed-granular traffic: seeds resolved per request, seeds served from
+	// the corpus, seeds this server actually simulated, and seeds joined
+	// from concurrent requests' in-flight computations.
+	SeedsRequested uint64 `json:"seedsRequested"`
+	SeedsCached    uint64 `json:"seedsCached"`
+	SeedsComputed  uint64 `json:"seedsComputed"`
+	SeedsCoalesced uint64 `json:"seedsCoalesced"`
+	// Computed counts jobs executed on the worker fleet: batched
+	// missing-seed simulation passes and extraction pipeline tails.
 	Computed uint64 `json:"computed"`
 	// Errors counts requests that failed (unknown names, compute errors).
 	Errors uint64 `json:"errors"`
-	// PutErrors counts computed payloads that could not be persisted; the
-	// result is still served (caching is an optimisation, not a
-	// correctness requirement), so PutErrors > 0 with Errors = 0 means a
-	// degraded store, not failing requests.
+	// PutErrors counts computed payloads (request records or per-seed
+	// records) that could not be persisted; the results are still served
+	// (caching is an optimisation, not a correctness requirement), so
+	// PutErrors > 0 with Errors = 0 means a degraded store, not failing
+	// requests.
 	PutErrors uint64 `json:"putErrors"`
 	// Batches and BatchedTasks count dispatcher rounds and the jobs they
 	// carried; BatchedTasks/Batches > 1 means distinct concurrent requests
@@ -64,21 +98,56 @@ func statusOf(err error) int {
 	return http.StatusInternalServerError
 }
 
-// call is one in-flight computation; duplicates wait on done.
+// Per-seed corpus keys are namespaced by their catalog family, so a sweep
+// scenario and an extraction pipeline that happen to share a name can never
+// alias each other's records.
+const (
+	scenarioNamespace   = "scenario:"
+	extractionNamespace = "extraction:"
+)
+
+// SweepSeedKey returns the per-seed corpus key a sweep of the named
+// catalogued scenario uses for one seed — exported so tests and store
+// tooling can locate individual seed records.
+func SweepSeedKey(scenario, adversary string, seed int64) store.Key {
+	return store.SeedKeySpec(scenarioNamespace+scenario, adversary, seed).Key()
+}
+
+// ExtractSeedKey is SweepSeedKey for an extraction pipeline's source runs.
+func ExtractSeedKey(extraction, adversary string, seed int64) store.Key {
+	return store.SeedKeySpec(extractionNamespace+extraction, adversary, seed).Key()
+}
+
+// call is one in-flight request-level computation (extractions); duplicates
+// wait on done.
 type call struct {
 	done    chan struct{}
 	payload []byte
+	status  CacheStatus
+	err     error
+}
+
+// seedCall is one in-flight per-seed computation.  Concurrent requests whose
+// windows overlap the owning request's missing seeds wait on done instead of
+// re-simulating.
+type seedCall struct {
+	done    chan struct{}
+	outcome workload.RunOutcome
+	run     *model.Run
 	err     error
 }
 
 // fleetJob is one queued computation awaiting a dispatcher round: either a
-// sweep task (batched with its round's other sweeps into one SweepAll) or an
-// extraction (run on the same fleet after the round's sweep pass).
+// missing-seed simulation task (batched with the round's other seed tasks
+// into one RunAll pass) or an extraction pipeline tail over already
+// materialised source runs (run on the same fleet after the round's
+// simulation pass).
 type fleetJob struct {
-	sweep    *workload.Task
+	runs     *workload.Task
 	extract  *workload.Extraction
+	sampled  model.System
 	done     chan struct{}
-	result   workload.SweepResult
+	seedRuns []workload.SeedRun
 	exResult *workload.ExtractionResult
 	err      error
 }
@@ -86,20 +155,22 @@ type fleetJob struct {
 // maxBatch bounds the number of jobs one dispatcher round carries.
 const maxBatch = 64
 
-// scheduler turns validated requests into store payloads.  It serves cache
-// hits from the store, coalesces identical concurrent requests into one
-// computation, and funnels every computation — sweeps and extractions alike
-// — through a single dispatcher so concurrent requests share one worker
-// fleet instead of each spawning their own pool and oversubscribing the
-// machine.
+// scheduler turns validated requests into store payloads.  Every request
+// resolves into (cached seeds ∪ missing seeds): the cached side is served
+// from per-seed corpus records, the missing side is claimed in a seed-level
+// flight table — so concurrent overlapping requests each compute only the
+// seeds nobody else is computing — and funnelled through a single dispatcher
+// that batches all claims into one worker-fleet pass.  Responses assemble
+// from the union, byte-identical to a direct serial computation.
 type scheduler struct {
 	store       *store.Store
 	runner      workload.Runner
 	batchWindow time.Duration
 
-	mu       sync.Mutex
-	inflight map[store.Key]*call
-	stats    SchedulerStats
+	mu         sync.Mutex
+	inflight   map[store.Key]*call
+	seedflight map[store.Key]*seedCall
+	stats      SchedulerStats
 
 	fleetq chan *fleetJob
 	quit   chan struct{}
@@ -115,6 +186,7 @@ func newScheduler(st *store.Store, workers int, batchWindow time.Duration) *sche
 		runner:      workload.Runner{Workers: workers},
 		batchWindow: batchWindow,
 		inflight:    make(map[store.Key]*call),
+		seedflight:  make(map[store.Key]*seedCall),
 		fleetq:      make(chan *fleetJob),
 		quit:        make(chan struct{}),
 	}
@@ -132,11 +204,11 @@ func (s *scheduler) close() {
 
 // dispatch is the batcher: it blocks for one queued job, keeps draining the
 // queue for the batch window (or until the batch is full), then runs the
-// round on the shared fleet — all sweep tasks as a single SweepAll pass,
-// extractions one after another (each is internally parallel across the same
-// worker count).  At most one fleet pass is ever active, and slot-indexed
-// distribution makes each task's results identical to a dedicated serial
-// computation, so the sharing is invisible in the responses.
+// round on the shared fleet — all missing-seed tasks as a single RunAll pass,
+// extraction tails one after another (each is internally parallel across the
+// same worker count).  At most one fleet pass is ever active, and
+// slot-indexed distribution makes each task's results identical to a
+// dedicated serial computation, so the sharing is invisible in the responses.
 func (s *scheduler) dispatch() {
 	defer s.wg.Done()
 	for {
@@ -159,39 +231,40 @@ func (s *scheduler) dispatch() {
 		}
 		timer.Stop()
 
-		var sweeps []*fleetJob
-		var extracts []*fleetJob
+		var runJobs []*fleetJob
+		var tails []*fleetJob
 		for _, job := range jobs {
-			if job.sweep != nil {
-				sweeps = append(sweeps, job)
+			if job.runs != nil {
+				runJobs = append(runJobs, job)
 			} else {
-				extracts = append(extracts, job)
+				tails = append(tails, job)
 			}
 		}
 
-		if len(sweeps) > 0 {
-			tasks := make([]workload.Task, len(sweeps))
-			for i, job := range sweeps {
-				tasks[i] = *job.sweep
+		if len(runJobs) > 0 {
+			tasks := make([]workload.Task, len(runJobs))
+			for i, job := range runJobs {
+				tasks[i] = *job.runs
 			}
-			results, err := s.runner.SweepAll(tasks)
-			for i, job := range sweeps {
+			results, err := s.runner.RunAll(tasks)
+			for i, job := range runJobs {
 				if err != nil {
 					job.err = err
 				} else {
-					job.result = results[i]
+					job.seedRuns = results[i]
 				}
 				close(job.done)
 			}
 		}
-		for _, job := range extracts {
-			job.exResult, job.err = s.runner.Extract(*job.extract)
+		for _, job := range tails {
+			job.exResult, job.err = s.runner.ExtractFromRuns(*job.extract, job.sampled)
 			close(job.done)
 		}
 
 		s.mu.Lock()
 		s.stats.Batches++
 		s.stats.BatchedTasks += uint64(len(jobs))
+		s.stats.Computed += uint64(len(runJobs) + len(tails))
 		s.mu.Unlock()
 	}
 }
@@ -213,6 +286,25 @@ func (s *scheduler) count(f func(*SchedulerStats)) {
 	s.mu.Unlock()
 }
 
+// finish records a request's final accounting: its error, or its cache
+// classification.
+func (s *scheduler) finish(status CacheStatus, err error) {
+	s.count(func(st *SchedulerStats) {
+		if err != nil {
+			st.Errors++
+			return
+		}
+		switch status {
+		case CacheHit:
+			st.FullHits++
+		case CachePartial:
+			st.PartialHits++
+		default:
+			st.Misses++
+		}
+	})
+}
+
 // Stats returns a snapshot of the scheduler's counters.
 func (s *scheduler) Stats() SchedulerStats {
 	s.mu.Lock()
@@ -220,109 +312,274 @@ func (s *scheduler) Stats() SchedulerStats {
 	return s.stats
 }
 
-// do resolves one cacheable computation: store hit, join of an identical
-// in-flight call, or a fresh computation whose payload is stored for next
-// time.  cached reports whether the payload came from the store.
-func (s *scheduler) do(key store.Key, compute func() ([]byte, error)) (payload []byte, cached bool, err error) {
-	s.count(func(st *SchedulerStats) { st.Requests++ })
-	if payload, ok := s.store.Get(key); ok {
-		s.count(func(st *SchedulerStats) { st.CacheHits++ })
-		return payload, true, nil
-	}
-
-	s.mu.Lock()
-	if c, ok := s.inflight[key]; ok {
-		s.stats.Coalesced++
-		s.mu.Unlock()
-		<-c.done
-		if c.err != nil {
-			return nil, false, c.err
-		}
-		return c.payload, false, nil
-	}
-	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
-
-	// An identical call may have completed between our store miss and the
-	// flight registration; it stored its payload before deregistering, so
-	// one more store probe (uncounted — this request already recorded its
-	// miss) closes the race and keeps duplicate requests at exactly one
-	// computation.
-	if stored, ok := s.store.Probe(key); ok {
-		c.payload = stored
-		cached = true
-		s.count(func(st *SchedulerStats) { st.CacheHits++ })
-	} else {
-		c.payload, c.err = compute()
-		if c.err == nil {
-			s.count(func(st *SchedulerStats) { st.Computed++ })
-			// A failed Put degrades the cache, not the response: the
-			// computed payload is correct and is served regardless.
-			if perr := s.store.Put(key, c.payload); perr != nil {
-				s.count(func(st *SchedulerStats) { st.PutErrors++ })
-			}
-		}
-	}
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(c.done)
-	if c.err != nil {
-		return nil, false, c.err
-	}
-	return c.payload, cached, nil
+// resolution is the outcome of resolving one seed window against the corpus:
+// outcomes and recorded runs in seed order, plus how each seed was obtained.
+type resolution struct {
+	outcomes []workload.RunOutcome
+	runs     model.System
+	cached   int
+	computed int
+	joined   int
 }
 
-// Sweep serves one validated sweep request, returning the encoded record.
-func (s *scheduler) Sweep(req SweepRequest) (payload []byte, cached bool, err error) {
+// status classifies the resolution for the X-Cache header.
+func (r resolution) status() CacheStatus {
+	switch {
+	case r.cached == len(r.outcomes):
+		return CacheHit
+	case r.cached > 0:
+		return CachePartial
+	default:
+		return CacheMiss
+	}
+}
+
+// resolveSeeds is the seed-granular heart of the scheduler.  It splits the
+// window into (cached ∪ in-flight ∪ missing): cached seeds decode from
+// per-seed corpus records, in-flight seeds join concurrent requests'
+// computations, and missing seeds — claimed atomically so no two requests
+// compute the same seed — are simulated in one dispatcher round and written
+// back as per-seed records.  qualifiedName namespaces the per-seed keys
+// ("scenario:"/"extraction:"); a nil eval simulates without scoring (and
+// accepts unscored cached records).
+func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64) (resolution, error) {
+	n := len(seeds)
+	keys := make([]store.Key, n)
+	for i, seed := range seeds {
+		keys[i] = store.SeedKeySpec(qualifiedName, adversary, seed).Key()
+	}
+
+	var cachedOut, computedOut, joinedOut []workload.RunOutcome
+	runsBySeed := make(map[int64]*model.Run, n)
+	resolved := make([]bool, n)
+
+	adopt := func(rec *store.SeedRecord) bool {
+		if eval != nil && !rec.Scored {
+			return false
+		}
+		cachedOut = append(cachedOut, rec.Outcome())
+		runsBySeed[rec.Seed] = rec.Run
+		return true
+	}
+
+	for i, payload := range s.store.GetMulti(keys) {
+		if payload == nil {
+			continue
+		}
+		// A decode failure on a checksum-clean payload means an incompatible
+		// record (e.g. a different kind under a colliding key); recompute.
+		rec, err := store.DecodeSeedRecord(payload)
+		if err == nil && rec.Seed == seeds[i] && adopt(rec) {
+			resolved[i] = true
+		}
+	}
+
+	// Claim the unresolved seeds, joining any already in flight.
+	var owned []int
+	ownedCalls := make(map[int]*seedCall)
+	var joined []int
+	var joinedCalls []*seedCall
+	s.mu.Lock()
+	for i := range seeds {
+		if resolved[i] {
+			continue
+		}
+		if c, ok := s.seedflight[keys[i]]; ok {
+			joined = append(joined, i)
+			joinedCalls = append(joinedCalls, c)
+			continue
+		}
+		c := &seedCall{done: make(chan struct{})}
+		s.seedflight[keys[i]] = c
+		owned = append(owned, i)
+		ownedCalls[i] = c
+	}
+	s.mu.Unlock()
+
+	// An identical seed may have been computed and stored between our batch
+	// read and the flight registration; it was stored before its call
+	// deregistered, so one uncounted probe per claimed seed closes the race
+	// and keeps overlapping requests at exactly one computation per seed.
+	stillOwned := owned[:0]
+	for _, i := range owned {
+		var rec *store.SeedRecord
+		if payload, ok := s.store.Probe(keys[i]); ok {
+			if r, err := store.DecodeSeedRecord(payload); err == nil && r.Seed == seeds[i] && (eval == nil || r.Scored) {
+				rec = r
+			}
+		}
+		if rec == nil {
+			stillOwned = append(stillOwned, i)
+			continue
+		}
+		adopt(rec)
+		resolved[i] = true
+		c := ownedCalls[i]
+		c.outcome, c.run = rec.Outcome(), rec.Run
+		s.mu.Lock()
+		delete(s.seedflight, keys[i])
+		s.mu.Unlock()
+		close(c.done)
+	}
+	owned = stillOwned
+
+	// Simulate the claimed seeds in one dispatcher round, persist them as
+	// per-seed records, and publish them to any requests that joined.
+	var computeErr error
+	if len(owned) > 0 {
+		ownedSeeds := make([]int64, len(owned))
+		for j, i := range owned {
+			ownedSeeds[j] = seeds[i]
+		}
+		job := &fleetJob{
+			runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
+			done: make(chan struct{}),
+		}
+		computeErr = s.submit(job)
+		if computeErr == nil {
+			putKeys := make([]store.Key, len(owned))
+			putPayloads := make([][]byte, len(owned))
+			for j, i := range owned {
+				sr := job.seedRuns[j]
+				computedOut = append(computedOut, sr.Outcome)
+				runsBySeed[sr.Outcome.Seed] = sr.Run
+				putKeys[j] = keys[i]
+				putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(sr, eval != nil))
+			}
+			if failed, _ := s.store.PutMulti(putKeys, putPayloads); failed > 0 {
+				s.count(func(st *SchedulerStats) { st.PutErrors += uint64(failed) })
+			}
+		}
+		s.mu.Lock()
+		for _, i := range owned {
+			delete(s.seedflight, keys[i])
+		}
+		s.mu.Unlock()
+		for j, i := range owned {
+			c := ownedCalls[i]
+			if computeErr != nil {
+				c.err = computeErr
+			} else {
+				sr := job.seedRuns[j]
+				c.outcome, c.run = sr.Outcome, sr.Run
+			}
+			close(c.done)
+		}
+	}
+
+	// Collect the seeds concurrent requests computed for us.
+	for _, c := range joinedCalls {
+		<-c.done
+		if c.err != nil {
+			if computeErr == nil {
+				computeErr = c.err
+			}
+			continue
+		}
+		joinedOut = append(joinedOut, c.outcome)
+		runsBySeed[c.outcome.Seed] = c.run
+	}
+	if computeErr != nil {
+		return resolution{}, computeErr
+	}
+
+	outcomes, err := workload.MergeOutcomes(seeds, cachedOut, computedOut, joinedOut)
+	if err != nil {
+		return resolution{}, err
+	}
+	res := resolution{
+		outcomes: outcomes,
+		runs:     make(model.System, n),
+		cached:   len(cachedOut),
+		computed: len(computedOut),
+		joined:   len(joined),
+	}
+	for i, seed := range seeds {
+		res.runs[i] = runsBySeed[seed]
+	}
+
+	s.count(func(st *SchedulerStats) {
+		st.SeedsRequested += uint64(n)
+		st.SeedsCached += uint64(res.cached)
+		st.SeedsComputed += uint64(res.computed)
+		st.SeedsCoalesced += uint64(res.joined)
+		if res.computed == 0 && res.joined > 0 {
+			st.Coalesced++
+		}
+	})
+	return res, nil
+}
+
+// Sweep serves one validated sweep request, returning the encoded record and
+// how much of it came from the corpus.
+func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus, err error) {
 	sc, err := registry.LookupScenario(req.Scenario)
 	if err != nil {
-		s.count(func(st *SchedulerStats) { st.Errors++ })
-		return nil, false, notFound(err)
+		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
+		return nil, CacheMiss, notFound(err)
 	}
 	if req.Adversary != "" {
 		adv, _, err := registry.Adversary(req.Adversary)
 		if err != nil {
-			s.count(func(st *SchedulerStats) { st.Errors++ })
-			return nil, false, notFound(err)
+			s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
+			return nil, CacheMiss, notFound(err)
 		}
 		sc.Spec.Adversary = adv
 	}
-	payload, cached, err = s.do(req.keySpec().Key(), func() ([]byte, error) {
-		job := &fleetJob{
-			sweep: &workload.Task{
-				Spec:  sc.Spec,
-				Seeds: workload.Seeds(req.SeedBase, req.Seeds),
-				Eval:  sc.Eval,
-			},
-			done: make(chan struct{}),
-		}
-		if err := s.submit(job); err != nil {
-			return nil, err
-		}
-		return store.EncodeSweepRecord(store.NewSweepRecord(sc.Name, sc.Check, req.Adversary, req.SeedBase, job.result)), nil
-	})
-	if err != nil {
-		s.count(func(st *SchedulerStats) { st.Errors++ })
+	s.count(func(st *SchedulerStats) { st.Requests++ })
+
+	// Request-level fast path: an identical window was served before, so its
+	// assembled record is already in the corpus (uncounted probe — a miss
+	// here is accounted at seed granularity below).
+	key := req.keySpec().Key()
+	if payload, ok := s.store.Probe(key); ok {
+		s.finish(CacheHit, nil)
+		return payload, CacheHit, nil
 	}
-	return payload, cached, err
+
+	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds))
+	if err != nil {
+		s.finish(CacheMiss, err)
+		return nil, CacheMiss, err
+	}
+	payload = store.EncodeSweepRecord(&store.SweepRecord{
+		Scenario:  sc.Name,
+		Check:     sc.Check,
+		Adversary: req.Adversary,
+		SeedBase:  req.SeedBase,
+		Outcomes:  res.outcomes,
+	})
+	// Persist the assembled window unless this request was fully coalesced —
+	// its seeds are being written by their owners, so a repeat resolves as a
+	// pure per-seed assembly and persists then.  Pure assemblies do persist,
+	// so a repeatedly requested subset graduates to the window-record fast
+	// path instead of re-assembling forever.
+	if res.computed > 0 || res.joined == 0 {
+		if perr := s.store.Put(key, payload); perr != nil {
+			s.count(func(st *SchedulerStats) { st.PutErrors++ })
+		}
+	}
+	status = res.status()
+	s.finish(status, nil)
+	return payload, status, nil
 }
 
-// Extract serves one validated extract request, returning the encoded record.
-func (s *scheduler) Extract(req ExtractRequest) (payload []byte, cached bool, err error) {
+// Extract serves one validated extract request, returning the encoded record
+// and how much of it came from the corpus.  The whole-pipeline record is the
+// request-level cache; on a miss, the simulate stage reuses cached per-seed
+// source runs and only the pipeline tail is recomputed.
+func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheStatus, err error) {
 	sc, err := registry.LookupExtraction(req.Extraction)
 	if err != nil {
-		s.count(func(st *SchedulerStats) { st.Errors++ })
-		return nil, false, notFound(err)
+		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
+		return nil, CacheMiss, notFound(err)
 	}
 	ext := sc.Extraction
 	if req.Adversary != "" {
 		adv, _, err := registry.Adversary(req.Adversary)
 		if err != nil {
-			s.count(func(st *SchedulerStats) { st.Errors++ })
-			return nil, false, notFound(err)
+			s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
+			return nil, CacheMiss, notFound(err)
 		}
 		ext.Source.Adversary = adv
 	}
@@ -332,16 +589,56 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, cached bool, er
 	if req.SeedBase != 0 {
 		ext.BaseSeed = req.SeedBase
 	}
+	s.count(func(st *SchedulerStats) { st.Requests++ })
+
 	spec := store.KeySpec{Kind: "extract", Name: req.Extraction, Adversary: req.Adversary, SeedBase: ext.BaseSeed, Count: ext.Runs}
-	payload, cached, err = s.do(spec.Key(), func() ([]byte, error) {
-		job := &fleetJob{extract: &ext, done: make(chan struct{})}
-		if err := s.submit(job); err != nil {
-			return nil, err
-		}
-		return store.EncodeExtractionRecord(store.NewExtractionRecord(req.Adversary, sc.Stress, job.exResult)), nil
-	})
-	if err != nil {
-		s.count(func(st *SchedulerStats) { st.Errors++ })
+	key := spec.Key()
+	if payload, ok := s.store.Probe(key); ok {
+		s.finish(CacheHit, nil)
+		return payload, CacheHit, nil
 	}
-	return payload, cached, err
+
+	// Identical concurrent extractions coalesce at request level: the
+	// pipeline tail is one indivisible computation, so there is nothing
+	// finer to share.
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-c.done
+		s.finish(c.status, c.err)
+		return c.payload, c.status, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	if stored, ok := s.store.Probe(key); ok {
+		c.payload, c.status = stored, CacheHit
+	} else {
+		c.status = CacheMiss
+		var res resolution
+		res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, workload.Seeds(ext.BaseSeed, ext.Runs))
+		if c.err == nil {
+			job := &fleetJob{extract: &ext, sampled: res.runs, done: make(chan struct{})}
+			if c.err = s.submit(job); c.err == nil {
+				c.payload = store.EncodeExtractionRecord(store.NewExtractionRecord(req.Adversary, sc.Stress, job.exResult))
+				// The pipeline tail always runs on a request-level miss, so
+				// cached source runs make the response partial, never a hit.
+				if res.cached > 0 {
+					c.status = CachePartial
+				}
+				if perr := s.store.Put(key, c.payload); perr != nil {
+					s.count(func(st *SchedulerStats) { st.PutErrors++ })
+				}
+			}
+		}
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	s.finish(c.status, c.err)
+	return c.payload, c.status, c.err
 }

@@ -1,9 +1,13 @@
 // Package server is the serving layer on top of the run-corpus store: a
 // long-running HTTP JSON API that answers sweep and knowledge-extraction
-// requests for the catalogued scenarios.  Cache hits are served straight from
-// the content-addressed store, identical concurrent requests coalesce into a
-// single computation, and distinct concurrent sweeps batch onto one shared
-// worker-fleet pass — with every response byte-identical to a direct serial
+// requests for the catalogued scenarios.  Every request resolves at seed
+// granularity into (cached seeds ∪ missing seeds): cached seeds decode from
+// per-seed corpus records, missing seeds are claimed in a seed-level flight
+// table — so concurrent overlapping requests share work instead of
+// duplicating it — and computed in one batched pass of the shared worker
+// fleet.  Responses assemble from the union (X-Cache: hit | partial | miss),
+// extraction pipelines reuse cached per-seed source runs for their simulate
+// stage, and every response is byte-identical to a direct serial
 // workload.Sweep / Runner.Extract call.
 //
 // Endpoints:
@@ -178,7 +182,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
-	payload, cached, err := s.sched.Sweep(req)
+	payload, status, err := s.sched.Sweep(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -188,7 +192,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	setCacheHeader(w, cached)
+	setCacheHeader(w, status)
 	writeJSON(w, http.StatusOK, SweepResponseOf(rec))
 }
 
@@ -211,7 +215,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
-	payload, cached, err := s.sched.Extract(req)
+	payload, status, err := s.sched.Extract(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -221,19 +225,17 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	setCacheHeader(w, cached)
+	setCacheHeader(w, status)
 	writeJSON(w, http.StatusOK, ExtractResponseOf(rec))
 }
 
-// setCacheHeader marks whether the body was served from the store.  The
-// indicator lives in a header, not the body, because cached and computed
-// bodies are byte-identical by design.
-func setCacheHeader(w http.ResponseWriter, cached bool) {
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
+// setCacheHeader marks how much of the body came from the run corpus: "hit"
+// (nothing computed), "partial" (assembled from cached and computed seeds),
+// or "miss" (everything computed).  The indicator lives in a header, not the
+// body, because cached, assembled and computed bodies are byte-identical by
+// design.
+func setCacheHeader(w http.ResponseWriter, status CacheStatus) {
+	w.Header().Set("X-Cache", string(status))
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {

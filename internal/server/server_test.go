@@ -175,11 +175,261 @@ func TestExtractGoldenByteIdentical(t *testing.T) {
 	}
 }
 
+// seedStride is the arithmetic step of workload.Seeds: shifting a window's
+// seedBase by k*seedStride slides it k positions along the same derived seed
+// progression, which is how the overlap tests construct windows that share
+// seeds.  Derived from workload.Seeds so it tracks the real derivation.
+var seedStride = workload.Seeds(1, 2)[1] - workload.Seeds(1, 2)[0]
+
+// TestSweepPartialHitGolden is the partial-hit acceptance test: growing,
+// shrinking and sliding a served window must assemble responses byte-
+// identical to direct serial sweeps, computing only the seeds the corpus has
+// never seen, with the X-Cache header grading hit/partial/miss.
+func TestSweepPartialHitGolden(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	sweepURL := func(req server.SweepRequest) string {
+		return fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d", ts.URL, req.Scenario, req.Seeds, req.SeedBase)
+	}
+
+	steps := []struct {
+		name          string
+		req           server.SweepRequest
+		wantCache     string
+		wantNewSeeds  uint64 // newly computed seeds this step
+		wantHitChange uint64 // seeds served from the corpus this step
+	}{
+		// Cold prime: window positions 0..7.
+		{"cold", server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}, "miss", 8, 0},
+		// Grown window 0..15: the primed half assembles, the rest computes.
+		{"grown", server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 16, SeedBase: 1}, "partial", 8, 8},
+		// Pure subset 0..3: zero recompute, served entirely from seed records.
+		{"subset", server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 4, SeedBase: 1}, "hit", 0, 4},
+		// Sliding window 12..19: positions 12..15 are corpus, 16..19 are new.
+		{"slide", server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1 + 12*seedStride}, "partial", 4, 4},
+		// The identical grown window again: request-level record, zero work.
+		{"replay", server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 16, SeedBase: 1}, "hit", 0, 0},
+	}
+
+	var wantComputed, wantCached uint64
+	for _, step := range steps {
+		golden := goldenSweepBody(t, step.req)
+		status, header, body := get(t, sweepURL(step.req))
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", step.name, status, body)
+		}
+		if got := header.Get("X-Cache"); got != step.wantCache {
+			t.Fatalf("%s: X-Cache = %q, want %q", step.name, got, step.wantCache)
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: body differs from direct serial sweep", step.name)
+		}
+		wantComputed += step.wantNewSeeds
+		wantCached += step.wantHitChange
+		ss := srv.SchedulerStats()
+		if ss.SeedsComputed != wantComputed {
+			t.Fatalf("%s: SeedsComputed = %d, want %d", step.name, ss.SeedsComputed, wantComputed)
+		}
+		if ss.SeedsCached != wantCached {
+			t.Fatalf("%s: SeedsCached = %d, want %d", step.name, ss.SeedsCached, wantCached)
+		}
+	}
+	ss := srv.SchedulerStats()
+	if ss.FullHits != 2 || ss.PartialHits != 2 || ss.Misses != 1 {
+		t.Fatalf("request classification after the window walk: %+v", ss)
+	}
+}
+
+// TestConcurrentOverlappingRequests is the 64-way overlap acceptance test:
+// concurrent requests whose windows slide across a shared seed progression
+// must each come back byte-identical to their dedicated serial sweep, while
+// the fleet computes every distinct seed exactly once across all requests.
+func TestConcurrentOverlappingRequests(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	const dups = 64
+	const windows = 16 // distinct seedBases; windows overlap their neighbours by 7 seeds
+	reqs := make([]server.SweepRequest, dups)
+	for i := range reqs {
+		reqs[i] = server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1 + int64(i%windows)*seedStride}
+	}
+	goldens := make(map[int64][]byte, windows)
+	for _, req := range reqs[:windows] {
+		goldens[req.SeedBase] = goldenSweepBody(t, req)
+	}
+
+	bodies := make([][]byte, dups)
+	errs := make([]error, dups)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d",
+				ts.URL, reqs[i].Scenario, reqs[i].Seeds, reqs[i].SeedBase))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], goldens[reqs[i].SeedBase]) {
+			t.Fatalf("request %d (seedBase %d): body differs from direct serial sweep", i, reqs[i].SeedBase)
+		}
+	}
+
+	// The 16 sliding windows cover positions 0..22 of the progression: 23
+	// distinct seeds, each of which the fleet may simulate exactly once no
+	// matter how the 64 requests interleave.
+	const distinctSeeds = windows + 8 - 1
+	ss := srv.SchedulerStats()
+	if ss.SeedsComputed != distinctSeeds {
+		t.Fatalf("SeedsComputed = %d, want %d (every distinct seed exactly once)", ss.SeedsComputed, distinctSeeds)
+	}
+	if ss.SeedsCached+ss.SeedsCoalesced+ss.SeedsComputed != ss.SeedsRequested {
+		t.Fatalf("seed accounting: %+v", ss)
+	}
+	if ss.FullHits+ss.PartialHits+ss.Misses != dups {
+		t.Fatalf("request accounting: %+v", ss)
+	}
+	if st := srv.Store().Stats(); st.Puts < distinctSeeds+1 || st.Puts > distinctSeeds+dups {
+		t.Fatalf("store Puts = %d, want %d seed records plus window records", st.Puts, distinctSeeds)
+	}
+}
+
+// TestPartialHitSurvivesRestart re-opens the corpus directory under a fresh
+// daemon: a grown window must assemble from the previous daemon's per-seed
+// records, computing only the new half.
+func TestPartialHitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, dir)
+	get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=8")
+
+	grown := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 16, SeedBase: 1}
+	golden := goldenSweepBody(t, grown)
+	srv2, ts2 := newTestServer(t, dir)
+	status, header, body := get(t, ts2.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=16")
+	if status != http.StatusOK || header.Get("X-Cache") != "partial" {
+		t.Fatalf("restarted daemon grown window: HTTP %d X-Cache %q", status, header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("restarted partial-hit body differs from direct serial sweep")
+	}
+	ss := srv2.SchedulerStats()
+	if ss.SeedsCached != 8 || ss.SeedsComputed != 8 {
+		t.Fatalf("restarted daemon seed stats: %+v", ss)
+	}
+}
+
+// TestExtractPartialReusesSourceRuns pins extraction reuse: growing a
+// pipeline's sample re-simulates only the new source seeds, reuses the
+// recorded runs of the old ones, and still renders the exact bytes a direct
+// Runner.Extract of the grown sample would.
+func TestExtractPartialReusesSourceRuns(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	get(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=6")
+	ss := srv.SchedulerStats()
+	if ss.SeedsComputed != 6 {
+		t.Fatalf("cold extraction seed stats: %+v", ss)
+	}
+
+	grown := server.ExtractRequest{Extraction: "kx-perfect", Runs: 8}
+	golden := goldenExtractBody(t, grown)
+	status, header, body := get(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=8")
+	if status != http.StatusOK || header.Get("X-Cache") != "partial" {
+		t.Fatalf("grown extraction: HTTP %d X-Cache %q", status, header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("grown extraction body differs from direct Runner.Extract")
+	}
+	ss = srv.SchedulerStats()
+	if ss.SeedsComputed != 8 || ss.SeedsCached != 6 {
+		t.Fatalf("grown extraction seed stats: %+v", ss)
+	}
+
+	// The identical request again is a request-level hit.
+	_, header, _ = get(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=8")
+	if header.Get("X-Cache") != "hit" {
+		t.Fatalf("replayed extraction X-Cache = %q", header.Get("X-Cache"))
+	}
+}
+
+// TestSeedFaultIsolation corrupts a single per-seed shard under a primed
+// corpus: a window touching it must still be served byte-identically, with
+// exactly that one seed recomputed (and repaired), the damage counted by the
+// store, and nothing else disturbed.
+func TestSeedFaultIsolation(t *testing.T) {
+	seeds := workload.Seeds(1, 8)
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bit-flipped": func(raw []byte) []byte {
+			m := append([]byte(nil), raw...)
+			m[len(m)/2] ^= 0x01
+			return m
+		},
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
+	} {
+		dir := t.TempDir()
+		srv, ts := newTestServer(t, dir)
+		get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=8")
+
+		// Damage seed position 2's record on disk.
+		path := srv.Store().EntryPath(server.SweepSeedKey("prop2.3-nudc", "", seeds[2]))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: read seed record: %v", name, err)
+		}
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// A 5-seed window over the damaged corpus (fresh daemon, so nothing
+		// is shielded by the memory layer): served, byte-identical, exactly
+		// one seed recomputed and re-persisted.
+		sub := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 5, SeedBase: 1}
+		golden := goldenSweepBody(t, sub)
+		srv2, ts2 := newTestServer(t, dir)
+		status, header, body := get(t, ts2.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=5")
+		if status != http.StatusOK || header.Get("X-Cache") != "partial" {
+			t.Fatalf("%s: HTTP %d X-Cache %q", name, status, header.Get("X-Cache"))
+		}
+		if !bytes.Equal(body, golden) {
+			t.Fatalf("%s: body differs from direct serial sweep", name)
+		}
+		st := srv2.Store().Stats()
+		if st.CorruptEntries != 1 || st.Misses != 1 {
+			t.Fatalf("%s: store stats: %+v (want the one damaged seed counted as one corrupt miss)", name, st)
+		}
+		ss := srv2.SchedulerStats()
+		if ss.SeedsComputed != 1 || ss.SeedsCached != 4 || ss.PartialHits != 1 || ss.PutErrors != 0 {
+			t.Fatalf("%s: scheduler stats: %+v", name, ss)
+		}
+
+		// The recompute repaired the shard: a third daemon reads it clean.
+		srv3, ts3 := newTestServer(t, dir)
+		_, header, body = get(t, ts3.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=5")
+		if header.Get("X-Cache") != "hit" || !bytes.Equal(body, golden) {
+			t.Fatalf("%s: repaired corpus not served as a hit", name)
+		}
+		if st := srv3.Store().Stats(); st.CorruptEntries != 0 {
+			t.Fatalf("%s: repaired corpus still counts corruption: %+v", name, st)
+		}
+	}
+}
+
 // TestConcurrentDuplicatesComputeOnce fires 64 concurrent identical sweep
 // requests at a cold daemon.  All 64 bodies must be byte-identical to the
-// direct serial sweep, and the singleflight layer must have computed (and
-// stored) the result exactly once — asserted via the store's Puts counter
-// and the scheduler's Computed counter.
+// direct serial sweep, and each of the 8 seeds must have been computed (and
+// stored) exactly once — asserted via the store's Puts counter and the
+// scheduler's seed-granular counters.
 func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
 	srv, ts := newTestServer(t, t.TempDir())
 	req := server.SweepRequest{Scenario: "prop3.1-strong-udc", Seeds: 8, SeedBase: 500}
@@ -217,19 +467,28 @@ func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
 		}
 	}
 
-	if st := srv.Store().Stats(); st.Puts != 1 {
-		t.Fatalf("store Puts = %d, want 1 (singleflight must compute once)", st.Puts)
+	// Exactly one request computed the 8 per-seed records and the window
+	// record; late arrivals that assemble from the already-stored seeds may
+	// add idempotent window-record rewrites, but never seed records.
+	if st := srv.Store().Stats(); st.Puts < 9 || st.Puts > 9+dups-1 {
+		t.Fatalf("store Puts = %d, want 9 plus at most idempotent window rewrites", st.Puts)
 	}
 	ss := srv.SchedulerStats()
-	if ss.Computed != 1 {
-		t.Fatalf("scheduler Computed = %d, want 1", ss.Computed)
+	if ss.Computed != 1 || ss.SeedsComputed != 8 {
+		t.Fatalf("scheduler Computed = %d, SeedsComputed = %d, want 1 and 8", ss.Computed, ss.SeedsComputed)
 	}
 	if ss.Requests != dups {
 		t.Fatalf("scheduler Requests = %d, want %d", ss.Requests, dups)
 	}
-	if ss.CacheHits+ss.Coalesced+ss.Computed != dups {
-		t.Fatalf("hits(%d) + coalesced(%d) + computed(%d) != %d requests",
-			ss.CacheHits, ss.Coalesced, ss.Computed, dups)
+	if ss.FullHits+ss.PartialHits+ss.Misses != dups {
+		t.Fatalf("fullHits(%d) + partialHits(%d) + misses(%d) != %d requests",
+			ss.FullHits, ss.PartialHits, ss.Misses, dups)
+	}
+	// Requests served by the window-record fast path never resolve seeds, so
+	// only consistency — not the absolute volume — is pinned here.
+	if ss.SeedsCached+ss.SeedsCoalesced+ss.SeedsComputed != ss.SeedsRequested {
+		t.Fatalf("seed accounting: cached(%d) + coalesced(%d) + computed(%d) != requested(%d)",
+			ss.SeedsCached, ss.SeedsCoalesced, ss.SeedsComputed, ss.SeedsRequested)
 	}
 }
 
@@ -262,6 +521,9 @@ func TestBatchingSharesFleetPasses(t *testing.T) {
 	ss := srv.SchedulerStats()
 	if ss.Computed != uint64(len(scenarios)) || ss.Batches == 0 || ss.BatchedTasks != uint64(len(scenarios)) {
 		t.Fatalf("scheduler stats after distinct concurrent sweeps: %+v", ss)
+	}
+	if ss.SeedsComputed != uint64(len(scenarios)*6) {
+		t.Fatalf("SeedsComputed = %d, want %d", ss.SeedsComputed, len(scenarios)*6)
 	}
 }
 
@@ -329,8 +591,8 @@ func TestCatalogAndStatsEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats.Scheduler.Requests != 1 || stats.Store.Puts != 1 {
-		t.Fatalf("stats after one sweep: %+v", stats)
+	if stats.Scheduler.Requests != 1 || stats.Store.Puts != 5 {
+		t.Fatalf("stats after one sweep (4 seed records + 1 window record): %+v", stats)
 	}
 	if stats.CodecVersion != store.CodecVersion {
 		t.Fatalf("stats codec version = %d", stats.CodecVersion)
@@ -417,13 +679,18 @@ func TestClientMatchesServer(t *testing.T) {
 }
 
 // TestPutFailureStillServes breaks the store's directory out from under a
-// running daemon: the computation still succeeds and is served (caching is
-// an optimisation), with the failure surfaced in the scheduler's PutErrors
-// counter rather than the response.
+// running daemon (replacing it with a regular file so even MkdirAll cannot
+// resurrect it): the computation still succeeds and is served (caching is an
+// optimisation), with every failed persist — 4 per-seed records plus the
+// window record — surfaced in the scheduler's PutErrors counter rather than
+// the response.
 func TestPutFailureStillServes(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "corpus")
 	srv, ts := newTestServer(t, dir)
 	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 4, SeedBase: 1}
@@ -436,18 +703,24 @@ func TestPutFailureStillServes(t *testing.T) {
 		t.Fatalf("body differs despite successful computation")
 	}
 	ss := srv.SchedulerStats()
-	if ss.PutErrors != 1 || ss.Errors != 0 {
-		t.Fatalf("scheduler stats after failed persist: %+v", ss)
+	if ss.PutErrors != 5 || ss.Errors != 0 {
+		t.Fatalf("scheduler stats after failed persists: %+v", ss)
 	}
 }
 
-// TestColdRequestCountsOneMiss pins the store-stats contract: the
-// scheduler's singleflight re-probe must not double-count misses.
-func TestColdRequestCountsOneMiss(t *testing.T) {
+// TestColdRequestMissAccounting pins the store-stats contract under seed
+// granularity: one cold 4-seed sweep counts exactly one miss per seed (the
+// window-record probe and the post-claim re-probes are uncounted) and writes
+// 4 seed records plus the window record.
+func TestColdRequestMissAccounting(t *testing.T) {
 	srv, ts := newTestServer(t, t.TempDir())
 	get(t, ts.URL+"/v1/sweep?scenario=prop2.3-nudc&seeds=4")
 	st := srv.Store().Stats()
-	if st.Misses != 1 || st.Puts != 1 {
-		t.Fatalf("store stats after one cold sweep: %+v (one request must count one miss)", st)
+	if st.Misses != 4 || st.Puts != 5 {
+		t.Fatalf("store stats after one cold 4-seed sweep: %+v (want 4 misses, 5 puts)", st)
+	}
+	ss := srv.SchedulerStats()
+	if ss.Misses != 1 || ss.SeedsComputed != 4 || ss.SeedsCached != 0 {
+		t.Fatalf("scheduler stats after one cold sweep: %+v", ss)
 	}
 }

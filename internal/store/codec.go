@@ -32,6 +32,9 @@ const (
 	KindSweep byte = 3
 	// KindExtraction is an ExtractionRecord.
 	KindExtraction byte = 4
+	// KindSeed is a SeedRecord: one seed's recorded run plus its scored
+	// outcome.
+	KindSeed byte = 5
 )
 
 var magic = [4]byte{'U', 'D', 'C', CodecVersion}
@@ -184,7 +187,7 @@ func Check(data []byte) error {
 	if [4]byte(data[:4]) != magic {
 		return fmt.Errorf("store: bad magic %q (version mismatch or not a store container)", data[:4])
 	}
-	if kind := data[4]; kind < KindRun || kind > KindExtraction {
+	if kind := data[4]; kind < KindRun || kind > KindSeed {
 		return fmt.Errorf("store: unknown container kind %d", kind)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]

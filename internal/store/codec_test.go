@@ -118,6 +118,86 @@ func TestSweepRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSeedRecordRoundTrip covers the per-seed corpus unit: scored sweep
+// seeds (with and without violations) and an unscored extraction-source seed,
+// each re-encoding byte-identically with the run and outcome intact.
+func TestSeedRecordRoundTrip(t *testing.T) {
+	sc := registry.MustScenario("adv-targeted-final-fd")
+	tasks := []workload.Task{{Spec: sc.Spec, Seeds: workload.Seeds(1, 4), Eval: sc.Eval}}
+	scored, err := workload.Runner{}.RunAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscoredTasks := []workload.Task{{Spec: sc.Spec, Seeds: workload.Seeds(1, 1)}}
+	unscored, err := workload.Runner{}.RunAll(unscoredTasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]*store.SeedRecord, 0, 5)
+	for _, sr := range scored[0] {
+		records = append(records, store.NewSeedRecord(sr, true))
+	}
+	records = append(records, store.NewSeedRecord(unscored[0][0], false))
+
+	sawViolations := false
+	for i, rec := range records {
+		bin := store.EncodeSeedRecord(rec)
+		decoded, err := store.DecodeSeedRecord(bin)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(store.EncodeSeedRecord(decoded), bin) {
+			t.Fatalf("record %d: re-encode differs", i)
+		}
+		if decoded.Scored != rec.Scored || decoded.Seed != rec.Seed {
+			t.Fatalf("record %d: identity fields lost: %+v", i, decoded)
+		}
+		if !bytes.Equal(jsonOf(t, rec.Run), jsonOf(t, decoded.Run)) {
+			t.Fatalf("record %d: embedded run differs after round trip", i)
+		}
+		if len(decoded.Violations) > 0 {
+			sawViolations = true
+		}
+	}
+	if !sawViolations {
+		t.Fatalf("stress scenario produced no violations; the violation path went untested")
+	}
+
+	// The outcome reconstructed from a decoded record equals the swept one.
+	bin := store.EncodeSeedRecord(records[0])
+	decoded, err := store.DecodeSeedRecord(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scored[0][0].Outcome
+	got := decoded.Outcome()
+	if got.Seed != want.Seed || got.Stats != want.Stats ||
+		got.LatencySum != want.LatencySum || got.LatencyActions != want.LatencyActions ||
+		len(got.Violations) != len(want.Violations) {
+		t.Fatalf("Outcome() = %+v, want %+v", got, want)
+	}
+}
+
+// TestSeedKeySpecDigests pins the seed-granular identity: the same
+// (name, adversary, seed) triple digests identically, and namespaces,
+// adversaries and neighbouring seeds all separate.
+func TestSeedKeySpecDigests(t *testing.T) {
+	base := store.SeedKeySpec("scenario:prop2.3-nudc", "", 42)
+	if base.Key() != store.SeedKeySpec("scenario:prop2.3-nudc", "", 42).Key() {
+		t.Fatalf("equal seed specs produced different keys")
+	}
+	for _, other := range []store.KeySpec{
+		store.SeedKeySpec("extraction:prop2.3-nudc", "", 42),
+		store.SeedKeySpec("scenario:prop2.3-nudc", "cascade", 42),
+		store.SeedKeySpec("scenario:prop2.3-nudc", "", 43),
+		{Kind: "sweep", Name: "scenario:prop2.3-nudc", SeedBase: 42, Count: 1},
+	} {
+		if base.Key() == other.Key() {
+			t.Fatalf("distinct seed specs collided: %+v", other)
+		}
+	}
+}
+
 func TestExtractionRecordRoundTrip(t *testing.T) {
 	sc, err := registry.LookupExtraction("kx-perfect")
 	if err != nil {

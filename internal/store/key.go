@@ -44,3 +44,14 @@ func (ks KeySpec) Key() Key {
 	h.Sum(k[:0])
 	return k
 }
+
+// SeedKeySpec is the identity of one per-seed run record: the qualified
+// source name (the caller prefixes its catalog namespace, e.g. "scenario:" or
+// "extraction:", so sweep scenarios and extraction sources can never alias),
+// the adversary override, and the concrete seed value.  Keying on the seed
+// value — not on any (seedBase, count) window — is what makes overlapping
+// sweep windows share work: every window that derives the same seed resolves
+// to the same record.
+func SeedKeySpec(qualifiedName, adversary string, seed int64) KeySpec {
+	return KeySpec{Kind: "seed", Name: qualifiedName, Adversary: adversary, SeedBase: seed, Count: 1}
+}

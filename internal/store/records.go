@@ -4,6 +4,7 @@ import (
 	"repro/internal/epistemic"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -67,6 +68,92 @@ func (r *reader) stats() sim.Stats {
 		CrashEvents:        r.int(),
 		LastEventTime:      r.int(),
 	}
+}
+
+// SeedRecord is the seed-granular unit of the run corpus: one seed's recorded
+// run plus the simulator's counters, and — when the seed was swept under a
+// scenario's evaluator — the scored outcome verbatim.  Sweep responses
+// assemble from the outcomes; extraction pipelines reuse the recorded runs
+// for their simulate stage.  Records written by a simulate-only pass (an
+// extraction source) carry Scored == false and no outcome fields.
+type SeedRecord struct {
+	// Seed is the concrete seed value (part of the record's key, repeated so
+	// a decoded record is self-describing).
+	Seed int64
+	// Stats are the simulator's counters for the run.
+	Stats sim.Stats
+	// Scored marks records whose outcome fields were produced by the source
+	// scenario's evaluator.
+	Scored bool
+	// Violations, LatencySum and LatencyActions mirror workload.RunOutcome.
+	Violations     []model.Violation
+	LatencySum     int
+	LatencyActions int
+	// Run is the recorded run.
+	Run *model.Run
+}
+
+// Outcome reconstructs the per-seed sweep outcome the record captured.
+func (rec *SeedRecord) Outcome() workload.RunOutcome {
+	return workload.RunOutcome{
+		Seed:           rec.Seed,
+		Stats:          rec.Stats,
+		Violations:     rec.Violations,
+		LatencySum:     rec.LatencySum,
+		LatencyActions: rec.LatencyActions,
+	}
+}
+
+// NewSeedRecord captures one swept seed as a record.
+func NewSeedRecord(sr workload.SeedRun, scored bool) *SeedRecord {
+	return &SeedRecord{
+		Seed:           sr.Outcome.Seed,
+		Stats:          sr.Outcome.Stats,
+		Scored:         scored,
+		Violations:     sr.Outcome.Violations,
+		LatencySum:     sr.Outcome.LatencySum,
+		LatencyActions: sr.Outcome.LatencyActions,
+		Run:            sr.Run,
+	}
+}
+
+// EncodeSeedRecord serialises a seed record.
+func EncodeSeedRecord(rec *SeedRecord) []byte {
+	var w writer
+	w.svarint(rec.Seed)
+	w.stats(rec.Stats)
+	w.bool(rec.Scored)
+	w.violations(rec.Violations)
+	w.int(rec.LatencySum)
+	w.int(rec.LatencyActions)
+	w.run(rec.Run)
+	return seal(KindSeed, w.buf)
+}
+
+// DecodeSeedRecord deserialises a record encoded by EncodeSeedRecord,
+// validating the embedded run's structural invariants like DecodeRun does.
+func DecodeSeedRecord(data []byte) (*SeedRecord, error) {
+	payload, err := unseal(data, KindSeed)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{data: payload}
+	rec := &SeedRecord{
+		Seed:   r.svarint(),
+		Stats:  r.stats(),
+		Scored: r.bool(),
+	}
+	rec.Violations = r.violations()
+	rec.LatencySum = r.int()
+	rec.LatencyActions = r.int()
+	rec.Run = r.run()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if err := trace.ValidateStructure(rec.Run); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // EncodeSweepRecord serialises a sweep record.

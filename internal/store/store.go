@@ -1,10 +1,14 @@
 // Package store is the run-corpus layer: a compact deterministic binary codec
-// for recorded runs and sweep/extraction results, plus a content-addressed
-// on-disk store with an in-memory LRU front.  Entries are keyed by a digest
-// of the request identity (catalogued workload, adversary override, seed
-// range, engine and codec versions), written atomically so concurrent readers
-// never observe torn entries, and checksummed so corruption or truncation is
-// detected and treated as a miss rather than served.
+// for recorded runs, per-seed records and sweep/extraction results, plus a
+// content-addressed on-disk store with an in-memory LRU front.  Entries are
+// keyed by a digest of their identity — per-seed records by (source name,
+// adversary, concrete seed value), request records by the full request window
+// — plus the engine and codec versions.  On disk, entries shard into 256
+// subdirectories by key prefix so corpora of millions of per-seed records
+// keep directories small; GetMulti/PutMulti batch whole windows.  Writes are
+// atomic so concurrent readers never observe torn entries, and reads are
+// checksummed so corruption or truncation is detected and treated as a miss
+// rather than served.
 package store
 
 import (
@@ -76,6 +80,7 @@ type Store struct {
 	lru      *list.List            // front = most recently used
 	memBytes int64
 	stats    Stats
+	shards   map[string]bool // shard subdirectories known to exist
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -91,14 +96,42 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts:    opts,
 		entries: make(map[Key]*list.Element),
 		lru:     list.New(),
+		shards:  make(map[string]bool),
 	}, nil
 }
 
 // Dir returns the store's on-disk root ("" for memory-only stores).
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) path(key Key) string {
-	return filepath.Join(s.dir, key.String()+".bin")
+// EntryPath returns the on-disk location an entry for key lives at ("" for
+// memory-only stores).  Entries shard into 256 subdirectories by the first
+// key byte, so a corpus of millions of per-seed records never piles every
+// file into one directory.
+func (s *Store) EntryPath(key Key) string {
+	if s.dir == "" {
+		return ""
+	}
+	hex := key.String()
+	return filepath.Join(s.dir, hex[:2], hex[2:]+".bin")
+}
+
+// shardDir ensures the shard subdirectory for key exists, creating it on
+// first use and caching the result so steady-state Puts skip the syscall.
+func (s *Store) shardDir(key Key) (string, error) {
+	dir := filepath.Dir(s.EntryPath(key))
+	s.mu.Lock()
+	known := s.shards[dir]
+	s.mu.Unlock()
+	if known {
+		return dir, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.shards[dir] = true
+	s.mu.Unlock()
+	return dir, nil
 }
 
 // Get returns the payload stored under key, if a valid entry exists.  The
@@ -108,9 +141,9 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 	return s.get(key, true)
 }
 
-// Probe is Get for opportunistic re-checks (the scheduler's post-singleflight
-// probe): hits count normally, but a miss is not added to the miss counter,
-// so one logical request never inflates Misses twice.
+// Probe is Get for opportunistic re-checks (the scheduler's post-claim
+// probes): hits count normally, but a miss — corrupt or plain — is not added
+// to the miss counters, so one logical request never inflates them twice.
 func (s *Store) Probe(key Key) ([]byte, bool) {
 	return s.get(key, false)
 }
@@ -130,7 +163,7 @@ func (s *Store) get(key Key, countMiss bool) ([]byte, bool) {
 		s.miss(false, countMiss)
 		return nil, false
 	}
-	data, err := os.ReadFile(s.path(key))
+	data, err := s.readDisk(key)
 	if err != nil {
 		s.miss(false, countMiss)
 		return nil, false
@@ -151,9 +184,9 @@ func (s *Store) miss(corrupt, count bool) {
 	s.mu.Lock()
 	if count {
 		s.stats.Misses++
-	}
-	if corrupt {
-		s.stats.CorruptEntries++
+		if corrupt {
+			s.stats.CorruptEntries++
+		}
 	}
 	s.mu.Unlock()
 }
@@ -165,7 +198,11 @@ func (s *Store) miss(corrupt, count bool) {
 // Put returns.
 func (s *Store) Put(key Key, payload []byte) error {
 	if s.dir != "" {
-		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+		dir, err := s.shardDir(key)
+		if err != nil {
+			return fmt.Errorf("store: put %s: %w", key, err)
+		}
+		tmp, err := os.CreateTemp(dir, "put-*.tmp")
 		if err != nil {
 			return fmt.Errorf("store: put %s: %w", key, err)
 		}
@@ -175,7 +212,7 @@ func (s *Store) Put(key Key, payload []byte) error {
 			werr = cerr
 		}
 		if werr == nil {
-			werr = os.Rename(tmp.Name(), s.path(key))
+			werr = os.Rename(tmp.Name(), s.EntryPath(key))
 		}
 		if werr != nil {
 			os.Remove(tmp.Name())
@@ -188,6 +225,100 @@ func (s *Store) Put(key Key, payload []byte) error {
 	s.admit(key, payload)
 	s.mu.Unlock()
 	return nil
+}
+
+// GetMulti returns the payloads stored under a batch of keys, index-aligned
+// with keys (nil where no valid entry exists).  The memory layer is scanned
+// under one lock acquisition; only the leftover keys touch the disk.  Like
+// Get, corrupt or truncated on-disk entries count as misses, and the returned
+// slices are shared with the cache and must not be modified.
+func (s *Store) GetMulti(keys []Key) [][]byte {
+	payloads := make([][]byte, len(keys))
+
+	s.mu.Lock()
+	for i, key := range keys {
+		if el, ok := s.entries[key]; ok {
+			s.lru.MoveToFront(el)
+			s.stats.MemHits++
+			payloads[i] = el.Value.(*memEntry).payload
+		} else if s.dir == "" {
+			s.stats.Misses++
+		}
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return payloads
+	}
+
+	var diskHits []int
+	var misses, corrupt uint64
+	for i, key := range keys {
+		if payloads[i] != nil {
+			continue
+		}
+		data, err := s.readDisk(key)
+		if err != nil {
+			misses++
+			continue
+		}
+		if err := Check(data); err != nil {
+			misses++
+			corrupt++
+			continue
+		}
+		payloads[i] = data
+		diskHits = append(diskHits, i)
+	}
+
+	s.mu.Lock()
+	s.stats.Misses += misses
+	s.stats.CorruptEntries += corrupt
+	for _, i := range diskHits {
+		s.stats.DiskHits++
+		s.admit(keys[i], payloads[i])
+	}
+	s.mu.Unlock()
+	return payloads
+}
+
+// readDisk reads an entry's bytes, falling back to the pre-sharding flat
+// layout (<hex>.bin in the store root) so a corpus written by an older
+// release stays warm.  A flat entry found this way is opportunistically
+// renamed into its shard — reads migrate the corpus one entry at a time, and
+// a failed rename just means the fallback fires again next time.
+func (s *Store) readDisk(key Key) ([]byte, error) {
+	data, err := os.ReadFile(s.EntryPath(key))
+	if err == nil || !os.IsNotExist(err) {
+		return data, err
+	}
+	legacy := filepath.Join(s.dir, key.String()+".bin")
+	data, lerr := os.ReadFile(legacy)
+	if lerr != nil {
+		return nil, err
+	}
+	if _, derr := s.shardDir(key); derr == nil {
+		_ = os.Rename(legacy, s.EntryPath(key))
+	}
+	return data, nil
+}
+
+// PutMulti stores a batch of payloads, index-aligned with keys, each through
+// the same atomic temp-file-and-rename dance as Put.  A failed entry does not
+// stop the batch — a partially persisted corpus beats an empty one — so it
+// returns the number of entries that failed and the first such error.
+func (s *Store) PutMulti(keys []Key, payloads [][]byte) (failed int, first error) {
+	if len(keys) != len(payloads) {
+		return len(keys), fmt.Errorf("store: put multi: %d keys for %d payloads", len(keys), len(payloads))
+	}
+	for i, key := range keys {
+		if err := s.Put(key, payloads[i]); err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return failed, first
 }
 
 // admit inserts or refreshes a memory-layer entry and evicts down to the

@@ -140,11 +140,14 @@ func TestStoreCorruptEntryIsAMiss(t *testing.T) {
 	if err := s.Put(key, payloadOf("a")); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := filepath.Glob(filepath.Join(dir, "*.bin"))
+	entries, err := filepath.Glob(filepath.Join(dir, "*", "*.bin"))
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("glob: %v, %v", entries, err)
 	}
 	path := entries[0]
+	if path != s.EntryPath(key) {
+		t.Fatalf("entry at %s, EntryPath says %s", path, s.EntryPath(key))
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -190,6 +193,141 @@ func TestStoreCorruptEntryIsAMiss(t *testing.T) {
 	}
 	if got, ok := again.Get(key); !ok || !bytes.Equal(got, raw) {
 		t.Fatalf("repaired entry not served")
+	}
+}
+
+// TestStoreShardedLayout pins the on-disk sharding: entries land in 256
+// two-hex-character subdirectories keyed by the first key byte, so
+// million-entry corpora never pile into one directory.
+func TestStoreShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := s.Put(keyOf(i), payloadOf(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := keyOf(i)
+		path := s.EntryPath(key)
+		shard := filepath.Base(filepath.Dir(path))
+		if len(shard) != 2 || shard != key.String()[:2] {
+			t.Fatalf("entry %d sharded into %q, want first two hex chars of %s", i, shard, key)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("entry %d not at its sharded path: %v", i, err)
+		}
+	}
+	if flat, _ := filepath.Glob(filepath.Join(dir, "*.bin")); len(flat) != 0 {
+		t.Fatalf("%d entries landed unsharded in the root", len(flat))
+	}
+}
+
+// TestStoreReadsLegacyFlatLayout pins the migration path: entries written by
+// the pre-sharding release (flat <hex>.bin in the store root) are still
+// served, and a successful read renames them into their shard.
+func TestStoreReadsLegacyFlatLayout(t *testing.T) {
+	dir := t.TempDir()
+	key, payload := keyOf(1), payloadOf("legacy")
+	if err := os.WriteFile(filepath.Join(dir, key.String()+".bin"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("legacy flat entry not served: %v, %v", got, ok)
+	}
+	if st := s.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after legacy read: %+v", st)
+	}
+	// The read migrated the entry into its shard.
+	if _, err := os.Stat(s.EntryPath(key)); err != nil {
+		t.Fatalf("legacy entry not migrated to %s: %v", s.EntryPath(key), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key.String()+".bin")); !os.IsNotExist(err) {
+		t.Fatalf("legacy flat file still present after migration")
+	}
+	// A fresh store finds it at the sharded path directly.
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("migrated entry not served from shard")
+	}
+}
+
+// TestStoreGetMultiPutMulti drives the batched API across both layers: a
+// PutMulti batch, a fresh store reading the batch from disk, and a mixed
+// hit/miss GetMulti with index-aligned results and exact counters.
+func TestStoreGetMultiPutMulti(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	keys := make([]store.Key, n)
+	payloads := make([][]byte, n)
+	for i := range keys {
+		keys[i] = keyOf(i)
+		payloads[i] = payloadOf(fmt.Sprintf("p%d", i))
+	}
+	if failed, err := s.PutMulti(keys, payloads); failed != 0 || err != nil {
+		t.Fatalf("PutMulti: failed=%d err=%v", failed, err)
+	}
+	if st := s.Stats(); st.Puts != n {
+		t.Fatalf("Puts = %d, want %d", st.Puts, n)
+	}
+
+	// Memory-layer batch hit.
+	got := s.GetMulti(keys)
+	for i := range keys {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("GetMulti[%d] differs", i)
+		}
+	}
+	if st := s.Stats(); st.MemHits != n || st.Misses != 0 {
+		t.Fatalf("stats after warm GetMulti: %+v", st)
+	}
+
+	// Fresh store: disk layer, interleaved with keys that were never stored.
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := []store.Key{keys[0], keyOf(100), keys[3], keyOf(101), keys[7]}
+	got = s2.GetMulti(mixed)
+	for i, want := range [][]byte{payloads[0], nil, payloads[3], nil, payloads[7]} {
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("mixed GetMulti[%d] = %d bytes, want %d", i, len(got[i]), len(want))
+		}
+	}
+	if st := s2.Stats(); st.DiskHits != 3 || st.Misses != 2 {
+		t.Fatalf("stats after mixed GetMulti: %+v", st)
+	}
+
+	// A corrupted batch member is a counted miss; the rest still hit.
+	if err := os.WriteFile(s2.EntryPath(keys[1]), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = s3.GetMulti([]store.Key{keys[0], keys[1], keys[2]})
+	if got[0] == nil || got[1] != nil || got[2] == nil {
+		t.Fatalf("corrupt member not isolated: %v", []bool{got[0] != nil, got[1] != nil, got[2] != nil})
+	}
+	if st := s3.Stats(); st.CorruptEntries != 1 || st.Misses != 1 || st.DiskHits != 2 {
+		t.Fatalf("stats after corrupt batch member: %+v", st)
 	}
 }
 

@@ -77,6 +77,145 @@ func TestSerialAndParallelSweepsAreByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSubsetSweepsMergeByteIdentical locks the partial-hit serving contract:
+// sweeping disjoint (even interleaved) subsets of a seed window and merging
+// the per-seed outcomes — in any source order — must reproduce the full
+// serial sweep byte for byte.
+func TestSubsetSweepsMergeByteIdentical(t *testing.T) {
+	seeds := workload.Seeds(31337, 12)
+	for _, name := range []string{"prop3.1-strong-udc", "adv-targeted-final-fd"} {
+		sc := registry.MustScenario(name)
+		serial, err := workload.Sweep(sc.Spec, seeds, sc.Eval)
+		if err != nil {
+			t.Fatalf("%s: serial sweep: %v", name, err)
+		}
+		want := outcomesJSON(t, serial)
+
+		// Interleaved subsets: evens and odds, swept independently.
+		var evens, odds []int64
+		for i, s := range seeds {
+			if i%2 == 0 {
+				evens = append(evens, s)
+			} else {
+				odds = append(odds, s)
+			}
+		}
+		runner := workload.Runner{Workers: 3}
+		a, err := runner.Sweep(sc.Spec, evens, sc.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runner.Sweep(sc.Spec, odds, sc.Eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sources := range [][][]workload.RunOutcome{
+			{a.Outcomes, b.Outcomes},
+			{b.Outcomes, a.Outcomes},
+			{b.Outcomes, a.Outcomes, b.Outcomes}, // overlapping sources are fine
+		} {
+			merged, err := workload.MergeOutcomes(seeds, sources...)
+			if err != nil {
+				t.Fatalf("%s: merge: %v", name, err)
+			}
+			got := outcomesJSON(t, workload.SweepResult{Spec: sc.Spec, Outcomes: merged})
+			if got != want {
+				t.Errorf("%s: merged subset sweeps differ from the full serial sweep", name)
+			}
+		}
+
+		if _, err := workload.MergeOutcomes(seeds, a.Outcomes); err == nil {
+			t.Errorf("%s: merge with missing seeds did not fail", name)
+		}
+	}
+}
+
+// TestRunAllMatchesSweepAll pins that the run-retaining path scores exactly
+// like the outcome-only path, and that a nil evaluator simulates without
+// scoring.
+func TestRunAllMatchesSweepAll(t *testing.T) {
+	sc := registry.MustScenario("adv-targeted-final-fd")
+	seeds := workload.Seeds(99, 6)
+	tasks := []workload.Task{{Spec: sc.Spec, Seeds: seeds, Eval: sc.Eval}}
+	runner := workload.Runner{Workers: 4}
+	swept, err := runner.SweepAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := runner.RunAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make([]workload.RunOutcome, len(ran[0]))
+	for i, sr := range ran[0] {
+		if sr.Run == nil {
+			t.Fatalf("seed %d: no run retained", seeds[i])
+		}
+		outcomes[i] = sr.Outcome
+	}
+	if got, want := outcomesJSON(t, workload.SweepResult{Outcomes: outcomes}), outcomesJSON(t, swept[0]); got != want {
+		t.Fatalf("RunAll outcomes differ from SweepAll outcomes")
+	}
+
+	unscored, err := runner.RunAll([]workload.Task{{Spec: sc.Spec, Seeds: seeds[:2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range unscored[0] {
+		if sr.Outcome.Violations != nil || sr.Outcome.LatencyActions != 0 {
+			t.Fatalf("unscored seed %d carries outcome fields: %+v", seeds[i], sr.Outcome)
+		}
+		if runDigest(t, sr.Run) != runDigest(t, ran[0][i].Run) {
+			t.Fatalf("unscored run %d differs from scored run of the same seed", i)
+		}
+	}
+}
+
+// TestExtractFromRunsMatchesExtract locks the extraction reuse contract: the
+// pipeline over an externally materialised sample equals the end-to-end
+// pipeline byte for byte.
+func TestExtractFromRunsMatchesExtract(t *testing.T) {
+	sc := registry.MustExtraction("kx-perfect")
+	ext := sc.Extraction
+	ext.Runs = 8
+	runner := workload.Runner{Workers: 4}
+	direct, err := runner.Extract(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ran, err := runner.RunAll([]workload.Task{{Spec: ext.Source, Seeds: workload.Seeds(ext.BaseSeed, ext.Runs)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := make(model.System, len(ran[0]))
+	for i, sr := range ran[0] {
+		sampled[i] = sr.Run
+	}
+	reused, err := runner.ExtractFromRuns(ext, sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dj, _ := json.Marshal(direct.Verdicts)
+	rj, _ := json.Marshal(reused.Verdicts)
+	if string(dj) != string(rj) {
+		t.Fatalf("verdicts differ between Extract and ExtractFromRuns")
+	}
+	if direct.Kept != reused.Kept || direct.Excluded != reused.Excluded || direct.Stats != reused.Stats {
+		t.Fatalf("pipeline aggregates differ: %+v vs %+v", direct, reused)
+	}
+	for i := range direct.Simulated {
+		if runDigest(t, direct.Simulated[i]) != runDigest(t, reused.Simulated[i]) {
+			t.Fatalf("transformed run %d differs", i)
+		}
+	}
+
+	if _, err := runner.ExtractFromRuns(ext, sampled[:3]); err == nil {
+		t.Fatalf("short sample did not fail")
+	}
+}
+
 // TestRecordedRunsIdenticalAcrossEnginesAndSchedules hashes every recorded
 // event log: a fresh engine per run, one serially reused engine, and a pool of
 // racing workers (each with its own engine, pulling jobs in whatever order the

@@ -115,8 +115,7 @@ func (r Runner) Extract(e Extraction) (*ExtractionResult, error) {
 	if e.Runs <= 0 {
 		return nil, fmt.Errorf("extraction %q: Runs must be positive", e.Name)
 	}
-	eval, err := e.evaluator()
-	if err != nil {
+	if _, err := e.evaluator(); err != nil {
 		return nil, err
 	}
 
@@ -138,6 +137,27 @@ func (r Runner) Extract(e Extraction) (*ExtractionResult, error) {
 			return nil, err
 		}
 	}
+	return r.ExtractFromRuns(e, sampled)
+}
+
+// ExtractFromRuns runs the pipeline's post-simulate stages — UDC filter,
+// epistemic index, run transform, property check — over an
+// already-materialised sample: one run per Seeds(e.BaseSeed, e.Runs) entry,
+// in seed order.  The serving layer uses it to reuse per-seed corpus records
+// for the simulate stage; because a decoded record is byte-identical to a
+// fresh simulation, the pipeline's result is byte-identical to Extract's.
+func (r Runner) ExtractFromRuns(e Extraction, sampled model.System) (*ExtractionResult, error) {
+	if e.Runs <= 0 {
+		return nil, fmt.Errorf("extraction %q: Runs must be positive", e.Name)
+	}
+	if len(sampled) != e.Runs {
+		return nil, fmt.Errorf("extraction %q: %d sampled runs for %d requested", e.Name, len(sampled), e.Runs)
+	}
+	eval, err := e.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	seeds := Seeds(e.BaseSeed, e.Runs)
 
 	// Filter: the theorems assume a system that attains UDC, so runs that
 	// violate it are excluded (and reported) rather than indexed.  The checks

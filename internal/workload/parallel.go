@@ -1,15 +1,26 @@
 package workload
 
 import (
+	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
 // Task pairs a scenario with the seeds to sweep and the evaluator to apply.
+// A nil Eval means simulate-only: the runs are wanted (an extraction source,
+// a corpus fill) but no property is scored.
 type Task struct {
 	Spec  Spec
 	Seeds []int64
 	Eval  Evaluator
+}
+
+// SeedRun is the seed-granular result of a task: the scored outcome (zero
+// violations/latency fields when the task had no evaluator) plus the recorded
+// run itself.  It is the unit the run corpus persists.
+type SeedRun struct {
+	Outcome RunOutcome
+	Run     *model.Run
 }
 
 // Runner sweeps scenarios over a pool of worker goroutines, each owning one
@@ -88,4 +99,52 @@ func (r Runner) SweepAll(tasks []Task) ([]SweepResult, error) {
 		results[ti] = SweepResult{Spec: t.Spec, Outcomes: outcomes[ti]}
 	}
 	return results, nil
+}
+
+// RunAll is SweepAll with the recorded runs retained: every task's (spec,
+// seed) pairs distribute over one worker pool, each seed's SeedRun lands in
+// its slot, and tasks with a nil evaluator are simulated but not scored.  It
+// is the serving layer's workhorse — the retained runs become per-seed corpus
+// records — and its outcomes are byte-identical to SweepAll's (both funnel
+// through ScoreRun).
+func (r Runner) RunAll(tasks []Task) ([][]SeedRun, error) {
+	type job struct{ task, seed int }
+	var jobs []job
+	for ti, t := range tasks {
+		for si := range t.Seeds {
+			jobs = append(jobs, job{task: ti, seed: si})
+		}
+	}
+
+	runs := make([][]SeedRun, len(tasks))
+	errs := make([][]error, len(tasks))
+	for ti, t := range tasks {
+		runs[ti] = make([]SeedRun, len(t.Seeds))
+		errs[ti] = make([]error, len(t.Seeds))
+	}
+
+	r.eachWithEngine(len(jobs), func(eng *sim.Engine, i int) {
+		j := jobs[i]
+		t := tasks[j.task]
+		seed := t.Seeds[j.seed]
+		res, err := ExecuteWith(eng, t.Spec, seed)
+		if err != nil {
+			errs[j.task][j.seed] = err
+			return
+		}
+		sr := SeedRun{Run: res.Run}
+		if t.Eval != nil {
+			sr.Outcome = ScoreRun(res, seed, t.Eval)
+		} else {
+			sr.Outcome = RunOutcome{Seed: seed, Stats: res.Stats}
+		}
+		runs[j.task][j.seed] = sr
+	})
+
+	for _, j := range jobs {
+		if err := errs[j.task][j.seed]; err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
 }

@@ -1,49 +1,77 @@
 #!/bin/sh
 # daemon_smoke.sh — end-to-end smoke of the udcd serving layer.
 #
-# Boots the daemon on a random port with a throwaway store, waits for the
-# announced URL, checks /healthz, issues the same sweep twice, and asserts
-# the second response is a cache hit with a byte-identical body.  Run by
-# `make daemon-smoke` and by CI.
+# Boots the daemon on a random port with a throwaway store and drives the
+# seed-granular corpus end to end: a cold seeds=8 sweep, a grown seeds=16
+# sweep that must be a partial hit computing exactly 8 new seeds, a repeat
+# that must be a byte-identical full hit, and a second cold daemon whose
+# from-scratch seeds=16 body must equal the assembled one byte for byte.
+# Run by `make daemon-smoke` and by CI.
 set -eu
 
 GO="${GO:-go}"
 workdir="$(mktemp -d)"
 logfile="$workdir/udcd.log"
 pid=""
+pid2=""
 
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
 
 $GO build -o "$workdir/udcd" ./cmd/udcd
-"$workdir/udcd" -addr 127.0.0.1:0 -store "$workdir/store" >"$logfile" 2>&1 &
-pid=$!
 
-# Wait for the startup line announcing the resolved URL.
-base=""
-for _ in $(seq 1 100); do
-    base="$(sed -n 's#^udcd listening on \(http://[0-9.:]*\).*#\1#p' "$logfile")"
-    [ -n "$base" ] && break
-    kill -0 "$pid" 2>/dev/null || { echo "udcd exited early:"; cat "$logfile"; exit 1; }
-    sleep 0.1
-done
-[ -n "$base" ] || { echo "udcd never announced its address:"; cat "$logfile"; exit 1; }
+# boot_daemon logfile storedir — sets $bootpid and the announced $base URL.
+boot_daemon() {
+    "$workdir/udcd" -addr 127.0.0.1:0 -store "$2" >"$1" 2>&1 &
+    bootpid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base="$(sed -n 's#^udcd listening on \(http://[0-9.:]*\).*#\1#p' "$1")"
+        [ -n "$base" ] && break
+        kill -0 "$bootpid" 2>/dev/null || { echo "udcd exited early:"; cat "$1"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$base" ] || { echo "udcd never announced its address:"; cat "$1"; exit 1; }
+}
+
+boot_daemon "$logfile" "$workdir/store"
+pid=$bootpid
 echo "daemon up at $base"
 
 curl -sf "$base/healthz" >/dev/null
 
-req="$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
-curl -sf -D "$workdir/h1" -o "$workdir/b1" "$req"
-curl -sf -D "$workdir/h2" -o "$workdir/b2" "$req"
+# Cold prime: 8 seeds.
+curl -sf -D "$workdir/h8" -o "$workdir/b8" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=8"
+grep -qi '^x-cache: miss' "$workdir/h8" || { echo "cold seeds=8 was not a miss:"; cat "$workdir/h8"; exit 1; }
+curl -sf "$base/v1/stats" | grep -q '"seedsComputed":8,' || { echo "stats after cold seeds=8 disagree:"; curl -sf "$base/v1/stats"; exit 1; }
 
-grep -qi '^x-cache: miss' "$workdir/h1" || { echo "first response was not a cache miss:"; cat "$workdir/h1"; exit 1; }
-grep -qi '^x-cache: hit' "$workdir/h2" || { echo "second response was not a cache hit:"; cat "$workdir/h2"; exit 1; }
-cmp "$workdir/b1" "$workdir/b2" || { echo "cache hit body differs from computed body"; exit 1; }
+# Grown window: 16 seeds over the same base must be a partial hit that
+# computes exactly the 8 new seeds (16 total across both requests).
+curl -sf -D "$workdir/h16" -o "$workdir/b16" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
+grep -qi '^x-cache: partial' "$workdir/h16" || { echo "grown seeds=16 was not a partial hit:"; cat "$workdir/h16"; exit 1; }
+curl -sf "$base/v1/stats" | grep -q '"seedsComputed":16,' || { echo "grown sweep did not compute exactly 8 new seeds:"; curl -sf "$base/v1/stats"; exit 1; }
+curl -sf "$base/v1/stats" | grep -q '"seedsCached":8,' || { echo "grown sweep did not reuse the 8 primed seeds:"; curl -sf "$base/v1/stats"; exit 1; }
 
-# The daemon's own counters agree: one computation, one hit.
-curl -sf "$base/v1/stats" | grep -q '"computed":1' || { echo "stats disagree:"; curl -sf "$base/v1/stats"; exit 1; }
+# The identical window again: a byte-identical full hit.
+curl -sf -D "$workdir/h16b" -o "$workdir/b16b" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
+grep -qi '^x-cache: hit' "$workdir/h16b" || { echo "repeated seeds=16 was not a hit:"; cat "$workdir/h16b"; exit 1; }
+cmp "$workdir/b16" "$workdir/b16b" || { echo "cache hit body differs from assembled body"; exit 1; }
 
-echo "daemon smoke OK: second sweep served from cache, byte-identical"
+# The daemon's own counter summary agrees (udcd -stats against the live daemon).
+"$workdir/udcd" -stats -addr "${base#http://}" | grep -q 'partialHits=1' || { echo "-stats does not report the partial hit"; exit 1; }
+
+# A cold daemon over a fresh store must compute the same 16-seed body byte
+# for byte — the assembled partial-hit response is indistinguishable from a
+# from-scratch computation.
+boot_daemon "$workdir/udcd2.log" "$workdir/store2"
+pid2=$bootpid
+echo "cold reference daemon up at $base"
+curl -sf -D "$workdir/h16c" -o "$workdir/b16c" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
+grep -qi '^x-cache: miss' "$workdir/h16c" || { echo "reference seeds=16 was not a miss:"; cat "$workdir/h16c"; exit 1; }
+cmp "$workdir/b16" "$workdir/b16c" || { echo "partial-hit body differs from a cold daemon's computation"; exit 1; }
+
+echo "daemon smoke OK: partial-hit assembly byte-identical to cold computation, 8 seeds reused"

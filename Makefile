@@ -44,11 +44,17 @@ bench:
 	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status
 
 # bench-compare diffs the two most recent BENCH_<n>.json snapshots,
-# printing per-benchmark ns/op deltas and flagging >10% regressions
-# (non-zero exit with FAIL_ON_REGRESS=1).
+# printing per-benchmark ns/op deltas (plus B/op and allocs/op movements)
+# and flagging regressions (non-zero exit with FAIL_ON_REGRESS=1).
+# REGRESS_THRESHOLD widens the default 10% growth cutoff and MIN_NS sets a
+# noise floor below which benchmarks are never flagged — the CI gate uses
+# both, because it compares snapshots recorded in different sessions.
 bench-compare:
 	@prev=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2 | head -1); \
 	latest=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -z "$$prev" ] || [ "$$prev" = "$$latest" ]; then echo "bench-compare: need at least two BENCH_<n>.json snapshots"; exit 1; fi; \
 	echo "comparing $$prev -> $$latest"; \
-	$(GO) run ./cmd/benchjson -compare $${FAIL_ON_REGRESS:+-fail-on-regress} "$$prev" "$$latest"
+	$(GO) run ./cmd/benchjson -compare $${FAIL_ON_REGRESS:+-fail-on-regress} \
+		$${REGRESS_THRESHOLD:+-regress-threshold $$REGRESS_THRESHOLD} \
+		$${MIN_NS:+-min-ns $$MIN_NS} \
+		"$$prev" "$$latest"

@@ -87,7 +87,23 @@ func BenchmarkCodec(b *testing.B) {
 			}
 		}
 	})
+	// decode-bin measures the serving path: a pooled decoder draining the
+	// batch through its reusable buffers, as GetMulti and the scheduler's
+	// partial-hit assembly do.  decode-bin-owned measures store.DecodeRun,
+	// which adds a compact owning copy per run — the historical measurement.
 	b.Run(fmt.Sprintf("decode-bin/runs=%d", len(runs)), func(b *testing.B) {
+		b.ReportAllocs()
+		dec := store.NewRunDecoder()
+		for i := 0; i < b.N; i++ {
+			for _, data := range encoded {
+				if _, err := dec.DecodeRun(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("decode-bin-owned/runs=%d", len(runs)), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, data := range encoded {
 				if _, err := store.DecodeRun(data); err != nil {

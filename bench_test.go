@@ -143,6 +143,7 @@ func BenchmarkAdversarySweep(b *testing.B) {
 	for _, name := range names {
 		sc := registry.MustScenario(name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			seeds := make([]int64, b.N)
 			for i := range seeds {
 				seeds[i] = int64(i) + 1
@@ -256,6 +257,32 @@ func BenchmarkExtraction(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sys := epistemic.NewSystem(runs)
 			if sys.Size() != len(runs) {
+				b.Fatalf("index dropped runs")
+			}
+		}
+	})
+
+	// The incremental-index pair: rebuilding the doubled window from scratch
+	// versus feeding only the delta to System.Add — the server's
+	// extraction-source reuse path when a cached window grows.
+	grown := buildSystem(b, perfect.Source, 2*perfect.Runs, perfect.BaseSeed).Runs()
+	b.Run("index-rebuild/n=7/runs=128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := epistemic.NewSystem(grown)
+			if sys.Size() != len(grown) {
+				b.Fatalf("index dropped runs")
+			}
+		}
+	})
+	b.Run("index-extend/n=7/runs=64to128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys := epistemic.NewSystem(grown[:perfect.Runs])
+			b.StartTimer()
+			sys.Add(grown[perfect.Runs:])
+			if sys.Size() != len(grown) {
 				b.Fatalf("index dropped runs")
 			}
 		}

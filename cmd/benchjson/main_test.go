@@ -112,7 +112,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	})
 
 	var buf strings.Builder
-	regressions, err := compare(&buf, oldPath, newPath)
+	regressions, err := compare(&buf, oldPath, newPath, regressThreshold, 0)
 	if err != nil {
 		t.Fatalf("compare: %v", err)
 	}
@@ -130,9 +130,82 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// writeMetricsSnapshot writes a snapshot with full metric maps per benchmark.
+func writeMetricsSnapshot(t *testing.T, path string, metrics map[string]map[string]float64) {
+	t.Helper()
+	snap := Snapshot{RecordedAt: "2026-01-01T00:00:00Z"}
+	for name, m := range metrics {
+		snap.Benchmarks = append(snap.Benchmarks, Benchmark{Name: name, Iterations: 1, Metrics: m})
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReportsAllocationDeltas(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeMetricsSnapshot(t, oldPath, map[string]map[string]float64{
+		"BenchmarkPooled-8": {"ns/op": 1000, "B/op": 4096, "allocs/op": 200},
+		"BenchmarkTimed-8":  {"ns/op": 500},
+	})
+	writeMetricsSnapshot(t, newPath, map[string]map[string]float64{
+		"BenchmarkPooled-8": {"ns/op": 900, "B/op": 1024, "allocs/op": 2},
+		"BenchmarkTimed-8":  {"ns/op": 480, "B/op": 64, "allocs/op": 1},
+	})
+
+	var buf strings.Builder
+	if _, err := compare(&buf, oldPath, newPath, regressThreshold, 0); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"B/op 4096→1024 (-75.0%)",
+		"allocs/op 200→2 (-99.0%)",
+		// A benchmark that only just started reporting allocations shows the
+		// bare new values instead of a delta.
+		"B/op 64",
+		"allocs/op 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareThresholdAndNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnapshot(t, oldPath, map[string]float64{
+		"BenchmarkMicro-8": 5000,    // 5µs: below the floor, grows 60%
+		"BenchmarkDrift-8": 2000000, // grows 20%: within a widened threshold
+		"BenchmarkSlow-8":  2000000, // grows 40%: regressed even when widened
+	})
+	writeSnapshot(t, newPath, map[string]float64{
+		"BenchmarkMicro-8": 8000,
+		"BenchmarkDrift-8": 2400000,
+		"BenchmarkSlow-8":  2800000,
+	})
+
+	var buf strings.Builder
+	regressions, err := compare(&buf, oldPath, newPath, 0.25, 1e6)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if len(regressions) != 1 || regressions[0] != "BenchmarkSlow-8" {
+		t.Fatalf("regressions = %v, want exactly BenchmarkSlow-8 (micro under floor, drift under threshold)", regressions)
+	}
+}
+
 func TestCompareRejectsMissingFiles(t *testing.T) {
 	var buf strings.Builder
-	if _, err := compare(&buf, filepath.Join(t.TempDir(), "nope.json"), filepath.Join(t.TempDir(), "also-nope.json")); err == nil {
+	if _, err := compare(&buf, filepath.Join(t.TempDir(), "nope.json"), filepath.Join(t.TempDir(), "also-nope.json"), regressThreshold, 0); err == nil {
 		t.Errorf("missing snapshot files should fail")
 	}
 }

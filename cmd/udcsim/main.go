@@ -117,7 +117,7 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.jsonPath, "json", "", "write the recorded run as JSON to this file (shorthand for -o with -format json)")
 	fs.StringVar(&o.outPath, "o", "", "write the recorded run to this file in -format")
 	fs.StringVar(&o.format, "format", store.FormatAuto, "run file format for -o and -decode: bin | json | auto (bin on encode, sniffed on decode)")
-	fs.StringVar(&o.decodePath, "decode", "", "decode a recorded run file and print its summary instead of simulating (with -check, also re-check it)")
+	fs.StringVar(&o.decodePath, "decode", "", "decode a recorded run file and print its summary instead of simulating (with -check, also re-check it; with -o/-json, re-export it, converting formats)")
 	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep; the summary line reports the daemon's X-Cache verdict: hit, partial or miss)")
 	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
@@ -244,11 +244,28 @@ func run(args []string) error {
 
 // runDecode loads a recorded run file (binary container or trace JSON) and
 // prints the same trace-level summary a fresh simulation would, optionally
-// re-checking a specification on it.
+// re-checking a specification on it and re-exporting it with -o/-json.  The
+// read goes through a Transcoder, so inspecting or converting a run never
+// materialises a second copy of its events.
 func runDecode(o options) error {
-	run, err := store.ReadRunFile(o.decodePath, o.format)
+	run, err := store.NewTranscoder().ReadRunFile(o.decodePath, o.format)
 	if err != nil {
 		return err
+	}
+	if o.jsonPath != "" {
+		if err := store.WriteRunFile(o.jsonPath, store.FormatJSON, run); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s\n", o.jsonPath)
+	}
+	if o.outPath != "" {
+		if o.outPath == o.decodePath {
+			return fmt.Errorf("-o %s would overwrite the file being decoded", o.outPath)
+		}
+		if err := store.WriteRunFile(o.outPath, o.format, run); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s (format %s)\n", o.outPath, o.format)
 	}
 	if !o.quiet {
 		fmt.Printf("decoded %s: ", o.decodePath)

@@ -35,18 +35,36 @@ type interval struct {
 
 // localClass groups all points of the system at which a given process has the
 // same local history, together with the crash knowledge precomputed over them.
+// Most classes own exactly one interval and one distinct crash set, so the
+// first of each lives inline and the overflow slices allocate only for
+// histories shared across runs — the index builds tens of thousands of
+// classes per process, and two slice allocations per class dominated its
+// allocation profile.
 type localClass struct {
-	intervals []interval
+	// iv0 is the first interval, ivRest any further ones; nivs counts them.
+	iv0    interval
+	ivRest []interval
+	nivs   int32
+	// ncs counts the distinct crashedByStart values over the intervals: cs0
+	// and csRest mirror the iv0/ivRest split.  MaxKnownCrashedIn minimises
+	// over these instead of over every interval; systems have few distinct
+	// crash sets even when classes have many intervals.
+	ncs    int32
+	cs0    model.ProcSet
+	csRest []model.ProcSet
 	// knownCrashed is the intersection of crashedByStart over the class's
 	// intervals: exactly {q : K_p crash(q)} at every point of the class.
 	knownCrashed model.ProcSet
-	// crashSets holds the distinct crashedByStart values over the intervals.
-	// MaxKnownCrashedIn minimises over these instead of over every interval;
-	// systems have few distinct crash sets even when classes have many
-	// intervals.
-	crashSets []model.ProcSet
 	// key is the identity under which the class was interned; KeyAt renders it.
 	key classKey
+}
+
+// intervalAt returns the i'th interval of the class, 0 <= i < nivs.
+func (cls *localClass) intervalAt(i int32) *interval {
+	if i == 0 {
+		return &cls.iv0
+	}
+	return &cls.ivRest[i-1]
 }
 
 // classKey is the interning identity of a local history: a 64-bit FNV-1a hash
@@ -63,7 +81,9 @@ type classKey struct {
 }
 
 // System is a finite set of runs equipped with the indexes needed to answer
-// knowledge queries.
+// knowledge queries.  A System grows incrementally: Add extends the index in
+// time proportional to the events of the new runs alone, so a server whose
+// cached extraction window grows feeds it only the delta.
 type System struct {
 	runs model.System
 	n    int
@@ -72,6 +92,10 @@ type System struct {
 	// seqs[p][runIdx] is the step function time -> ClassID for process p in
 	// each run, used to locate a point's class by binary search.
 	seqs [][]boundarySeq
+	// interns[p] maps local-history keys to p's ClassIDs.  It is retained
+	// between Add calls, so extending the system interns new histories
+	// against everything already indexed.
+	interns []map[classKey]ClassID
 }
 
 // boundarySeq is the step function time -> ClassID for one process in one run.
@@ -99,33 +123,47 @@ func (b boundarySeq) classAt(m int) ClassID {
 }
 
 // NewSystem indexes the given runs.  All runs must have the same number of
-// processes.
+// processes.  NewSystem(append(a, b...)) and NewSystem(a) followed by Add(b)
+// build identical indexes, class for class.
 func NewSystem(runs model.System) *System {
+	sys := &System{}
+	sys.Add(runs)
+	return sys
+}
+
+// Add extends the system with additional runs in time proportional to the
+// new runs' events: existing classes, intervals and boundary sequences are
+// untouched except where a new history extends them, and no part of the
+// already-indexed runs is revisited.  All runs must have the system's number
+// of processes.  ClassIDs held by callers remain valid; class crash
+// knowledge (KnownCrashed, MaxKnownCrashedIn) is maintained online as the
+// new intervals register.
+func (sys *System) Add(runs model.System) {
 	if len(runs) == 0 {
-		return &System{}
+		return
 	}
-	n := runs[0].N
-	sys := &System{
-		runs:    runs,
-		n:       n,
-		classes: make([][]localClass, n),
-		seqs:    make([][]boundarySeq, n),
-	}
-	interns := make([]map[classKey]ClassID, n)
-	for p := 0; p < n; p++ {
-		interns[p] = make(map[classKey]ClassID)
-		sys.seqs[p] = make([]boundarySeq, len(runs))
-	}
-	for ri, r := range runs {
-		crashes := crashSchedule(r)
-		for p := model.ProcID(0); int(p) < n; p++ {
-			sys.indexProcess(ri, r, p, interns[p], crashes)
+	if sys.n == 0 {
+		n := runs[0].N
+		sys.n = n
+		sys.classes = make([][]localClass, n)
+		sys.seqs = make([][]boundarySeq, n)
+		sys.interns = make([]map[classKey]ClassID, n)
+		for p := 0; p < n; p++ {
+			sys.interns[p] = make(map[classKey]ClassID)
 		}
 	}
-	for p := 0; p < n; p++ {
-		finalizeClasses(sys.classes[p])
+	base := len(sys.runs)
+	sys.runs = append(sys.runs, runs...)
+	for p := 0; p < sys.n; p++ {
+		sys.seqs[p] = append(sys.seqs[p], make([]boundarySeq, len(runs))...)
 	}
-	return sys
+	for k, r := range runs {
+		ri := base + k
+		crashes := crashSchedule(r)
+		for p := model.ProcID(0); int(p) < sys.n; p++ {
+			sys.indexProcess(ri, r, p, sys.interns[p], crashes)
+		}
+	}
 }
 
 // indexProcess builds the boundary sequence and local classes for one process
@@ -135,6 +173,17 @@ func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map
 	hash := model.IdentityHashSeed
 	var lastHash uint64
 	count := int32(0)
+
+	// One boundary per distinct positive event time, plus the initial class:
+	// counting them first sizes the sequence exactly, so the walk below never
+	// regrows it.
+	boundaries, prev := 1, 0
+	for i := range evs {
+		if t := evs[i].Time; t != prev {
+			boundaries++
+			prev = t
+		}
+	}
 
 	// Events at time 0 are part of the initial observable state, so fold them
 	// before interning the class in force at time 0 (interning earlier would
@@ -147,8 +196,8 @@ func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map
 		i++
 	}
 	seq := boundarySeq{
-		starts:  []int32{0},
-		classes: []ClassID{sys.internClass(p, intern, classKey{hash: hash, length: count, lastHash: lastHash})},
+		starts:  append(make([]int32, 0, boundaries), 0),
+		classes: append(make([]ClassID, 0, boundaries), sys.internClass(p, intern, classKey{hash: hash, length: count, lastHash: lastHash})),
 	}
 
 	for i < len(evs) {
@@ -176,8 +225,38 @@ func (sys *System) indexProcess(ri int, r *model.Run, p model.ProcID, intern map
 		}
 		iv := interval{run: int32(ri), start: start, end: end, crashedByStart: crashedAt(crashes, int(start))}
 		cls := &sys.classes[p][seq.classes[j]]
-		cls.intervals = append(cls.intervals, iv)
+		cls.register(iv)
 	}
+}
+
+// register appends an interval to the class and maintains its crash
+// knowledge online: the distinct crashedByStart values and their
+// intersection, so classes are always query-ready and extending the system
+// never revisits old intervals.
+func (cls *localClass) register(iv interval) {
+	if cls.nivs == 0 {
+		cls.iv0 = iv
+	} else {
+		cls.ivRest = append(cls.ivRest, iv)
+	}
+	cls.nivs++
+	if cls.ncs == 0 {
+		cls.cs0 = iv.crashedByStart
+		cls.knownCrashed = iv.crashedByStart
+		cls.ncs = 1
+		return
+	}
+	if cls.cs0 == iv.crashedByStart {
+		return
+	}
+	for _, s := range cls.csRest {
+		if s == iv.crashedByStart {
+			return
+		}
+	}
+	cls.knownCrashed = cls.knownCrashed.Intersect(iv.crashedByStart)
+	cls.csRest = append(cls.csRest, iv.crashedByStart)
+	cls.ncs++
 }
 
 // internClass returns the ClassID for the key, allocating a fresh class in p's
@@ -190,32 +269,6 @@ func (sys *System) internClass(p model.ProcID, intern map[classKey]ClassID, key 
 	intern[key] = id
 	sys.classes[p] = append(sys.classes[p], localClass{key: key})
 	return id
-}
-
-// finalizeClasses precomputes each class's crash knowledge: the distinct
-// crashedByStart values over its intervals and their intersection.
-func finalizeClasses(classes []localClass) {
-	for ci := range classes {
-		cls := &classes[ci]
-		known := ^model.ProcSet(0)
-		for _, iv := range cls.intervals {
-			seen := false
-			for _, s := range cls.crashSets {
-				if s == iv.crashedByStart {
-					seen = true
-					break
-				}
-			}
-			if !seen {
-				cls.crashSets = append(cls.crashSets, iv.crashedByStart)
-				known = known.Intersect(iv.crashedByStart)
-			}
-		}
-		if len(cls.crashSets) == 0 {
-			known = model.EmptySet()
-		}
-		cls.knownCrashed = known
-	}
 }
 
 // crashStep is one entry of a run's cumulative crash schedule.
@@ -330,7 +383,7 @@ func (sys *System) Stats() Stats {
 	for p := 0; p < sys.n; p++ {
 		st.Classes += len(sys.classes[p])
 		for ci := range sys.classes[p] {
-			st.Intervals += len(sys.classes[p][ci].intervals)
+			st.Intervals += int(sys.classes[p][ci].nivs)
 		}
 	}
 	return st
@@ -341,7 +394,8 @@ func (sys *System) Stats() Stats {
 // if fn returns false.
 func (sys *System) forEachIndistinguishable(p model.ProcID, pt Point, fn func(Point) bool) {
 	cls := &sys.classes[p][sys.ClassAt(p, pt)]
-	for _, iv := range cls.intervals {
+	for i := int32(0); i < cls.nivs; i++ {
+		iv := cls.intervalAt(i)
 		for m := int(iv.start); m <= int(iv.end); m++ {
 			if !fn(Point{Run: int(iv.run), Time: m}) {
 				return
@@ -435,18 +489,17 @@ func (sys *System) MaxKnownCrashedIn(p model.ProcID, pt Point, s model.ProcSet) 
 // interval, and performs no allocation.
 func (sys *System) MaxKnownCrashedInClass(p model.ProcID, c ClassID, s model.ProcSet) int {
 	cls := &sys.classes[p][c]
-	best := -1
-	for _, crashed := range cls.crashSets {
-		k := crashed.Intersect(s).Count()
-		if best < 0 || k < best {
-			best = k
-		}
+	if cls.ncs == 0 {
+		return 0
+	}
+	best := cls.cs0.Intersect(s).Count()
+	for _, crashed := range cls.csRest {
 		if best == 0 {
 			break
 		}
-	}
-	if best < 0 {
-		return 0
+		if k := crashed.Intersect(s).Count(); k < best {
+			best = k
+		}
 	}
 	return best
 }
@@ -460,7 +513,8 @@ func (sys *System) IsLocal(p model.ProcID, f Formula) bool {
 		first := true
 		var val bool
 		ok := true
-		for _, iv := range cls.intervals {
+		for i := int32(0); i < cls.nivs; i++ {
+			iv := cls.intervalAt(i)
 			for m := int(iv.start); m <= int(iv.end); m++ {
 				v := f.Eval(sys, Point{Run: int(iv.run), Time: m})
 				if first {

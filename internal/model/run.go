@@ -135,13 +135,13 @@ func (r *Run) Correct() ProcSet {
 	return FullSet(r.N).Diff(r.Faulty())
 }
 
-// CrashTime returns the time of p's crash event, if any.
+// CrashTime returns the time of p's crash event, if any.  R4 (crash is
+// final) is enforced by Append and ValidateStructure, so only the last event
+// can be a crash.
 func (r *Run) CrashTime(p ProcID) (int, bool) {
 	evs := r.Events[p]
-	for i := len(evs) - 1; i >= 0; i-- {
-		if evs[i].Event.Kind == EventCrash {
-			return evs[i].Time, true
-		}
+	if n := len(evs); n > 0 && evs[n-1].Event.Kind == EventCrash {
+		return evs[n-1].Time, true
 	}
 	return 0, false
 }

@@ -70,6 +70,12 @@ type SchedulerStats struct {
 	// shared a worker-fleet pass.
 	Batches      uint64 `json:"batches"`
 	BatchedTasks uint64 `json:"batchedTasks"`
+	// IndexReuses counts extraction requests whose epistemic index was
+	// extended from a cached state instead of rebuilt, and IndexedRunsReused
+	// the already-indexed source runs those reuses skipped re-filtering and
+	// re-indexing.
+	IndexReuses       uint64 `json:"indexReuses"`
+	IndexedRunsReused uint64 `json:"indexedRunsReused"`
 }
 
 // httpError carries the HTTP status an error should surface as.  Errors
@@ -143,9 +149,15 @@ type seedCall struct {
 // materialised source runs (run on the same fleet after the round's
 // simulation pass).
 type fleetJob struct {
-	runs     *workload.Task
-	extract  *workload.Extraction
-	sampled  model.System
+	runs    *workload.Task
+	extract *workload.Extraction
+	// sampled holds the extraction's source runs not yet covered by exState:
+	// the full window for a fresh pipeline, only the tail seeds when a cached
+	// index prefix is being extended.
+	sampled model.System
+	// exState is the extraction's claimed index state; the tail feeds it the
+	// sampled delta via ExtendExtraction.  Always non-nil for extraction jobs.
+	exState  *workload.ExtractionState
 	done     chan struct{}
 	seedRuns []workload.SeedRun
 	exResult *workload.ExtractionResult
@@ -170,7 +182,14 @@ type scheduler struct {
 	mu         sync.Mutex
 	inflight   map[store.Key]*call
 	seedflight map[store.Key]*seedCall
-	stats      SchedulerStats
+	// exstates caches extraction index states by pipeline identity (name,
+	// adversary, base seed — not window size), so a request whose seed window
+	// extends a previously served one feeds only the delta to System.Add.
+	// States are claimed (removed) under mu for the duration of a tail and
+	// re-inserted afterwards, so ownership is exclusive even though the tail
+	// runs outside the lock.
+	exstates map[store.Key]*workload.ExtractionState
+	stats    SchedulerStats
 
 	fleetq chan *fleetJob
 	quit   chan struct{}
@@ -187,6 +206,7 @@ func newScheduler(st *store.Store, workers int, batchWindow time.Duration) *sche
 		batchWindow: batchWindow,
 		inflight:    make(map[store.Key]*call),
 		seedflight:  make(map[store.Key]*seedCall),
+		exstates:    make(map[store.Key]*workload.ExtractionState),
 		fleetq:      make(chan *fleetJob),
 		quit:        make(chan struct{}),
 	}
@@ -257,7 +277,7 @@ func (s *scheduler) dispatch() {
 			}
 		}
 		for _, job := range tails {
-			job.exResult, job.err = s.runner.ExtractFromRuns(*job.extract, job.sampled)
+			job.exResult, job.err = s.runner.ExtendExtraction(*job.extract, job.exState, job.sampled)
 			close(job.done)
 		}
 
@@ -267,6 +287,44 @@ func (s *scheduler) dispatch() {
 		s.stats.Computed += uint64(len(runJobs) + len(tails))
 		s.mu.Unlock()
 	}
+}
+
+// maxExtractionStates bounds the index-state cache; each state retains its
+// window's kept runs and epistemic index, so the cache trades bounded memory
+// for O(delta) window growth on the pipelines it holds.
+const maxExtractionStates = 16
+
+// claimExtractionState removes and returns the cached index state for the
+// pipeline identity, or a fresh empty state.  A claimed state is exclusively
+// owned until releaseExtractionState puts it back.
+func (s *scheduler) claimExtractionState(id store.Key) *workload.ExtractionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.exstates[id]; ok {
+		delete(s.exstates, id)
+		return st
+	}
+	return &workload.ExtractionState{}
+}
+
+// releaseExtractionState returns a claimed state to the cache.  A concurrent
+// claimant may have rebuilt a state for the same identity; the one covering
+// more seeds wins.  The cache is size-bounded; states that do not fit are
+// dropped (reuse is an optimisation, never a correctness requirement).
+func (s *scheduler) releaseExtractionState(id store.Key, st *workload.ExtractionState) {
+	if st == nil || st.Indexed == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.exstates[id]; ok {
+		if prev.Indexed >= st.Indexed {
+			return
+		}
+	} else if len(s.exstates) >= maxExtractionStates {
+		return
+	}
+	s.exstates[id] = st
 }
 
 // submit hands one job to the dispatcher and waits for its round.
@@ -313,7 +371,8 @@ func (s *scheduler) Stats() SchedulerStats {
 }
 
 // resolution is the outcome of resolving one seed window against the corpus:
-// outcomes and recorded runs in seed order, plus how each seed was obtained.
+// outcomes (and, when the caller asked for them, recorded runs) in seed
+// order, plus how each seed was obtained.
 type resolution struct {
 	outcomes []workload.RunOutcome
 	runs     model.System
@@ -341,8 +400,11 @@ func (r resolution) status() CacheStatus {
 // compute the same seed — are simulated in one dispatcher round and written
 // back as per-seed records.  qualifiedName namespaces the per-seed keys
 // ("scenario:"/"extraction:"); a nil eval simulates without scoring (and
-// accepts unscored cached records).
-func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64) (resolution, error) {
+// accepts unscored cached records).  Cached records decode through a pooled
+// decoder, and only when needRuns is set (extraction sources) are the decoded
+// runs copied out of its buffers into the resolution; sweeps consume
+// outcomes alone, so their partial-hit path materialises no run at all.
+func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool) (resolution, error) {
 	n := len(seeds)
 	keys := make([]store.Key, n)
 	for i, seed := range seeds {
@@ -350,16 +412,29 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 	}
 
 	var cachedOut, computedOut, joinedOut []workload.RunOutcome
-	runsBySeed := make(map[int64]*model.Run, n)
+	var runsBySeed map[int64]*model.Run
+	if needRuns {
+		runsBySeed = make(map[int64]*model.Run, n)
+	}
 	resolved := make([]bool, n)
 
-	adopt := func(rec *store.SeedRecord) bool {
+	dec := store.Decoders.Get()
+	defer store.Decoders.Put(dec)
+
+	// adopt folds a cached record into the resolution.  rec may be a
+	// transient view of dec's buffers: everything retained beyond the next
+	// decode — the run, when needed — is compacted into owned storage here.
+	adopt := func(rec *store.SeedRecord) *model.Run {
 		if eval != nil && !rec.Scored {
-			return false
+			return nil
 		}
 		cachedOut = append(cachedOut, rec.Outcome())
-		runsBySeed[rec.Seed] = rec.Run
-		return true
+		run := rec.Run
+		if needRuns {
+			run = run.CompactClone()
+			runsBySeed[rec.Seed] = run
+		}
+		return run
 	}
 
 	for i, payload := range s.store.GetMulti(keys) {
@@ -368,8 +443,8 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 		}
 		// A decode failure on a checksum-clean payload means an incompatible
 		// record (e.g. a different kind under a colliding key); recompute.
-		rec, err := store.DecodeSeedRecord(payload)
-		if err == nil && rec.Seed == seeds[i] && adopt(rec) {
+		rec, err := dec.DecodeSeedRecord(payload)
+		if err == nil && rec.Seed == seeds[i] && adopt(rec) != nil {
 			resolved[i] = true
 		}
 	}
@@ -404,7 +479,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 	for _, i := range owned {
 		var rec *store.SeedRecord
 		if payload, ok := s.store.Probe(keys[i]); ok {
-			if r, err := store.DecodeSeedRecord(payload); err == nil && r.Seed == seeds[i] && (eval == nil || r.Scored) {
+			if r, err := dec.DecodeSeedRecord(payload); err == nil && r.Seed == seeds[i] && (eval == nil || r.Scored) {
 				rec = r
 			}
 		}
@@ -412,10 +487,16 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			stillOwned = append(stillOwned, i)
 			continue
 		}
-		adopt(rec)
+		// Joiners on this key come from the same namespace, so they need the
+		// run exactly when this request does; the published run is adopt's
+		// owned copy, never the decoder's transient view.
+		run := adopt(rec)
 		resolved[i] = true
 		c := ownedCalls[i]
-		c.outcome, c.run = rec.Outcome(), rec.Run
+		c.outcome = rec.Outcome()
+		if needRuns {
+			c.run = run
+		}
 		s.mu.Lock()
 		delete(s.seedflight, keys[i])
 		s.mu.Unlock()
@@ -442,7 +523,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			for j, i := range owned {
 				sr := job.seedRuns[j]
 				computedOut = append(computedOut, sr.Outcome)
-				runsBySeed[sr.Outcome.Seed] = sr.Run
+				if needRuns {
+					runsBySeed[sr.Outcome.Seed] = sr.Run
+				}
 				putKeys[j] = keys[i]
 				putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(sr, eval != nil))
 			}
@@ -477,7 +560,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			continue
 		}
 		joinedOut = append(joinedOut, c.outcome)
-		runsBySeed[c.outcome.Seed] = c.run
+		if needRuns {
+			runsBySeed[c.outcome.Seed] = c.run
+		}
 	}
 	if computeErr != nil {
 		return resolution{}, computeErr
@@ -489,13 +574,15 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 	}
 	res := resolution{
 		outcomes: outcomes,
-		runs:     make(model.System, n),
 		cached:   len(cachedOut),
 		computed: len(computedOut),
 		joined:   len(joined),
 	}
-	for i, seed := range seeds {
-		res.runs[i] = runsBySeed[seed]
+	if needRuns {
+		res.runs = make(model.System, n)
+		for i, seed := range seeds {
+			res.runs[i] = runsBySeed[seed]
+		}
 	}
 
 	s.count(func(st *SchedulerStats) {
@@ -537,7 +624,7 @@ func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus,
 		return payload, CacheHit, nil
 	}
 
-	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds))
+	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false)
 	if err != nil {
 		s.finish(CacheMiss, err)
 		return nil, CacheMiss, err
@@ -617,21 +704,47 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheSta
 		c.payload, c.status = stored, CacheHit
 	} else {
 		c.status = CacheMiss
+		// The pipeline's index state is cached by identity (window size
+		// excluded): a window that extends a previously served one resolves
+		// only the uncovered tail seeds and feeds them to System.Add.  A
+		// window smaller than the cached prefix rebuilds from scratch —
+		// knowledge is relative to the whole system, so a smaller window
+		// needs its own index — and the larger state returns to the cache.
+		stateID := store.KeySpec{Kind: "exstate", Name: req.Extraction, Adversary: req.Adversary, SeedBase: ext.BaseSeed}.Key()
+		exState := s.claimExtractionState(stateID)
+		if exState.Indexed > ext.Runs {
+			s.releaseExtractionState(stateID, exState)
+			exState = &workload.ExtractionState{}
+		}
+		reused := exState.Indexed
+		seeds := workload.Seeds(ext.BaseSeed, ext.Runs)[reused:]
 		var res resolution
-		res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, workload.Seeds(ext.BaseSeed, ext.Runs))
+		if len(seeds) > 0 {
+			res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true)
+		}
 		if c.err == nil {
-			job := &fleetJob{extract: &ext, sampled: res.runs, done: make(chan struct{})}
-			if c.err = s.submit(job); c.err == nil {
+			job := &fleetJob{extract: &ext, sampled: res.runs, exState: exState, done: make(chan struct{})}
+			c.err = s.submit(job)
+			// The state stays coherent even when the tail errors, so it is
+			// always worth returning to the cache.
+			s.releaseExtractionState(stateID, exState)
+			if c.err == nil {
+				if reused > 0 {
+					s.count(func(st *SchedulerStats) { st.IndexReuses++; st.IndexedRunsReused += uint64(reused) })
+				}
 				c.payload = store.EncodeExtractionRecord(store.NewExtractionRecord(req.Adversary, sc.Stress, job.exResult))
 				// The pipeline tail always runs on a request-level miss, so
-				// cached source runs make the response partial, never a hit.
-				if res.cached > 0 {
+				// cached source runs or a reused index prefix make the
+				// response partial, never a hit.
+				if res.cached > 0 || reused > 0 {
 					c.status = CachePartial
 				}
 				if perr := s.store.Put(key, c.payload); perr != nil {
 					s.count(func(st *SchedulerStats) { st.PutErrors++ })
 				}
 			}
+		} else {
+			s.releaseExtractionState(stateID, exState)
 		}
 	}
 

@@ -331,11 +331,14 @@ func TestPartialHitSurvivesRestart(t *testing.T) {
 }
 
 // TestExtractPartialReusesSourceRuns pins extraction reuse: growing a
-// pipeline's sample re-simulates only the new source seeds, reuses the
-// recorded runs of the old ones, and still renders the exact bytes a direct
-// Runner.Extract of the grown sample would.
+// pipeline's sample extends the cached epistemic index with only the new
+// source seeds — the covered prefix is neither re-simulated nor even
+// re-decoded — and still renders the exact bytes a direct Runner.Extract of
+// the grown sample would.  A fresh daemon without the index state falls back
+// to assembling the source runs from the per-seed corpus records.
 func TestExtractPartialReusesSourceRuns(t *testing.T) {
-	srv, ts := newTestServer(t, t.TempDir())
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, dir)
 	get(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=6")
 	ss := srv.SchedulerStats()
 	if ss.SeedsComputed != 6 {
@@ -352,14 +355,34 @@ func TestExtractPartialReusesSourceRuns(t *testing.T) {
 		t.Fatalf("grown extraction body differs from direct Runner.Extract")
 	}
 	ss = srv.SchedulerStats()
-	if ss.SeedsComputed != 8 || ss.SeedsCached != 6 {
+	if ss.SeedsComputed != 8 || ss.SeedsCached != 0 {
 		t.Fatalf("grown extraction seed stats: %+v", ss)
+	}
+	if ss.IndexReuses != 1 || ss.IndexedRunsReused != 6 {
+		t.Fatalf("grown extraction should have extended the cached index over 6 runs: %+v", ss)
 	}
 
 	// The identical request again is a request-level hit.
 	_, header, _ = get(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=8")
 	if header.Get("X-Cache") != "hit" {
 		t.Fatalf("replayed extraction X-Cache = %q", header.Get("X-Cache"))
+	}
+
+	// A fresh daemon has no index state, so a further-grown window decodes
+	// the recorded source runs instead of re-simulating them.
+	regrown := server.ExtractRequest{Extraction: "kx-perfect", Runs: 10}
+	golden = goldenExtractBody(t, regrown)
+	srv2, ts2 := newTestServer(t, dir)
+	status, header, body = get(t, ts2.URL+"/v1/extract?extraction=kx-perfect&runs=10")
+	if status != http.StatusOK || header.Get("X-Cache") != "partial" {
+		t.Fatalf("restarted grown extraction: HTTP %d X-Cache %q", status, header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("restarted grown extraction body differs from direct Runner.Extract")
+	}
+	ss = srv2.SchedulerStats()
+	if ss.SeedsCached != 8 || ss.SeedsComputed != 2 || ss.IndexReuses != 0 {
+		t.Fatalf("restarted grown extraction seed stats: %+v", ss)
 	}
 }
 

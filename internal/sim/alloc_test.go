@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEngineRecordingAllocsConstantPerEvent pins the arena recording contract:
+// once a warmed engine's buffers have grown to the workload's high-water mark,
+// the number of allocations per run does not scale with the number of recorded
+// events — i.e. the inner loop performs zero allocations per event.  The test
+// compares per-run allocation counts between a short and an 8x-longer horizon
+// of the same scenario; any per-event allocation would separate them by
+// thousands of allocations.
+func TestEngineRecordingAllocsConstantPerEvent(t *testing.T) {
+	eng := sim.NewEngine()
+	cfgAt := func(steps int) sim.Config {
+		cfg := baseConfig()
+		cfg.MaxSteps = steps
+		return cfg
+	}
+	run := func(cfg sim.Config) int {
+		res, err := eng.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Run.EventCount()
+	}
+
+	// Warm every reusable buffer past the larger workload's size.
+	bigEvents := run(cfgAt(800))
+	smallEvents := run(cfgAt(100))
+	if bigEvents <= smallEvents {
+		t.Fatalf("horizon growth did not grow the event count (%d vs %d)", smallEvents, bigEvents)
+	}
+
+	allocsSmall := testing.AllocsPerRun(10, func() { run(cfgAt(100)) })
+	allocsBig := testing.AllocsPerRun(10, func() { run(cfgAt(800)) })
+	perEvent := (allocsBig - allocsSmall) / float64(bigEvents-smallEvents)
+	if perEvent > 0.01 {
+		t.Fatalf("engine inner loop allocates %.4f times per event (%.0f allocs for %d events vs %.0f for %d); want 0",
+			perEvent, allocsBig, bigEvents, allocsSmall, smallEvents)
+	}
+}

@@ -17,11 +17,14 @@ const EngineVersion = 1
 
 // Engine executes simulations.  One Engine can run many configurations in
 // sequence, reusing its internal buffers (network buckets, intern tables,
-// per-process harnesses and schedule slices) between runs; only the recorded
-// model.Run of each result is freshly allocated, so results remain valid after
-// the Engine moves on.  An Engine is not safe for concurrent use; parallel
-// sweeps give each worker its own Engine.  For the same Config, every Engine
-// produces an identical recorded run regardless of what it ran before.
+// per-process harnesses, schedule slices and the event arena) between runs;
+// only the recorded model.Run of each result is freshly allocated — regrouped
+// out of the arena in a constant number of allocations — so results remain
+// valid after the Engine moves on and the inner recording loop allocates
+// nothing once the arena has grown to the workload's high-water mark.  An
+// Engine is not safe for concurrent use; parallel sweeps give each worker its
+// own Engine.  For the same Config, every Engine produces an identical
+// recorded run regardless of what it ran before.
 type Engine struct {
 	// Reused across runs.
 	net      network
@@ -31,10 +34,10 @@ type Engine struct {
 	epoch    uint32
 	initsBuf []Initiation
 	crashBuf []CrashEvent
+	arena    model.RunArena
 	// Per-run state.
 	cfg   Config
 	rng   *rand.Rand
-	run   *model.Run
 	now   int
 	stats Stats
 	err   error
@@ -73,7 +76,7 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 	}
 	e.gt.reset(cfg)
 	e.net.reset(cfg, e.rng, &e.stats)
-	e.run = model.NewRunCap(cfg.N, eventCapacityHint(cfg))
+	e.arena.Reset(cfg.N, cfg.N*eventCapacityHint(cfg))
 
 	if cap(e.procs) < cfg.N {
 		grown := make([]procRuntime, cfg.N)
@@ -89,13 +92,14 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 		if pr.proto == nil {
 			return nil, fmt.Errorf("sim: protocol factory returned nil for process %d", i)
 		}
+		pr.ctx = procContext{e: e, p: pr}
 	}
 
 	inits, crashes := e.buildSchedule(cfg)
 
 	// Time 0: protocol initialisation.
 	for i := range e.procs {
-		e.procs[i].proto.Init(procContext{e: e, p: &e.procs[i]})
+		e.procs[i].proto.Init(&e.procs[i].ctx)
 	}
 
 	ii, ci := 0, 0
@@ -121,11 +125,11 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: step %d: %w", e.now, e.err)
 		}
 	}
-	e.run.SetHorizon(cfg.MaxSteps)
+	e.arena.SetHorizon(cfg.MaxSteps)
 	e.stats.Steps = cfg.MaxSteps
-	res := &Result{Run: e.run, Stats: e.stats}
-	e.run = nil // the recorded run now belongs to the caller
-	return res, nil
+	// Build regroups the arena into a fresh Run, so the result belongs to the
+	// caller and survives the engine's next Reset.
+	return &Result{Run: e.arena.Build(), Stats: e.stats}, nil
 }
 
 // buildSchedule sorts the workload and the (deduplicated) failure pattern into
@@ -170,12 +174,12 @@ func (e *Engine) internAction(a model.ActionID) int {
 	return int(idx)
 }
 
-// record appends an event to the run, capturing the first append error.
+// record appends an event to the run arena, capturing the first append error.
 func (e *Engine) record(p model.ProcID, ev model.Event) {
 	if e.err != nil {
 		return
 	}
-	if err := e.run.Append(p, e.now, ev); err != nil {
+	if err := e.arena.Append(p, e.now, ev); err != nil {
 		e.err = err
 		return
 	}
@@ -203,7 +207,7 @@ func (e *Engine) step(inits []Initiation, crashes []CrashEvent) {
 		}
 		e.stats.InitEvents++
 		e.record(in.Proc, model.Event{Kind: model.EventInit, Action: in.Action})
-		pr.proto.OnInitiate(procContext{e: e, p: pr}, in.Action)
+		pr.proto.OnInitiate(&pr.ctx, in.Action)
 	}
 
 	// 3. Message deliveries due now.
@@ -215,7 +219,7 @@ func (e *Engine) step(inits []Initiation, crashes []CrashEvent) {
 		}
 		e.stats.MessagesDelivered++
 		e.record(pm.to, model.Event{Kind: model.EventRecv, Peer: pm.from, Msg: pm.msg})
-		pr.proto.OnMessage(procContext{e: e, p: pr}, pm.from, pm.msg)
+		pr.proto.OnMessage(&pr.ctx, pm.from, pm.msg)
 	}
 
 	// 4. Failure-detector reports.
@@ -231,7 +235,7 @@ func (e *Engine) step(inits []Initiation, crashes []CrashEvent) {
 			}
 			e.stats.SuspectEvents++
 			e.record(pr.id, model.Event{Kind: model.EventSuspect, Report: rep})
-			pr.proto.OnSuspect(procContext{e: e, p: pr}, rep)
+			pr.proto.OnSuspect(&pr.ctx, rep)
 		}
 	}
 
@@ -242,7 +246,7 @@ func (e *Engine) step(inits []Initiation, crashes []CrashEvent) {
 			if pr.crashed {
 				continue
 			}
-			pr.proto.OnTick(procContext{e: e, p: pr})
+			pr.proto.OnTick(&pr.ctx)
 		}
 	}
 }

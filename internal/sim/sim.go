@@ -80,6 +80,11 @@ type procRuntime struct {
 	proto   Protocol
 	crashed bool
 	done    []uint32
+	// ctx is the process's Context, re-pointed at the engine each run.  The
+	// hot loop hands protocols &ctx, so the interface conversion carries a
+	// pointer and the per-callback boxing allocation of a by-value context
+	// disappears.
+	ctx procContext
 }
 
 // procContext implements Context for one process at the current time.
@@ -89,16 +94,16 @@ type procContext struct {
 }
 
 // ID implements Context.
-func (c procContext) ID() model.ProcID { return c.p.id }
+func (c *procContext) ID() model.ProcID { return c.p.id }
 
 // N implements Context.
-func (c procContext) N() int { return c.e.cfg.N }
+func (c *procContext) N() int { return c.e.cfg.N }
 
 // Now implements Context.
-func (c procContext) Now() int { return c.e.now }
+func (c *procContext) Now() int { return c.e.now }
 
 // Send implements Context.
-func (c procContext) Send(to model.ProcID, msg model.Message) {
+func (c *procContext) Send(to model.ProcID, msg model.Message) {
 	if c.p.crashed || int(to) < 0 || int(to) >= c.e.cfg.N || to == c.p.id {
 		return
 	}
@@ -107,7 +112,7 @@ func (c procContext) Send(to model.ProcID, msg model.Message) {
 }
 
 // Broadcast implements Context.
-func (c procContext) Broadcast(msg model.Message) {
+func (c *procContext) Broadcast(msg model.Message) {
 	for q := model.ProcID(0); int(q) < c.e.cfg.N; q++ {
 		if q != c.p.id {
 			c.Send(q, msg)
@@ -116,7 +121,7 @@ func (c procContext) Broadcast(msg model.Message) {
 }
 
 // Do implements Context.
-func (c procContext) Do(a model.ActionID) {
+func (c *procContext) Do(a model.ActionID) {
 	if c.p.crashed {
 		return
 	}
@@ -133,7 +138,7 @@ func (c procContext) Do(a model.ActionID) {
 }
 
 // HasDone implements Context.
-func (c procContext) HasDone(a model.ActionID) bool {
+func (c *procContext) HasDone(a model.ActionID) bool {
 	idx, ok := c.e.actions[a]
 	return ok && int(idx) < len(c.p.done) && c.p.done[idx] == c.e.epoch
 }

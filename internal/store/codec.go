@@ -71,11 +71,17 @@ func (w *writer) str(s string) {
 
 // reader decodes a varint payload.  The first malformed field latches err and
 // every subsequent read returns a zero value, so decode functions only need
-// one error check at the end.
+// one error check at the end.  When kinds is non-nil, message-kind strings
+// are interned through it instead of allocated per message.
 type reader struct {
-	data []byte
-	pos  int
-	err  error
+	data  []byte
+	pos   int
+	err   error
+	kinds map[string]string
+	// lastKind caches the most recently decoded message kind; consecutive
+	// messages of one protocol usually repeat it, so the common case is a
+	// short byte comparison instead of a map probe.
+	lastKind string
 }
 
 func (r *reader) fail(format string, args ...any) {
@@ -84,7 +90,26 @@ func (r *reader) fail(format string, args ...any) {
 	}
 }
 
+// uvarint and svarint inline the one- and two-byte cases — event kinds,
+// presence masks, counts, and step times up to 16383 — and fall back to the
+// full decoder for longer values.
+
 func (r *reader) uvarint() uint64 {
+	if r.err == nil && r.pos < len(r.data) {
+		if b := r.data[r.pos]; b < 0x80 {
+			r.pos++
+			return uint64(b)
+		} else if r.pos+1 < len(r.data) {
+			if b2 := r.data[r.pos+1]; b2 < 0x80 {
+				r.pos += 2
+				return uint64(b&0x7f) | uint64(b2)<<7
+			}
+		}
+	}
+	return r.uvarintSlow()
+}
+
+func (r *reader) uvarintSlow() uint64 {
 	if r.err != nil {
 		return 0
 	}
@@ -98,6 +123,30 @@ func (r *reader) uvarint() uint64 {
 }
 
 func (r *reader) svarint() int64 {
+	if r.err == nil && r.pos < len(r.data) {
+		if b := r.data[r.pos]; b < 0x80 {
+			r.pos++
+			v := int64(b >> 1)
+			if b&1 != 0 {
+				v = ^v
+			}
+			return v
+		} else if r.pos+1 < len(r.data) {
+			if b2 := r.data[r.pos+1]; b2 < 0x80 {
+				r.pos += 2
+				ux := uint64(b&0x7f) | uint64(b2)<<7
+				v := int64(ux >> 1)
+				if ux&1 != 0 {
+					v = ^v
+				}
+				return v
+			}
+		}
+	}
+	return r.svarintSlow()
+}
+
+func (r *reader) svarintSlow() int64 {
 	if r.err != nil {
 		return 0
 	}
@@ -143,6 +192,33 @@ func (r *reader) str() string {
 	}
 	s := string(r.data[r.pos : r.pos+n])
 	r.pos += n
+	return s
+}
+
+// kindStr reads a string through the reader's intern table, so decoding
+// thousands of messages drawn from a handful of protocol kinds allocates each
+// kind string once rather than once per message.  The m[string(b)] lookup
+// compiles to a no-allocation map probe.  With no table attached it behaves
+// exactly like str.
+func (r *reader) kindStr() string {
+	n := r.length("string")
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	if string(b) == r.lastKind && r.lastKind != "" {
+		return r.lastKind
+	}
+	if r.kinds == nil {
+		return string(b)
+	}
+	s, ok := r.kinds[string(b)]
+	if !ok {
+		s = string(b)
+		r.kinds[s] = s
+	}
+	r.lastKind = s
 	return s
 }
 
@@ -278,11 +354,13 @@ func (w *writer) message(m model.Message) {
 	// KnownInits is fully carried by its mask bit.
 }
 
-func (r *reader) message() model.Message {
-	var m model.Message
+// messageInto decodes a message into *m, which must be zero on entry;
+// writing through the pointer keeps the hot decode loop free of large struct
+// copies.
+func (r *reader) messageInto(m *model.Message) {
 	mask := r.uvarint()
 	if mask&(1<<0) != 0 {
-		m.Kind = r.str()
+		m.Kind = r.kindStr()
 	}
 	if mask&(1<<1) != 0 {
 		m.Action = r.action()
@@ -306,7 +384,6 @@ func (r *reader) message() model.Message {
 		m.KnownCrashed = model.ProcSet(r.uvarint())
 	}
 	m.KnownInits = mask&(1<<8) != 0
-	return m
 }
 
 func (w *writer) report(rep model.SuspectReport) {
@@ -344,8 +421,8 @@ func (w *writer) report(rep model.SuspectReport) {
 	}
 }
 
-func (r *reader) suspectReport() model.SuspectReport {
-	var rep model.SuspectReport
+// reportInto decodes a suspect report into *rep, which must be zero on entry.
+func (r *reader) reportInto(rep *model.SuspectReport) {
 	mask := r.uvarint()
 	if mask&(1<<0) != 0 {
 		rep.Suspects = model.ProcSet(r.uvarint())
@@ -361,7 +438,6 @@ func (r *reader) suspectReport() model.SuspectReport {
 	if mask&(1<<5) != 0 {
 		rep.Correct = model.ProcSet(r.uvarint())
 	}
-	return rep
 }
 
 func (w *writer) event(e model.Event) {
@@ -396,23 +472,24 @@ func (w *writer) event(e model.Event) {
 	}
 }
 
-func (r *reader) event() model.Event {
-	var e model.Event
+// eventInto decodes an event into *e, which must be zero on entry; the
+// decode loop works through pointers into the destination slab so no event,
+// message or report struct is ever returned by value.
+func (r *reader) eventInto(e *model.Event) {
 	e.Kind = model.EventKind(r.uvarint())
 	mask := r.uvarint()
 	if mask&(1<<0) != 0 {
 		e.Peer = model.ProcID(r.svarint())
 	}
 	if mask&(1<<1) != 0 {
-		e.Msg = r.message()
+		r.messageInto(&e.Msg)
 	}
 	if mask&(1<<2) != 0 {
 		e.Action = r.action()
 	}
 	if mask&(1<<3) != 0 {
-		e.Report = r.suspectReport()
+		r.reportInto(&e.Report)
 	}
-	return e
 }
 
 func (w *writer) run(r *model.Run) {
@@ -427,29 +504,6 @@ func (w *writer) run(r *model.Run) {
 	}
 }
 
-func (r *reader) run() *model.Run {
-	n := r.int()
-	if r.err == nil && (n <= 0 || n > model.MaxProcs) {
-		r.fail("store: run process count %d out of range (0, %d]", n, model.MaxProcs)
-	}
-	if r.err != nil {
-		return nil
-	}
-	run := &model.Run{N: n, Horizon: r.int(), Events: make([][]model.TimedEvent, n)}
-	for p := 0; p < n; p++ {
-		count := r.length("event")
-		if r.err != nil {
-			return nil
-		}
-		evs := make([]model.TimedEvent, count)
-		for i := range evs {
-			evs[i] = model.TimedEvent{Time: r.int(), Event: r.event()}
-		}
-		run.Events[p] = evs
-	}
-	return run
-}
-
 // EncodeRun serialises one recorded run.
 func EncodeRun(run *model.Run) []byte {
 	var w writer
@@ -461,21 +515,17 @@ func EncodeRun(run *model.Run) []byte {
 // framing, the payload bounds, and — like trace.DecodeJSON — the run's
 // structural invariants, so a well-framed container holding an impossible run
 // shape (negative horizon, non-monotone event times) is rejected rather than
-// handed to the evaluators.
+// handed to the evaluators.  The returned run is an independent compact copy;
+// decoding goes through the shared decoder pool, so repeated calls reuse warm
+// buffers and intern message kinds.
 func DecodeRun(data []byte) (*model.Run, error) {
-	payload, err := unseal(data, KindRun)
+	d := Decoders.Get()
+	defer Decoders.Put(d)
+	run, err := d.DecodeRun(data)
 	if err != nil {
 		return nil, err
 	}
-	r := reader{data: payload}
-	run := r.run()
-	if err := r.done(); err != nil {
-		return nil, err
-	}
-	if err := trace.ValidateStructure(run); err != nil {
-		return nil, err
-	}
-	return run, nil
+	return run.CompactClone(), nil
 }
 
 // EncodeSystem serialises an ordered sequence of recorded runs.
@@ -494,14 +544,20 @@ func DecodeSystem(data []byte) (model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := reader{data: payload}
+	d := Decoders.Get()
+	defer Decoders.Put(d)
+	r := reader{data: payload, kinds: d.internTable()}
 	count := r.length("run")
 	if r.err != nil {
 		return nil, r.err
 	}
 	runs := make(model.System, count)
 	for i := range runs {
-		runs[i] = r.run()
+		// The transient run aliases d's buffers, which the next iteration
+		// reuses, so each element is compacted into owned storage here.
+		if transient := r.runInto(d); transient != nil {
+			runs[i] = transient.CompactClone()
+		}
 	}
 	if err := r.done(); err != nil {
 		return nil, err

@@ -4,7 +4,6 @@ import (
 	"repro/internal/epistemic"
 	"repro/internal/model"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -133,26 +132,15 @@ func EncodeSeedRecord(rec *SeedRecord) []byte {
 // DecodeSeedRecord deserialises a record encoded by EncodeSeedRecord,
 // validating the embedded run's structural invariants like DecodeRun does.
 func DecodeSeedRecord(data []byte) (*SeedRecord, error) {
-	payload, err := unseal(data, KindSeed)
+	d := Decoders.Get()
+	defer Decoders.Put(d)
+	transient, err := d.DecodeSeedRecord(data)
 	if err != nil {
 		return nil, err
 	}
-	r := reader{data: payload}
-	rec := &SeedRecord{
-		Seed:   r.svarint(),
-		Stats:  r.stats(),
-		Scored: r.bool(),
-	}
-	rec.Violations = r.violations()
-	rec.LatencySum = r.int()
-	rec.LatencyActions = r.int()
-	rec.Run = r.run()
-	if err := r.done(); err != nil {
-		return nil, err
-	}
-	if err := trace.ValidateStructure(rec.Run); err != nil {
-		return nil, err
-	}
+	rec := new(SeedRecord)
+	*rec = *transient
+	rec.Run = transient.Run.CompactClone()
 	return rec, nil
 }
 

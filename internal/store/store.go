@@ -14,9 +14,12 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Options tunes a Store.
@@ -163,7 +166,9 @@ func (s *Store) get(key Key, countMiss bool) ([]byte, bool) {
 		s.miss(false, countMiss)
 		return nil, false
 	}
-	data, err := s.readDisk(key)
+	scratch := scratchPool.Get().(*[]byte)
+	data, err := s.readDisk(key, scratch)
+	scratchPool.Put(scratch)
 	if err != nil {
 		s.miss(false, countMiss)
 		return nil, false
@@ -250,49 +255,131 @@ func (s *Store) GetMulti(keys []Key) [][]byte {
 		return payloads
 	}
 
-	var diskHits []int
-	var misses, corrupt uint64
-	for i, key := range keys {
-		if payloads[i] != nil {
-			continue
+	var rest []int
+	for i := range keys {
+		if payloads[i] == nil {
+			rest = append(rest, i)
 		}
-		data, err := s.readDisk(key)
+	}
+	var misses, corrupt atomic.Uint64
+	readOne := func(i int, scratch *[]byte) {
+		data, err := s.readDisk(keys[i], scratch)
 		if err != nil {
-			misses++
-			continue
+			misses.Add(1)
+			return
 		}
 		if err := Check(data); err != nil {
-			misses++
-			corrupt++
-			continue
+			misses.Add(1)
+			corrupt.Add(1)
+			return
 		}
 		payloads[i] = data
-		diskHits = append(diskHits, i)
+	}
+
+	// The leftover keys are independent files; read them with a few workers
+	// so a large partial-hit batch overlaps its syscalls, each worker staging
+	// through its own pooled scratch slab.  Small remainders stay on the
+	// calling goroutine.
+	if workers := min(len(rest)/8, diskReadWorkers()); workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				scratch := scratchPool.Get().(*[]byte)
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(rest) {
+						break
+					}
+					readOne(rest[j], scratch)
+				}
+				scratchPool.Put(scratch)
+			}()
+		}
+		wg.Wait()
+	} else {
+		scratch := scratchPool.Get().(*[]byte)
+		for _, i := range rest {
+			readOne(i, scratch)
+		}
+		scratchPool.Put(scratch)
 	}
 
 	s.mu.Lock()
-	s.stats.Misses += misses
-	s.stats.CorruptEntries += corrupt
-	for _, i := range diskHits {
-		s.stats.DiskHits++
-		s.admit(keys[i], payloads[i])
+	s.stats.Misses += misses.Load()
+	s.stats.CorruptEntries += corrupt.Load()
+	// Admission stays in key order regardless of read completion order, so
+	// the LRU layer's state after a batch is deterministic.
+	for _, i := range rest {
+		if payloads[i] != nil {
+			s.stats.DiskHits++
+			s.admit(keys[i], payloads[i])
+		}
 	}
 	s.mu.Unlock()
 	return payloads
 }
 
-// readDisk reads an entry's bytes, falling back to the pre-sharding flat
-// layout (<hex>.bin in the store root) so a corpus written by an older
-// release stays warm.  A flat entry found this way is opportunistically
-// renamed into its shard — reads migrate the corpus one entry at a time, and
-// a failed rename just means the fallback fires again next time.
-func (s *Store) readDisk(key Key) ([]byte, error) {
-	data, err := os.ReadFile(s.EntryPath(key))
+// diskReadWorkers bounds GetMulti's read concurrency: enough to overlap
+// syscall latency without turning a batch read into a thundering herd.
+func diskReadWorkers() int {
+	return min(8, runtime.GOMAXPROCS(0))
+}
+
+// scratchPool holds the reusable read slabs disk loads stage through; one
+// slab per concurrent reader, grown once to the corpus's entry high-water
+// mark instead of a fresh zeroed buffer per file.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readFileOwned reads a whole file by staging it through the caller's pooled
+// scratch slab and returns an exactly-sized owned copy.  Unlike os.ReadFile
+// it issues no stat syscall, and the owned copy is made with append — which
+// does not zero the bytes it is about to overwrite — so steady-state reads
+// cost one read syscall pass and one memmove.
+func readFileOwned(path string, scratch *[]byte) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := *scratch
+	total := 0
+	for {
+		if total == len(buf) {
+			grown := make([]byte, max(128<<10, 2*len(buf)))
+			copy(grown, buf[:total])
+			buf = grown
+		}
+		n, rerr := f.Read(buf[total:])
+		total += n
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			*scratch = buf
+			f.Close()
+			return nil, rerr
+		}
+	}
+	*scratch = buf
+	f.Close()
+	return append([]byte{}, buf[:total]...), nil
+}
+
+// readDisk reads an entry's bytes through the pooled scratch slab, falling
+// back to the pre-sharding flat layout (<hex>.bin in the store root) so a
+// corpus written by an older release stays warm.  A flat entry found this way
+// is opportunistically renamed into its shard — reads migrate the corpus one
+// entry at a time, and a failed rename just means the fallback fires again
+// next time.
+func (s *Store) readDisk(key Key, scratch *[]byte) ([]byte, error) {
+	data, err := readFileOwned(s.EntryPath(key), scratch)
 	if err == nil || !os.IsNotExist(err) {
 		return data, err
 	}
 	legacy := filepath.Join(s.dir, key.String()+".bin")
-	data, lerr := os.ReadFile(legacy)
+	data, lerr := readFileOwned(legacy, scratch)
 	if lerr != nil {
 		return nil, err
 	}

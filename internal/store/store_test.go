@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -356,5 +357,56 @@ func TestStoreLRUBounds(t *testing.T) {
 	}
 	if _, ok := s.Get(keyOf(0)); ok {
 		t.Fatalf("oldest entry survived eviction")
+	}
+}
+
+// TestStoreGetMultiConcurrentDiskReads forces the batch disk path onto its
+// worker pool (large remainder, GOMAXPROCS raised above one) and checks that
+// payloads, stats and corruption isolation are identical to the sequential
+// path.
+func TestStoreGetMultiConcurrentDiskReads(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 96
+	keys := make([]store.Key, n)
+	payloads := make([][]byte, n)
+	for i := range keys {
+		keys[i] = keyOf(i)
+		payloads[i] = payloadOf(fmt.Sprintf("p%d", i))
+	}
+	if failed, err := s.PutMulti(keys, payloads); failed != 0 || err != nil {
+		t.Fatalf("PutMulti: failed=%d err=%v", failed, err)
+	}
+	if err := os.WriteFile(s.EntryPath(keys[13]), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold store with the memory layer disabled: every key goes to disk, and
+	// a missing and a corrupt member ride along in the batch.
+	s2, err := store.Open(dir, store.Options{MaxMemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append(append([]store.Key{}, keys...), keyOf(1000))
+	got := s2.GetMulti(mixed)
+	for i := range keys {
+		want := payloads[i]
+		if i == 13 {
+			want = nil
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("GetMulti[%d] = %d bytes, want %d", i, len(got[i]), len(want))
+		}
+	}
+	if got[n] != nil {
+		t.Fatal("never-stored key returned a payload")
+	}
+	if st := s2.Stats(); st.DiskHits != n-1 || st.Misses != 2 || st.CorruptEntries != 1 {
+		t.Fatalf("stats after concurrent batch: %+v", st)
 	}
 }

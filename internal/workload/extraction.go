@@ -140,6 +140,27 @@ func (r Runner) Extract(e Extraction) (*ExtractionResult, error) {
 	return r.ExtractFromRuns(e, sampled)
 }
 
+// ExtractionState carries the incrementally-maintained prefix of an
+// extraction pipeline: the UDC filter verdicts and the epistemic index over
+// the first Indexed seeds of Seeds(BaseSeed, ·).  A serving layer that caches
+// the state for a pipeline feeds ExtendExtraction only the runs of the seeds
+// beyond Indexed when a window grows, so the filter and index stages cost
+// O(new runs) instead of a from-scratch rebuild.  The zero value is the empty
+// prefix.  Identity (same pipeline, source spec and base seed) is the
+// caller's responsibility, as is single-threaded use: the state's System is
+// shared with every result built from it and grows in place.
+type ExtractionState struct {
+	// Indexed counts the leading seeds whose runs have been filtered and
+	// indexed.
+	Indexed int
+	// System is the epistemic index over the kept runs so far (nil while
+	// Indexed is 0).
+	System *epistemic.System
+	// KeptSeeds and ExcludedSeeds partition the Indexed seeds, each in seed
+	// order.
+	KeptSeeds, ExcludedSeeds []int64
+}
+
 // ExtractFromRuns runs the pipeline's post-simulate stages — UDC filter,
 // epistemic index, run transform, property check — over an
 // already-materialised sample: one run per Seeds(e.BaseSeed, e.Runs) entry,
@@ -147,44 +168,69 @@ func (r Runner) Extract(e Extraction) (*ExtractionResult, error) {
 // for the simulate stage; because a decoded record is byte-identical to a
 // fresh simulation, the pipeline's result is byte-identical to Extract's.
 func (r Runner) ExtractFromRuns(e Extraction, sampled model.System) (*ExtractionResult, error) {
+	return r.ExtendExtraction(e, &ExtractionState{}, sampled)
+}
+
+// ExtendExtraction is ExtractFromRuns fed only a delta: st covers the first
+// st.Indexed seeds and delta holds the runs of the remaining seeds of
+// Seeds(e.BaseSeed, e.Runs), in seed order.  The new runs are filtered and
+// folded into st's index with System.Add, st advances to cover the full
+// window, and the transform and property-check stages run over the grown
+// system (knowledge at existing points can change as runs arrive, so those
+// stages are inherently whole-window).  The result is byte-identical to
+// ExtractFromRuns over the union, and st is mutated even when the pipeline
+// errors afterwards (the state remains a coherent, reusable prefix).
+func (r Runner) ExtendExtraction(e Extraction, st *ExtractionState, delta model.System) (*ExtractionResult, error) {
 	if e.Runs <= 0 {
 		return nil, fmt.Errorf("extraction %q: Runs must be positive", e.Name)
 	}
-	if len(sampled) != e.Runs {
-		return nil, fmt.Errorf("extraction %q: %d sampled runs for %d requested", e.Name, len(sampled), e.Runs)
+	if st.Indexed > e.Runs {
+		return nil, fmt.Errorf("extraction %q: state covers %d seeds of a %d-seed window", e.Name, st.Indexed, e.Runs)
+	}
+	if len(delta) != e.Runs-st.Indexed {
+		return nil, fmt.Errorf("extraction %q: %d delta runs for %d uncovered seeds", e.Name, len(delta), e.Runs-st.Indexed)
 	}
 	eval, err := e.evaluator()
 	if err != nil {
 		return nil, err
 	}
-	seeds := Seeds(e.BaseSeed, e.Runs)
+	seeds := Seeds(e.BaseSeed, e.Runs)[st.Indexed:]
 
 	// Filter: the theorems assume a system that attains UDC, so runs that
 	// violate it are excluded (and reported) rather than indexed.  The checks
 	// run over the pool into per-seed slots; the fold stays in seed order.
-	violatesUDC := make([]bool, len(sampled))
-	r.each(len(sampled), func(i int) {
-		violatesUDC[i] = len(core.CheckUDC(sampled[i])) > 0
+	violatesUDC := make([]bool, len(delta))
+	r.each(len(delta), func(i int) {
+		violatesUDC[i] = len(core.CheckUDC(delta[i])) > 0
 	})
-	result := &ExtractionResult{Extraction: e}
-	kept := make(model.System, 0, len(sampled))
-	keptSeeds := make([]int64, 0, len(sampled))
-	for i, run := range sampled {
+	kept := make(model.System, 0, len(delta))
+	for i, run := range delta {
 		if violatesUDC[i] {
-			result.Excluded++
-			result.ExcludedSeeds = append(result.ExcludedSeeds, seeds[i])
+			st.ExcludedSeeds = append(st.ExcludedSeeds, seeds[i])
 			continue
 		}
 		kept = append(kept, run)
-		keptSeeds = append(keptSeeds, seeds[i])
+		st.KeptSeeds = append(st.KeptSeeds, seeds[i])
 	}
-	result.Kept = len(kept)
-	if len(kept) == 0 {
+	if st.System == nil {
+		st.System = epistemic.NewSystem(kept)
+	} else {
+		st.System.Add(kept)
+	}
+	st.Indexed = e.Runs
+
+	result := &ExtractionResult{
+		Extraction:    e,
+		Kept:          len(st.KeptSeeds),
+		Excluded:      len(st.ExcludedSeeds),
+		ExcludedSeeds: st.ExcludedSeeds[:len(st.ExcludedSeeds):len(st.ExcludedSeeds)],
+	}
+	if result.Kept == 0 {
 		return nil, fmt.Errorf("extraction %q: no UDC-satisfying runs; cannot extract", e.Name)
 	}
 
 	// Index.
-	result.System = epistemic.NewSystem(kept)
+	result.System = st.System
 	result.Stats = result.System.Stats()
 
 	// Transform.
@@ -199,7 +245,7 @@ func (r Runner) ExtractFromRuns(e Extraction, sampled model.System) (*Extraction
 	// Property check: one verdict per transformed run, slot-indexed.
 	result.Verdicts = make([]ExtractionVerdict, len(result.Simulated))
 	r.each(len(result.Simulated), func(i int) {
-		result.Verdicts[i] = ExtractionVerdict{Seed: keptSeeds[i], Violations: eval(result.Simulated[i])}
+		result.Verdicts[i] = ExtractionVerdict{Seed: st.KeptSeeds[i], Violations: eval(result.Simulated[i])}
 	})
 	return result, nil
 }

@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 10x
 
-.PHONY: all build test race vet fmt-check smoke daemon-smoke bench bench-compare
+.PHONY: all build test race vet fmt-check smoke daemon-smoke metrics-smoke bench bench-compare
 
 all: build test
 
@@ -32,6 +32,11 @@ smoke:
 # check of the serving layer that CI also runs.
 daemon-smoke:
 	./scripts/daemon_smoke.sh
+
+# metrics-smoke boots udcd, drives the corpus-backed routes, and asserts the
+# /metrics families, scrape determinism and Server-Timing traces.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 # bench runs the Table 1 benchmark, the adversary sweep, the
 # knowledge-extraction benchmark and the serving-layer benchmarks (codec,

@@ -14,7 +14,8 @@
 //	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
 //
 // Endpoints: /healthz, /v1/sweep, /v1/extract, /v1/scenarios,
-// /v1/adversaries, /v1/stats.
+// /v1/adversaries, /v1/stats, /metrics (Prometheus text exposition), and —
+// with -pprof — /debug/pprof/*.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -48,6 +51,8 @@ type options struct {
 	memEntries  int
 	memBytes    int64
 	stats       bool
+	pprof       bool
+	slowLog     time.Duration
 }
 
 func parseOptions(args []string) (options, error) {
@@ -60,6 +65,8 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.memEntries, "mem-entries", 0, "in-memory cache entry bound (0 = 256, negative disables the memory layer)")
 	fs.Int64Var(&o.memBytes, "mem-bytes", 0, "in-memory cache byte bound (0 = 64 MiB)")
 	fs.BoolVar(&o.stats, "stats", false, "query the daemon running at -addr for its counters (full/partial/miss hits, seed traffic, store layers) and exit")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	fs.DurationVar(&o.slowLog, "slow-log", 30*time.Second, "log requests slower than this with their stage trace (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -85,7 +92,50 @@ func printStats(w io.Writer, baseURL string) error {
 	fmt.Fprintf(w, "store: memHits=%d diskHits=%d misses=%d puts=%d corrupt=%d evictions=%d memEntries=%d memBytes=%d\n",
 		st.MemHits, st.DiskHits, st.Misses, st.Puts, st.CorruptEntries, st.Evictions, st.MemEntries, st.MemBytes)
 	fmt.Fprintf(w, "versions: engine=%d codec=%d\n", stats.EngineVersion, stats.CodecVersion)
+	printMetricsSummary(w, client, sch)
 	return nil
+}
+
+// printMetricsSummary enriches -stats with the /metrics view of the daemon:
+// uptime, per-route latency quantiles (aggregated across cache grades) and
+// cache-grade ratios.  A scrape failure just omits the block — the core
+// counters above never depend on it.
+func printMetricsSummary(w io.Writer, client *server.Client, sch server.SchedulerStats) {
+	samples, err := client.Metrics()
+	if err != nil {
+		return
+	}
+	if start, ok := obs.Value(samples, "udc_start_time_seconds"); ok {
+		uptime := time.Since(time.Unix(0, int64(start*1e9))).Truncate(time.Second)
+		fmt.Fprintf(w, "uptime: %s\n", uptime)
+	}
+	for _, route := range []string{"/v1/sweep", "/v1/extract"} {
+		buckets := obs.Buckets(samples, "udc_http_request_duration_seconds", "route", route)
+		if len(buckets) == 0 {
+			continue
+		}
+		count := buckets[len(buckets)-1].CumulativeCount
+		if count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "latency %s: count=%d p50=%s p99=%s\n", route, count,
+			fmtSeconds(obs.Quantile(0.5, buckets)), fmtSeconds(obs.Quantile(0.99, buckets)))
+	}
+	if served := sch.FullHits + sch.PartialHits + sch.Misses; served > 0 {
+		pct := func(n uint64) float64 { return 100 * float64(n) / float64(served) }
+		fmt.Fprintf(w, "cache: hit=%.1f%% partial=%.1f%% miss=%.1f%%\n",
+			pct(sch.FullHits), pct(sch.PartialHits), pct(sch.Misses))
+	}
+}
+
+// fmtSeconds renders a latency quantile (in seconds) as a duration; bucket
+// interpolation means the value is an estimate, so millisecond precision is
+// plenty.
+func fmtSeconds(s float64) string {
+	if math.IsNaN(s) {
+		return "n/a"
+	}
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
 }
 
 // buildServer opens the store and assembles the daemon; split out so tests
@@ -95,7 +145,13 @@ func buildServer(o options) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return server.New(server.Config{Store: st, Workers: o.workers, BatchWindow: o.batchWindow})
+	return server.New(server.Config{
+		Store:       st,
+		Workers:     o.workers,
+		BatchWindow: o.batchWindow,
+		Pprof:       o.pprof,
+		SlowRequest: o.slowLog,
+	})
 }
 
 func run(args []string, w io.Writer) error {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"strings"
@@ -21,6 +22,43 @@ func TestParseOptions(t *testing.T) {
 	}
 	if _, err := parseOptions([]string{"-no-such-flag"}); err == nil {
 		t.Fatalf("unknown flag accepted")
+	}
+	o, err = parseOptions([]string{"-pprof", "-slow-log", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.pprof || o.slowLog != 250*time.Millisecond {
+		t.Fatalf("parsed observability options: %+v", o)
+	}
+	if o, _ := parseOptions(nil); o.pprof || o.slowLog != 30*time.Second {
+		t.Fatalf("observability defaults: %+v", o)
+	}
+}
+
+// TestPprofFlag pins the opt-in: profiling handlers exist exactly when -pprof
+// is set.
+func TestPprofFlag(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		srv, err := buildServer(options{storeDir: "", pprof: enabled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		srv.Close()
+		want := http.StatusNotFound
+		if enabled {
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("pprof=%v: /debug/pprof/cmdline HTTP %d, want %d", enabled, resp.StatusCode, want)
+		}
 	}
 }
 
@@ -109,10 +147,30 @@ func TestServeOnRandomPort(t *testing.T) {
 	for _, want := range []string{
 		"fullHits=1", "partialHits=1", "misses=1",
 		"seeds: requested=12 cached=4 computed=8",
+		// The /metrics-derived enrichment: uptime, per-route latency
+		// quantiles over the three sweeps, and the grade ratios.
+		"uptime: ",
+		"latency /v1/sweep: count=3 p50=",
+		"cache: hit=33.3% partial=33.3% miss=33.3%",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-stats output lacks %q:\n%s", want, out)
 		}
+	}
+
+	// The daemon also serves the raw exposition, with the scheduler mirror
+	// agreeing with the seed accounting asserted above.
+	resp, err = http.Get(m + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d, %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(page), "udc_scheduler_seeds_computed_total 8\n") {
+		t.Fatalf("/metrics lacks udc_scheduler_seeds_computed_total 8:\n%s", page)
 	}
 
 	proc, err := os.FindProcess(os.Getpid())

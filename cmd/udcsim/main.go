@@ -82,6 +82,7 @@ type options struct {
 	remote          string
 	timeline        int
 	quiet           bool
+	verbose         bool
 	stabilize       int
 }
 
@@ -121,6 +122,7 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep; the summary line reports the daemon's X-Cache verdict: hit, partial or miss)")
 	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
+	fs.BoolVar(&o.verbose, "v", false, "with -remote: also print the daemon's Server-Timing stage breakdown")
 	fs.IntVar(&o.stabilize, "stabilize-at", 100, "stabilisation time for the eventually-strong detector")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -320,6 +322,9 @@ func runRemote(o options) error {
 	}
 	fmt.Printf("%-34s ok=%d/%d msgs=%8.0f latency=%6.1f violations=%d [remote cache %s]\n",
 		resp.Scenario, resp.Successes, resp.Seeds, resp.MeanMessages, resp.MeanLatency, resp.TotalViolations, cache)
+	if o.verbose && client.ServerTiming != "" {
+		fmt.Printf("  server-timing: %s\n", client.ServerTiming)
+	}
 	if !o.quiet {
 		for _, out := range resp.Outcomes {
 			if !out.OK {

@@ -10,8 +10,11 @@
 // epistemic model checker for the paper's logic (internal/epistemic), the
 // Chandra-Toueg consensus baselines (internal/consensus), a registry of named
 // protocols, oracles and scenarios (internal/registry), a parallel sweep
-// runner with deterministic aggregates (internal/workload), and the Table 1
-// reproduction harness (internal/table1).  See README.md for a tour.
+// runner with deterministic aggregates (internal/workload), the Table 1
+// reproduction harness (internal/table1), and a dependency-free
+// observability layer — Prometheus-format metrics, an exposition parser and
+// the Server-Timing stage tracer behind udcd's /metrics endpoint
+// (internal/obs).  See README.md for a tour.
 //
 // The benchmarks in bench_test.go regenerate every row of the paper's only
 // table (Table 1) plus per-proposition workloads and ablations; run them with

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in Prometheus text exposition
+// format v0.0.4: `# HELP` and `# TYPE` lines per family, samples beneath,
+// histograms as cumulative `_bucket{le=...}` series closed by `_sum` and
+// `_count`.  Collect hooks run first, so mirrored families reflect one
+// consistent snapshot.  Families render in registration order and labeled
+// children in sorted label order, so two scrapes of an idle registry are
+// byte-identical.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, hook := range hooks {
+		hook()
+	}
+
+	ew := &expoWriter{w: bufio.NewWriter(w)}
+	for _, f := range families {
+		ew.head(f)
+		f.render(ew)
+	}
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.w.Flush()
+}
+
+// expoWriter accumulates exposition lines, remembering the first write error.
+type expoWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (ew *expoWriter) str(s string) {
+	if ew.err == nil {
+		_, ew.err = ew.w.WriteString(s)
+	}
+}
+
+func (ew *expoWriter) head(f *family) {
+	ew.str("# HELP ")
+	ew.str(f.name)
+	ew.str(" ")
+	ew.str(escapeHelp(f.help))
+	ew.str("\n# TYPE ")
+	ew.str(f.name)
+	ew.str(" ")
+	ew.str(string(f.typ))
+	ew.str("\n")
+}
+
+// labelPairs renders `{a="x",b="y"}` (empty string for no labels).  extra is
+// an optional trailing pair (the histogram writer's le).
+func labelPairs(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (ew *expoWriter) sample(name, labels, value string) {
+	ew.str(name)
+	ew.str(labels)
+	ew.str(" ")
+	ew.str(value)
+	ew.str("\n")
+}
+
+func (ew *expoWriter) sampleUint(name string, labelNames, labelValues []string, v uint64) {
+	ew.sample(name, labelPairs(labelNames, labelValues, "", ""), strconv.FormatUint(v, 10))
+}
+
+func (ew *expoWriter) sampleInt(name string, labelNames, labelValues []string, v int64) {
+	ew.sample(name, labelPairs(labelNames, labelValues, "", ""), strconv.FormatInt(v, 10))
+}
+
+func (ew *expoWriter) sampleFloat(name string, labelNames, labelValues []string, v float64) {
+	ew.sample(name, labelPairs(labelNames, labelValues, "", ""), formatFloat(v))
+}
+
+func (ew *expoWriter) histogram(name string, labelNames, labelValues []string, h *Histogram) {
+	cumulative, count, sum := h.snapshot()
+	for i, bound := range h.bounds {
+		ew.sample(name+"_bucket", labelPairs(labelNames, labelValues, "le", formatFloat(bound)), strconv.FormatUint(cumulative[i], 10))
+	}
+	ew.sample(name+"_bucket", labelPairs(labelNames, labelValues, "le", "+Inf"), strconv.FormatUint(cumulative[len(cumulative)-1], 10))
+	ew.sample(name+"_sum", labelPairs(labelNames, labelValues, "", ""), formatFloat(sum))
+	ew.sample(name+"_count", labelPairs(labelNames, labelValues, "", ""), strconv.FormatUint(count, 10))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

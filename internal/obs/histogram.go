@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution: observations land in the first
+// bucket whose upper bound is >= the value, the writer renders the counts
+// cumulatively (exposition histograms are cumulative), and the implicit +Inf
+// bucket always equals the total count.  Observe is lock-free.
+type Histogram struct {
+	bounds  []float64       // strictly increasing upper bounds, +Inf implicit
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets is the default latency layout in seconds: 100µs to 10s, roughly
+// log-spaced, wide enough for a warm microsecond-scale cache hit and a
+// multi-second cold fleet pass to land in distinct buckets.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns the cumulative bucket counts (one per bound, +Inf last)
+// and the total.  The rendered count is the +Inf bucket itself — not the
+// separate count atomic — so `_bucket{le="+Inf"} == _count` holds on every
+// scrape even while concurrent Observes are mid-flight.
+func (h *Histogram) snapshot() (cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return cumulative, cumulative[len(cumulative)-1], h.Sum()
+}
+
+// Bucket is one cumulative histogram sample, as scraped back from an
+// exposition page.
+type Bucket struct {
+	// UpperBound is the bucket's le value (+Inf for the last).
+	UpperBound float64
+	// CumulativeCount is the number of observations <= UpperBound.
+	CumulativeCount uint64
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a cumulative bucket set
+// by linear interpolation within the bucket the rank falls in — the same
+// estimate PromQL's histogram_quantile gives.  Buckets must be sorted by
+// upper bound with a +Inf bucket last; it returns NaN on empty input and the
+// highest finite bound when the rank lands in the +Inf bucket.
+func Quantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 || buckets[len(buckets)-1].CumulativeCount == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].CumulativeCount
+	rank := q * float64(total)
+	i := 0
+	for i < len(buckets)-1 && float64(buckets[i].CumulativeCount) < rank {
+		i++
+	}
+	if math.IsInf(buckets[i].UpperBound, 1) {
+		if len(buckets) < 2 {
+			return math.NaN()
+		}
+		return buckets[len(buckets)-2].UpperBound
+	}
+	lower, prevCount := 0.0, uint64(0)
+	if i > 0 {
+		lower, prevCount = buckets[i-1].UpperBound, buckets[i-1].CumulativeCount
+	}
+	width := float64(buckets[i].CumulativeCount - prevCount)
+	if width == 0 {
+		return buckets[i].UpperBound
+	}
+	return lower + (buckets[i].UpperBound-lower)*(rank-float64(prevCount))/width
+}

@@ -1,0 +1,272 @@
+// Package obs is the daemon's dependency-free observability layer: atomic
+// counters, gauges and fixed-bucket histograms (plain or labeled), a registry
+// that renders them in Prometheus text exposition format v0.0.4, a parser for
+// that format (used by udcd -stats and the smoke tests to read a live daemon
+// back), and a Span stage-timer whose traces render as Server-Timing response
+// headers.
+//
+// The package deliberately has no third-party dependencies and no background
+// goroutines: instruments are lock-free atomics, and everything dynamic
+// happens at scrape time.  Two scrapes of an idle registry produce identical
+// bytes — families render in registration order and labeled children in
+// sorted label order — which the exposition tests pin.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cumulative metric.  Inc/Add are the live mutation path; Set
+// exists so a collect hook can mirror an externally maintained cumulative
+// counter (e.g. a stats-struct snapshot) into the registry at scrape time.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the value.  Only collect hooks mirroring an external
+// cumulative counter should use it; mixing Set with Inc on one counter makes
+// the value meaningless.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricType is the exposition TYPE of a family.
+type metricType string
+
+const (
+	counterType   metricType = "counter"
+	gaugeType     metricType = "gauge"
+	histogramType metricType = "histogram"
+)
+
+// family is one registered metric family: a name, help text, a type, and a
+// render hook that writes the family's current samples.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	render func(w *expoWriter)
+}
+
+// Registry holds metric families and renders them as one exposition page.
+// Registration is not idempotent — registering a name twice panics, because
+// two owners of one family is a programming error.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// OnCollect registers a hook run at the start of every scrape, before any
+// family renders.  Hooks are the bridge to externally maintained stats: one
+// hook snapshots them and Sets the mirror instruments, so every family in a
+// single scrape reflects one consistent snapshot.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+func (r *Registry) register(name, help string, typ metricType, render func(w *expoWriter)) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+	r.families = append(r.families, &family{name: name, help: help, typ: typ, render: render})
+}
+
+// Counter registers and returns a new unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, counterType, func(w *expoWriter) {
+		w.sampleUint(name, nil, nil, c.Value())
+	})
+	return c
+}
+
+// Gauge registers and returns a new unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, gaugeType, func(w *expoWriter) {
+		w.sampleInt(name, nil, nil, g.Value())
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, gaugeType, func(w *expoWriter) {
+		w.sampleFloat(name, nil, nil, fn())
+	})
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{vec: vec{labels: labels}}
+	r.register(name, help, counterType, func(w *expoWriter) {
+		for _, child := range v.vec.sorted() {
+			w.sampleUint(name, labels, child.values, child.metric.(*Counter).Value())
+		}
+	})
+	return v
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{vec: vec{labels: labels}}
+	r.register(name, help, gaugeType, func(w *expoWriter) {
+		for _, child := range v.vec.sorted() {
+			w.sampleInt(name, labels, child.values, child.metric.(*Gauge).Value())
+		}
+	})
+	return v
+}
+
+// Histogram registers an unlabeled histogram with the given upper bounds
+// (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, help, histogramType, func(w *expoWriter) {
+		w.histogram(name, nil, nil, h)
+	})
+	return h
+}
+
+// HistogramVec registers a labeled histogram family; every child shares the
+// bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{vec: vec{labels: labels}, buckets: buckets}
+	r.register(name, help, histogramType, func(w *expoWriter) {
+		for _, child := range v.vec.sorted() {
+			w.histogram(name, labels, child.values, child.metric.(*Histogram))
+		}
+	})
+	return v
+}
+
+// vec is the shared child table of the labeled families: children are created
+// on first use and render in sorted label order so scrapes are deterministic.
+type vec struct {
+	mu       sync.Mutex
+	labels   []string
+	children map[string]*vecChild
+	order    []string // sorted keys, maintained on insert
+}
+
+type vecChild struct {
+	values []string
+	metric any
+}
+
+func (v *vec) with(newMetric func() any, values []string) any {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels %v", len(values), len(v.labels), v.labels))
+	}
+	key := ""
+	for _, lv := range values {
+		key += lv + "\x00"
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*vecChild)
+	}
+	child, ok := v.children[key]
+	if !ok {
+		child = &vecChild{values: append([]string(nil), values...), metric: newMetric()}
+		v.children[key] = child
+		i := sort.SearchStrings(v.order, key)
+		v.order = append(v.order, "")
+		copy(v.order[i+1:], v.order[i:])
+		v.order[i] = key
+	}
+	return child.metric
+}
+
+func (v *vec) sorted() []*vecChild {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*vecChild, len(v.order))
+	for i, key := range v.order {
+		out[i] = v.children[key]
+	}
+	return out
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ vec vec }
+
+// With returns the child counter for the label values, creating it on first
+// use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.vec.with(func() any { return &Counter{} }, values).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ vec vec }
+
+// With returns the child gauge for the label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.vec.with(func() any { return &Gauge{} }, values).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	vec     vec
+	buckets []float64
+}
+
+// With returns the child histogram for the label values, creating it on first
+// use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.vec.with(func() any { return newHistogram(v.buckets) }, values).(*Histogram)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

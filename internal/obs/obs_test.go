@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the writer's rendering of every family type —
+// counter, gauge, labeled children, histogram — against the exact exposition
+// bytes, including HELP and label-value escaping.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(42)
+	g := r.Gauge("test_queue_depth", "Jobs queued.\nSecond line \\ backslash.")
+	g.Set(-3)
+	v := r.CounterVec("test_grades_total", "Requests by grade.", "grade", "route")
+	v.With("hit", "/v1/sweep").Add(7)
+	v.With(`quo"te`, `back\slash`+"\nnewline").Inc() // label escaping
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP test_requests_total Requests served.`,
+		`# TYPE test_requests_total counter`,
+		`test_requests_total 42`,
+		`# HELP test_queue_depth Jobs queued.\nSecond line \\ backslash.`,
+		`# TYPE test_queue_depth gauge`,
+		`test_queue_depth -3`,
+		`# HELP test_grades_total Requests by grade.`,
+		`# TYPE test_grades_total counter`,
+		`test_grades_total{grade="hit",route="/v1/sweep"} 7`,
+		`test_grades_total{grade="quo\"te",route="back\\slash\nnewline"} 1`,
+		`# HELP test_latency_seconds Latency.`,
+		`# TYPE test_latency_seconds histogram`,
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="0.5"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		`test_latency_seconds_sum 99.4`,
+		`test_latency_seconds_count 4`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestScrapeDeterminism is the idle-scrape invariant: two consecutive writes
+// of an untouched registry — including a collect hook sampling a static
+// source and vec children created in non-sorted order — are byte-identical.
+func TestScrapeDeterminism(t *testing.T) {
+	r := NewRegistry()
+	mirrored := r.Counter("test_mirror_total", "Mirrored from a snapshot.")
+	source := uint64(123)
+	r.OnCollect(func() { mirrored.Set(source) })
+	v := r.GaugeVec("test_by_route", "Per-route gauge.", "route")
+	v.With("/z").Set(1)
+	v.With("/a").Set(2)
+	h := r.HistogramVec("test_dur_seconds", "Durations.", DefBuckets, "route")
+	h.With("/a").Observe(0.01)
+
+	var first, second bytes.Buffer
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("idle scrapes differ:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	if !strings.Contains(first.String(), "test_mirror_total 123") {
+		t.Fatalf("collect hook did not run:\n%s", first.String())
+	}
+	// Children render sorted regardless of creation order.
+	if za := strings.Index(first.String(), `route="/a"`); za < 0 || za > strings.Index(first.String(), `route="/z"`) {
+		t.Fatalf("vec children not in sorted label order:\n%s", first.String())
+	}
+}
+
+// TestHistogramContract checks bucket cumulativeness and the +Inf == count
+// identity by parsing a scrape back, including under concurrent observers.
+func TestHistogramContract(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h_seconds", "h", []float64{0.001, 0.01, 0.1, 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%200) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, buf.String())
+	}
+	buckets := Buckets(samples, "test_h_seconds")
+	if len(buckets) != 5 || !math.IsInf(buckets[4].UpperBound, 1) {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].CumulativeCount < buckets[i-1].CumulativeCount {
+			t.Fatalf("buckets not cumulative: %+v", buckets)
+		}
+	}
+	count, ok := Value(samples, "test_h_seconds_count")
+	if !ok || uint64(count) != buckets[4].CumulativeCount {
+		t.Fatalf("+Inf bucket %d != count %v", buckets[4].CumulativeCount, count)
+	}
+	if uint64(count) != 4000 {
+		t.Fatalf("count = %v, want 4000", count)
+	}
+}
+
+// TestParseRejectsMalformed drives the grammar checks the smoke scripts rely
+// on.
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value",
+		"1leading_digit 3",
+		`x{unclosed="v" 3`,
+		`x{bad name="v"} 3`,
+		`x{l="dangling\} 3`,
+		"x 1 2 3",
+		"x notanumber",
+		"# TYPE x sometype",
+	} {
+		if _, err := ParseText([]byte(bad + "\n")); err == nil {
+			t.Errorf("malformed line %q parsed without error", bad)
+		}
+	}
+	samples, err := ParseText([]byte("# HELP x h\n# TYPE x counter\nx{a=\"b\"} 5 1700000000\n\nx 3\nx_inf +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 || samples[0].Label("a") != "b" || samples[0].Value != 5 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if !math.IsInf(samples[2].Value, 1) {
+		t.Fatalf("+Inf value parsed as %v", samples[2].Value)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	buckets := []Bucket{
+		{UpperBound: 0.1, CumulativeCount: 50},
+		{UpperBound: 0.2, CumulativeCount: 100},
+		{UpperBound: math.Inf(1), CumulativeCount: 100},
+	}
+	if p50 := Quantile(0.5, buckets); p50 != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1", p50)
+	}
+	if p75 := Quantile(0.75, buckets); math.Abs(p75-0.15) > 1e-9 {
+		t.Fatalf("p75 = %v, want 0.15", p75)
+	}
+	if p100 := Quantile(1, buckets); p100 != 0.2 {
+		t.Fatalf("p100 = %v, want 0.2 (highest finite bound)", p100)
+	}
+	if !math.IsNaN(Quantile(0.5, nil)) {
+		t.Fatalf("quantile of no buckets should be NaN")
+	}
+}
+
+// TestTrace drives span accumulation and the Server-Timing rendering,
+// including the nil-trace no-op contract the scheduler relies on.
+func TestTrace(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("resolve", 1500*time.Microsecond)
+	tr.Add("compute", 2*time.Millisecond)
+	tr.Add("resolve", 500*time.Microsecond) // merges into the first stage
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Name != "resolve" || stages[0].Dur != 2*time.Millisecond {
+		t.Fatalf("stages = %+v", stages)
+	}
+	header := tr.ServerTiming(`cache;desc="hit"`)
+	if header != `resolve;dur=2.000, compute;dur=2.000, cache;desc="hit"` {
+		t.Fatalf("Server-Timing = %q", header)
+	}
+
+	sp := tr.Span("wait")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if s := tr.Stages(); len(s) != 3 || s[2].Name != "wait" || s[2].Dur <= 0 {
+		t.Fatalf("span did not accumulate: %+v", s)
+	}
+
+	var nilTrace *Trace
+	nilTrace.Span("x").End()
+	nilTrace.Add("y", time.Second)
+	if nilTrace.Stages() != nil || nilTrace.ServerTiming() != "" {
+		t.Fatalf("nil trace is not a no-op")
+	}
+}
+
+func TestRegistryPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "y")
+}

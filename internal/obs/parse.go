@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set and its
+// value.  Histogram series come back as their underlying _bucket/_sum/_count
+// samples.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for the named label ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text exposition page, validating every line
+// against the v0.0.4 grammar: `# HELP`/`# TYPE` comment lines, blank lines,
+// and `name{labels} value [timestamp]` samples.  It is the reading half of
+// WriteText — udcd -stats and the smoke tests use it to turn a live scrape
+// back into numbers — and it errors on the first malformed line.
+func ParseText(data []byte) ([]Sample, error) {
+	var samples []Sample
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", ln+1, err)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// Find returns the samples matching a name and label constraints (pairs of
+// key, value; a sample matches when every constrained label equals its
+// constraint).
+func Find(samples []Sample, name string, constraints ...string) []Sample {
+	if len(constraints)%2 != 0 {
+		panic("obs: Find constraints must be key/value pairs")
+	}
+	var out []Sample
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(constraints); i += 2 {
+			if s.Labels[constraints[i]] != constraints[i+1] {
+				continue next
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Value returns the single matching sample's value; ok reports whether
+// exactly one sample matched.
+func Value(samples []Sample, name string, constraints ...string) (v float64, ok bool) {
+	found := Find(samples, name, constraints...)
+	if len(found) != 1 {
+		return 0, false
+	}
+	return found[0].Value, true
+}
+
+// Buckets extracts a histogram's cumulative buckets (sorted by upper bound,
+// +Inf last) for the samples matching the constraints, summing across any
+// remaining label dimensions — e.g. per-route latency aggregated over cache
+// grades.
+func Buckets(samples []Sample, name string, constraints ...string) []Bucket {
+	sums := make(map[float64]uint64)
+	for _, s := range Find(samples, name+"_bucket", constraints...) {
+		le, err := parseFloat(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		sums[le] += uint64(s.Value)
+	}
+	out := make([]Bucket, 0, len(sums))
+	for le, c := range sums {
+		out = append(out, Bucket{UpperBound: le, CumulativeCount: c})
+	}
+	sortBuckets(out)
+	return out
+}
+
+func sortBuckets(b []Bucket) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j].UpperBound < b[j-1].UpperBound; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+func checkComment(line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		// Bare comments are legal exposition; only HELP/TYPE have structure.
+		return nil
+	}
+	kind, rest, _ := strings.Cut(rest, " ")
+	if kind != "HELP" && kind != "TYPE" {
+		return nil
+	}
+	name, rest, _ := strings.Cut(rest, " ")
+	if !validMetricName(name) {
+		return fmt.Errorf("%s line with invalid metric name %q", kind, name)
+	}
+	if kind == "TYPE" {
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE line with unknown type %q", rest)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	s := Sample{Name: line[:nameEnd], Labels: map[string]string{}}
+	if !validMetricName(s.Name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		if rest, err = parseLabels(rest[1:], s.Labels); err != nil {
+			return Sample{}, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return Sample{}, fmt.Errorf("sample %q needs a value and at most a timestamp", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("sample %q: bad timestamp: %w", line, err)
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns what follows the
+// closing brace.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if rest == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq <= 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", fmt.Errorf("malformed label pair near %q", rest)
+		}
+		name := rest[:eq]
+		if !validMetricName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		value, remainder, err := parseQuoted(rest[eq+2:])
+		if err != nil {
+			return "", err
+		}
+		into[name] = value
+		rest = remainder
+	}
+}
+
+// parseQuoted consumes an exposition-escaped label value up to its closing
+// quote.
+func parseQuoted(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c in label value", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseFloat is strconv.ParseFloat plus the exposition spellings of the
+// special values.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace accumulates named stage timings for one request.  Stages with the
+// same name merge (a request that computes owned seeds and then waits on
+// joined ones gets one "compute" stage), and stage order is first-start
+// order, so the rendered breakdown reads in request order.  A Trace belongs
+// to one request goroutine and is not safe for concurrent use; the zero
+// value and the nil pointer are both ready to use (spans on a nil trace are
+// no-ops, so instrumented paths need no nil checks).
+type Trace struct {
+	stages []TraceStage
+}
+
+// TraceStage is one accumulated stage.
+type TraceStage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Span starts a stage timer; its End adds the elapsed time to the named
+// stage.
+func (t *Trace) Span(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// Add folds a duration into the named stage directly.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	for i := range t.stages {
+		if t.stages[i].Name == name {
+			t.stages[i].Dur += d
+			return
+		}
+	}
+	t.stages = append(t.stages, TraceStage{Name: name, Dur: d})
+}
+
+// Stages returns the accumulated stages in first-start order.
+func (t *Trace) Stages() []TraceStage {
+	if t == nil {
+		return nil
+	}
+	return t.stages
+}
+
+// Span is an open stage timer.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End stops the span and accumulates it into its trace.  Ending a zero Span
+// is a no-op.
+func (s Span) End() {
+	if s.t != nil {
+		s.t.Add(s.name, time.Since(s.start))
+	}
+}
+
+// ServerTiming renders the trace as a Server-Timing header value:
+// `resolve;dur=1.234, compute;dur=56.789`, durations in milliseconds.  extra
+// entries (e.g. `cache;desc="hit"`, `total;dur=...`) are appended verbatim.
+func (t *Trace) ServerTiming(extra ...string) string {
+	var parts []string
+	for _, st := range t.Stages() {
+		parts = append(parts, st.Name+";dur="+FormatMillis(st.Dur))
+	}
+	parts = append(parts, extra...)
+	return strings.Join(parts, ", ")
+}
+
+// FormatMillis renders a duration as milliseconds with microsecond
+// precision, the Server-Timing convention.
+func FormatMillis(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client talks to a udcd daemon.  The -remote modes of udcsim and fdextract
@@ -18,6 +20,12 @@ type Client struct {
 	// HTTPClient overrides the transport (nil means a client with a
 	// 10-minute timeout, matching long cold sweeps).
 	HTTPClient *http.Client
+	// ServerTiming is the Server-Timing header of the most recent sweep or
+	// extract response: the daemon's stage breakdown (resolve, claim,
+	// compute, assemble, persist, total) plus the cache grade.  Verbose
+	// command modes print it; it is overwritten per call, so a Client shared
+	// across goroutines should not read it.
+	ServerTiming string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -54,6 +62,7 @@ func (c *Client) post(path string, req, out any) (cache string, err error) {
 	if err := json.Unmarshal(raw, out); err != nil {
 		return "", fmt.Errorf("%s: decode response: %w", path, err)
 	}
+	c.ServerTiming = resp.Header.Get("Server-Timing")
 	return resp.Header.Get("X-Cache"), nil
 }
 
@@ -93,4 +102,27 @@ func (c *Client) Stats() (*StatsResponse, error) {
 		return nil, fmt.Errorf("/v1/stats: decode response: %w", err)
 	}
 	return &out, nil
+}
+
+// Metrics scrapes the daemon's /metrics endpoint and returns the parsed
+// samples (validating the exposition grammar as a side effect).
+func (c *Client) Metrics() ([]obs.Sample, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/metrics"
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics: read response: %w", err)
+	}
+	samples, err := obs.ParseText(raw)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics: %w", err)
+	}
+	return samples, nil
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -189,7 +191,17 @@ type scheduler struct {
 	// re-inserted afterwards, so ownership is exclusive even though the tail
 	// runs outside the lock.
 	exstates map[store.Key]*workload.ExtractionState
-	stats    SchedulerStats
+	// stats is guarded by mu.  Every mutation — count(), finish(), and the
+	// few direct s.stats.X++ increments in dispatch() and Extract() — must
+	// hold mu; the direct increments are legal only because their enclosing
+	// blocks already own the lock, and each is annotated at the site.  The
+	// race test TestConcurrentExtractCoalescedAccounting exercises the
+	// direct-increment paths under -race.
+	stats SchedulerStats
+
+	// pending counts fleet jobs submitted and not yet completed — the queue
+	// depth an admission controller (and the /metrics gauge) watches.
+	pending atomic.Int64
 
 	fleetq chan *fleetJob
 	quit   chan struct{}
@@ -281,6 +293,7 @@ func (s *scheduler) dispatch() {
 			close(job.done)
 		}
 
+		// Direct stats increments: legal because this block owns mu.
 		s.mu.Lock()
 		s.stats.Batches++
 		s.stats.BatchedTasks += uint64(len(jobs))
@@ -327,8 +340,12 @@ func (s *scheduler) releaseExtractionState(id store.Key, st *workload.Extraction
 	s.exstates[id] = st
 }
 
-// submit hands one job to the dispatcher and waits for its round.
+// submit hands one job to the dispatcher and waits for its round.  pending
+// brackets the wait so the queue-depth gauge sees jobs from the moment they
+// contend for a round until their round completes.
 func (s *scheduler) submit(job *fleetJob) error {
+	s.pending.Add(1)
+	defer s.pending.Add(-1)
 	select {
 	case s.fleetq <- job:
 	case <-s.quit:
@@ -336,6 +353,17 @@ func (s *scheduler) submit(job *fleetJob) error {
 	}
 	<-job.done
 	return job.err
+}
+
+// gauges samples the scheduler's live occupancy for the /metrics endpoint:
+// fleet jobs submitted and not yet completed, and seeds currently claimed in
+// the seed-level flight table.
+func (s *scheduler) gauges() (queueDepth, inflightSeeds int64) {
+	queueDepth = s.pending.Load()
+	s.mu.Lock()
+	inflightSeeds = int64(len(s.seedflight))
+	s.mu.Unlock()
+	return queueDepth, inflightSeeds
 }
 
 func (s *scheduler) count(f func(*SchedulerStats)) {
@@ -404,7 +432,10 @@ func (r resolution) status() CacheStatus {
 // decoder, and only when needRuns is set (extraction sources) are the decoded
 // runs copied out of its buffers into the resolution; sweeps consume
 // outcomes alone, so their partial-hit path materialises no run at all.
-func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool) (resolution, error) {
+// tr (nil-safe) accumulates the stage timings: corpus reads under "resolve",
+// flight-table claims under "claim", fleet waits under "compute", per-seed
+// record writes under "persist" and outcome merging under "assemble".
+func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool, tr *obs.Trace) (resolution, error) {
 	n := len(seeds)
 	keys := make([]store.Key, n)
 	for i, seed := range seeds {
@@ -437,6 +468,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 		return run
 	}
 
+	resolveSpan := tr.Span("resolve")
 	for i, payload := range s.store.GetMulti(keys) {
 		if payload == nil {
 			continue
@@ -448,8 +480,10 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			resolved[i] = true
 		}
 	}
+	resolveSpan.End()
 
 	// Claim the unresolved seeds, joining any already in flight.
+	claimSpan := tr.Span("claim")
 	var owned []int
 	ownedCalls := make(map[int]*seedCall)
 	var joined []int
@@ -503,6 +537,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 		close(c.done)
 	}
 	owned = stillOwned
+	claimSpan.End()
 
 	// Simulate the claimed seeds in one dispatcher round, persist them as
 	// per-seed records, and publish them to any requests that joined.
@@ -516,8 +551,11 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
 			done: make(chan struct{}),
 		}
+		computeSpan := tr.Span("compute")
 		computeErr = s.submit(job)
+		computeSpan.End()
 		if computeErr == nil {
+			persistSpan := tr.Span("persist")
 			putKeys := make([]store.Key, len(owned))
 			putPayloads := make([][]byte, len(owned))
 			for j, i := range owned {
@@ -532,6 +570,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			if failed, _ := s.store.PutMulti(putKeys, putPayloads); failed > 0 {
 				s.count(func(st *SchedulerStats) { st.PutErrors += uint64(failed) })
 			}
+			persistSpan.End()
 		}
 		s.mu.Lock()
 		for _, i := range owned {
@@ -550,7 +589,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 		}
 	}
 
-	// Collect the seeds concurrent requests computed for us.
+	// Collect the seeds concurrent requests computed for us.  The wait is
+	// compute time: someone's fleet round is producing these seeds.
+	joinSpan := tr.Span("compute")
 	for _, c := range joinedCalls {
 		<-c.done
 		if c.err != nil {
@@ -564,10 +605,12 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			runsBySeed[c.outcome.Seed] = c.run
 		}
 	}
+	joinSpan.End()
 	if computeErr != nil {
 		return resolution{}, computeErr
 	}
 
+	assembleSpan := tr.Span("assemble")
 	outcomes, err := workload.MergeOutcomes(seeds, cachedOut, computedOut, joinedOut)
 	if err != nil {
 		return resolution{}, err
@@ -584,6 +627,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			res.runs[i] = runsBySeed[seed]
 		}
 	}
+	assembleSpan.End()
 
 	s.count(func(st *SchedulerStats) {
 		st.SeedsRequested += uint64(n)
@@ -598,8 +642,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 }
 
 // Sweep serves one validated sweep request, returning the encoded record and
-// how much of it came from the corpus.
-func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus, err error) {
+// how much of it came from the corpus.  tr (nil-safe) collects per-stage
+// timings for the Server-Timing header and ?debug=timing traces.
+func (s *scheduler) Sweep(req SweepRequest, tr *obs.Trace) (payload []byte, status CacheStatus, err error) {
 	sc, err := registry.LookupScenario(req.Scenario)
 	if err != nil {
 		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
@@ -618,17 +663,21 @@ func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus,
 	// Request-level fast path: an identical window was served before, so its
 	// assembled record is already in the corpus (uncounted probe — a miss
 	// here is accounted at seed granularity below).
+	probeSpan := tr.Span("resolve")
 	key := req.keySpec().Key()
-	if payload, ok := s.store.Probe(key); ok {
+	payload, probed := s.store.Probe(key)
+	probeSpan.End()
+	if probed {
 		s.finish(CacheHit, nil)
 		return payload, CacheHit, nil
 	}
 
-	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false)
+	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false, tr)
 	if err != nil {
 		s.finish(CacheMiss, err)
 		return nil, CacheMiss, err
 	}
+	encodeSpan := tr.Span("assemble")
 	payload = store.EncodeSweepRecord(&store.SweepRecord{
 		Scenario:  sc.Name,
 		Check:     sc.Check,
@@ -636,15 +685,18 @@ func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus,
 		SeedBase:  req.SeedBase,
 		Outcomes:  res.outcomes,
 	})
+	encodeSpan.End()
 	// Persist the assembled window unless this request was fully coalesced —
 	// its seeds are being written by their owners, so a repeat resolves as a
 	// pure per-seed assembly and persists then.  Pure assemblies do persist,
 	// so a repeatedly requested subset graduates to the window-record fast
 	// path instead of re-assembling forever.
 	if res.computed > 0 || res.joined == 0 {
+		persistSpan := tr.Span("persist")
 		if perr := s.store.Put(key, payload); perr != nil {
 			s.count(func(st *SchedulerStats) { st.PutErrors++ })
 		}
+		persistSpan.End()
 	}
 	status = res.status()
 	s.finish(status, nil)
@@ -654,8 +706,10 @@ func (s *scheduler) Sweep(req SweepRequest) (payload []byte, status CacheStatus,
 // Extract serves one validated extract request, returning the encoded record
 // and how much of it came from the corpus.  The whole-pipeline record is the
 // request-level cache; on a miss, the simulate stage reuses cached per-seed
-// source runs and only the pipeline tail is recomputed.
-func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheStatus, err error) {
+// source runs and only the pipeline tail is recomputed.  tr (nil-safe)
+// collects per-stage timings for the Server-Timing header and ?debug=timing
+// traces.
+func (s *scheduler) Extract(req ExtractRequest, tr *obs.Trace) (payload []byte, status CacheStatus, err error) {
 	sc, err := registry.LookupExtraction(req.Extraction)
 	if err != nil {
 		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
@@ -680,7 +734,10 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheSta
 
 	spec := store.KeySpec{Kind: "extract", Name: req.Extraction, Adversary: req.Adversary, SeedBase: ext.BaseSeed, Count: ext.Runs}
 	key := spec.Key()
-	if payload, ok := s.store.Probe(key); ok {
+	probeSpan := tr.Span("resolve")
+	payload, probed := s.store.Probe(key)
+	probeSpan.End()
+	if probed {
 		s.finish(CacheHit, nil)
 		return payload, CacheHit, nil
 	}
@@ -688,19 +745,31 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheSta
 	// Identical concurrent extractions coalesce at request level: the
 	// pipeline tail is one indivisible computation, so there is nothing
 	// finer to share.
+	claimSpan := tr.Span("claim")
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
+		// Direct stats increment: legal because this block owns mu (taken
+		// three lines up, released below before the wait).
 		s.stats.Coalesced++
 		s.mu.Unlock()
+		claimSpan.End()
+		// The wait is compute time: the owning request's pipeline tail is
+		// producing this response.
+		waitSpan := tr.Span("compute")
 		<-c.done
+		waitSpan.End()
 		s.finish(c.status, c.err)
 		return c.payload, c.status, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[key] = c
 	s.mu.Unlock()
+	claimSpan.End()
 
-	if stored, ok := s.store.Probe(key); ok {
+	reprobeSpan := tr.Span("resolve")
+	stored, restored := s.store.Probe(key)
+	reprobeSpan.End()
+	if restored {
 		c.payload, c.status = stored, CacheHit
 	} else {
 		c.status = CacheMiss
@@ -720,11 +789,13 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheSta
 		seeds := workload.Seeds(ext.BaseSeed, ext.Runs)[reused:]
 		var res resolution
 		if len(seeds) > 0 {
-			res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true)
+			res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true, tr)
 		}
 		if c.err == nil {
 			job := &fleetJob{extract: &ext, sampled: res.runs, exState: exState, done: make(chan struct{})}
+			tailSpan := tr.Span("compute")
 			c.err = s.submit(job)
+			tailSpan.End()
 			// The state stays coherent even when the tail errors, so it is
 			// always worth returning to the cache.
 			s.releaseExtractionState(stateID, exState)
@@ -732,16 +803,20 @@ func (s *scheduler) Extract(req ExtractRequest) (payload []byte, status CacheSta
 				if reused > 0 {
 					s.count(func(st *SchedulerStats) { st.IndexReuses++; st.IndexedRunsReused += uint64(reused) })
 				}
+				encodeSpan := tr.Span("assemble")
 				c.payload = store.EncodeExtractionRecord(store.NewExtractionRecord(req.Adversary, sc.Stress, job.exResult))
+				encodeSpan.End()
 				// The pipeline tail always runs on a request-level miss, so
 				// cached source runs or a reused index prefix make the
 				// response partial, never a hit.
 				if res.cached > 0 || reused > 0 {
 					c.status = CachePartial
 				}
+				persistSpan := tr.Span("persist")
 				if perr := s.store.Put(key, c.payload); perr != nil {
 					s.count(func(st *SchedulerStats) { st.PutErrors++ })
 				}
+				persistSpan.End()
 			}
 		} else {
 			s.releaseExtractionState(stateID, exState)

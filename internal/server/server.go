@@ -18,16 +18,29 @@
 //	GET  /v1/scenarios               the scenario + extraction catalogs
 //	GET  /v1/adversaries             the adversary catalog
 //	GET  /v1/stats                   store + scheduler counters
+//	GET  /metrics                    Prometheus text exposition
+//	GET  /debug/pprof/*              runtime profiles (Config.Pprof only)
+//
+// Every response to /v1/sweep and /v1/extract carries a Server-Timing header
+// with the scheduler's stage breakdown (resolve, claim, compute, assemble,
+// persist), and `?debug=timing` wraps the body in a JSON trace envelope whose
+// inner `response` bytes are the unchanged normal body.  Observability lives
+// in headers and opt-in envelopes only, never in default bodies, so every
+// byte-identity guarantee above survives it.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -44,14 +57,25 @@ type Config struct {
 	// BatchWindow is how long the dispatcher keeps collecting concurrent
 	// sweep requests into one worker-fleet pass (0 = 2ms).
 	BatchWindow time.Duration
+	// Pprof mounts net/http/pprof's profiling handlers under /debug/pprof/.
+	// Off by default: profiles expose internals, so the operator opts in.
+	Pprof bool
+	// SlowRequest is the latency above which a served request is logged with
+	// its stage trace (0 disables slow-request logging).
+	SlowRequest time.Duration
+	// Logf receives slow-request log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Server is the daemon: an http.Handler plus the scheduler and store behind
 // it.
 type Server struct {
-	store *store.Store
-	sched *scheduler
-	mux   *http.ServeMux
+	store   *store.Store
+	sched   *scheduler
+	mux     *http.ServeMux
+	metrics *serverMetrics
+	slow    time.Duration
+	logf    func(format string, args ...any)
 }
 
 // New assembles a server from the config.
@@ -67,14 +91,65 @@ func New(cfg Config) (*Server, error) {
 		store: st,
 		sched: newScheduler(st, cfg.Workers, cfg.BatchWindow),
 		mux:   http.NewServeMux(),
+		slow:  cfg.SlowRequest,
+		logf:  cfg.Logf,
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("/v1/extract", s.handleExtract)
-	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("/v1/adversaries", s.handleAdversaries)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.metrics = newServerMetrics(s.sched, st, time.Now())
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/extract", s.instrument("/v1/extract", s.handleExtract))
+	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
+	s.mux.HandleFunc("/v1/adversaries", s.instrument("/v1/adversaries", s.handleAdversaries))
+	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	// /metrics is deliberately uninstrumented: scraping must not perturb the
+	// exposed numbers, and idle scrapes must stay byte-identical.
+	s.mux.HandleFunc("/metrics", s.metrics.handleMetrics)
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// statusRecorder captures the response status code for the per-route
+// counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with the live HTTP metrics: one requests_total
+// increment per finished request (labeled by status code) and one latency
+// observation (labeled by cache grade — the X-Cache value for corpus-backed
+// routes, "none" for plain ones, "error" for failures).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		grade := rec.Header().Get("X-Cache")
+		if grade == "" {
+			if rec.code >= 400 {
+				grade = "error"
+			} else {
+				grade = "none"
+			}
+		}
+		s.metrics.httpRequests.With(route, strconv.Itoa(rec.code)).Inc()
+		s.metrics.httpDuration.With(route, grade).Observe(elapsed.Seconds())
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -182,7 +257,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
-	payload, status, err := s.sched.Sweep(req)
+	tr := &obs.Trace{}
+	start := time.Now()
+	payload, status, err := s.sched.Sweep(req, tr)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -193,7 +270,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setCacheHeader(w, status)
-	writeJSON(w, http.StatusOK, SweepResponseOf(rec))
+	s.writeTraced(w, r, "/v1/sweep", tr, start, status, SweepResponseOf(rec))
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
@@ -215,7 +292,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
-	payload, status, err := s.sched.Extract(req)
+	tr := &obs.Trace{}
+	start := time.Now()
+	payload, status, err := s.sched.Extract(req, tr)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -226,7 +305,59 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setCacheHeader(w, status)
-	writeJSON(w, http.StatusOK, ExtractResponseOf(rec))
+	s.writeTraced(w, r, "/v1/extract", tr, start, status, ExtractResponseOf(rec))
+}
+
+// TraceStageJSON is one stage of a ?debug=timing trace.
+type TraceStageJSON struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// TraceJSON is the ?debug=timing trace block: the scheduler's stage
+// breakdown, the total scheduling latency, and the cache grade.
+type TraceJSON struct {
+	Stages      []TraceStageJSON `json:"stages"`
+	TotalMillis float64          `json:"totalMillis"`
+	Cache       string           `json:"cache"`
+}
+
+// DebugTimingResponse is the ?debug=timing envelope.  Response holds the
+// exact bytes the request would have returned without the flag (minus
+// MarshalBody's trailing newline, which cannot live inside a JSON value), so
+// tooling can unwrap it and byte-compare against normal responses.
+type DebugTimingResponse struct {
+	Trace    TraceJSON       `json:"trace"`
+	Response json.RawMessage `json:"response"`
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeTraced finishes a served sweep/extract response: it renders the stage
+// trace as a Server-Timing header (always), wraps the body in a trace
+// envelope when the request opted in with ?debug=timing (the inner response
+// bytes are the unchanged normal body), and logs requests slower than the
+// configured threshold with their full stage breakdown.
+func (s *Server) writeTraced(w http.ResponseWriter, r *http.Request, route string, tr *obs.Trace, start time.Time, status CacheStatus, v any) {
+	total := time.Since(start)
+	w.Header().Set("Server-Timing", tr.ServerTiming(
+		"total;dur="+obs.FormatMillis(total),
+		`cache;desc="`+string(status)+`"`))
+	if r.URL.Query().Get("debug") == "timing" {
+		trace := TraceJSON{TotalMillis: millis(total), Cache: string(status)}
+		for _, st := range tr.Stages() {
+			trace.Stages = append(trace.Stages, TraceStageJSON{Name: st.Name, Millis: millis(st.Dur)})
+		}
+		writeJSON(w, http.StatusOK, DebugTimingResponse{
+			Trace:    trace,
+			Response: json.RawMessage(bytes.TrimSuffix(MarshalBody(v), []byte("\n"))),
+		})
+	} else {
+		writeJSON(w, http.StatusOK, v)
+	}
+	if s.slow > 0 && total >= s.slow {
+		s.logf("slow request: route=%s cache=%s total=%s stages=%q", route, status, total, tr.ServerTiming())
+	}
 }
 
 // setCacheHeader marks how much of the body came from the run corpus: "hit"

@@ -60,6 +60,11 @@ type Stats struct {
 	// Evictions counts entries dropped from the LRU layer to respect its
 	// bounds.
 	Evictions uint64
+	// BytesWritten and BytesRead are cumulative payload bytes persisted to
+	// and loaded from the disk layer (memory-only stores never move them);
+	// together with Puts/DiskHits they give the corpus's on-disk traffic.
+	BytesWritten uint64
+	BytesRead    uint64
 	// MemEntries and MemBytes are the LRU layer's current occupancy.
 	MemEntries int
 	MemBytes   int64
@@ -180,6 +185,7 @@ func (s *Store) get(key Key, countMiss bool) ([]byte, bool) {
 
 	s.mu.Lock()
 	s.stats.DiskHits++
+	s.stats.BytesRead += uint64(len(data))
 	s.admit(key, data)
 	s.mu.Unlock()
 	return data, true
@@ -227,6 +233,9 @@ func (s *Store) Put(key Key, payload []byte) error {
 
 	s.mu.Lock()
 	s.stats.Puts++
+	if s.dir != "" {
+		s.stats.BytesWritten += uint64(len(payload))
+	}
 	s.admit(key, payload)
 	s.mu.Unlock()
 	return nil
@@ -315,6 +324,7 @@ func (s *Store) GetMulti(keys []Key) [][]byte {
 	for _, i := range rest {
 		if payloads[i] != nil {
 			s.stats.DiskHits++
+			s.stats.BytesRead += uint64(len(payloads[i]))
 			s.admit(keys[i], payloads[i])
 		}
 	}

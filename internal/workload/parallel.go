@@ -43,8 +43,19 @@ func (r Runner) each(n int, fn func(i int)) {
 // eachWithEngine is each with one sim.Engine owned per worker, for stages
 // that execute simulations.  Recorded results are independent of an engine's
 // prior runs, so sharing an engine within a worker does not affect slots.
+// Simulation stages are also where the Fleet gauges move: seeds become
+// in-flight when the pass admits them and drain as each finishes, and a
+// worker counts as busy exactly while it executes.
 func (r Runner) eachWithEngine(n int, fn func(eng *sim.Engine, i int)) {
-	pool.EachSlot(r.Workers, n, sim.NewEngine, fn)
+	Fleet.ActivePasses.Add(1)
+	Fleet.InflightSeeds.Add(int64(n))
+	defer Fleet.ActivePasses.Add(-1)
+	pool.EachSlot(r.Workers, n, sim.NewEngine, func(eng *sim.Engine, i int) {
+		Fleet.BusyWorkers.Add(1)
+		fn(eng, i)
+		Fleet.BusyWorkers.Add(-1)
+		Fleet.InflightSeeds.Add(-1)
+	})
 }
 
 // Sweep runs one scenario for every seed, in parallel, and aggregates the

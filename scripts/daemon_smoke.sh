@@ -6,6 +6,8 @@
 # sweep that must be a partial hit computing exactly 8 new seeds, a repeat
 # that must be a byte-identical full hit, and a second cold daemon whose
 # from-scratch seeds=16 body must equal the assembled one byte for byte.
+# Along the way it scrapes /metrics, validates the exposition grammar line by
+# line, and checks the scheduler mirror agrees with /v1/stats.
 # Run by `make daemon-smoke` and by CI.
 set -eu
 
@@ -63,6 +65,17 @@ cmp "$workdir/b16" "$workdir/b16b" || { echo "cache hit body differs from assemb
 
 # The daemon's own counter summary agrees (udcd -stats against the live daemon).
 "$workdir/udcd" -stats -addr "${base#http://}" | grep -q 'partialHits=1' || { echo "-stats does not report the partial hit"; exit 1; }
+
+# Served responses carry the scheduler's stage trace.
+grep -qi '^server-timing: .*total;dur=' "$workdir/h16b" || { echo "sweep response lacks a Server-Timing trace:"; cat "$workdir/h16b"; exit 1; }
+
+# The /metrics exposition: every line must match the v0.0.4 grammar (HELP/TYPE
+# comment, sample, or blank), and the scheduler mirror must agree with the
+# seed accounting /v1/stats reported above.
+curl -sf "$base/metrics" >"$workdir/metrics.txt"
+bad="$(grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9][0-9eE+.-]*|\+Inf|-Inf|NaN)( [0-9]+)?|)$' "$workdir/metrics.txt" || true)"
+[ -z "$bad" ] || { echo "malformed exposition lines:"; echo "$bad"; exit 1; }
+grep -q '^udc_scheduler_seeds_computed_total 16$' "$workdir/metrics.txt" || { echo "/metrics seeds_computed disagrees with /v1/stats (want 16):"; grep seeds_computed "$workdir/metrics.txt"; exit 1; }
 
 # A cold daemon over a fresh store must compute the same 16-seed body byte
 # for byte — the assembled partial-hit response is indistinguishable from a

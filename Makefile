@@ -44,7 +44,7 @@ metrics-smoke:
 # next BENCH_<n>.json snapshot, so the performance trajectory accumulates
 # across working sessions.  Tune the sample count with BENCHTIME=50x etc.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction|BenchmarkCodec|BenchmarkServerSweep|BenchmarkSchedulerDuplicates|BenchmarkStoreMultiGet)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) test -run '^$$' -bench '^(BenchmarkTable1|BenchmarkAdversarySweep|BenchmarkExtraction|BenchmarkCodec|BenchmarkServerSweep|BenchmarkServerWire|BenchmarkSchedulerDuplicates|BenchmarkStoreMultiGet)$$' -benchtime $(BENCHTIME) . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	@$(GO) run ./cmd/benchjson -dir . < bench.out; status=$$?; rm -f bench.out; exit $$status
 

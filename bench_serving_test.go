@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime/debug"
 	"sync"
 	"testing"
 
@@ -107,6 +108,21 @@ func BenchmarkCodec(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, data := range encoded {
 				if _, err := store.DecodeRun(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// decode-bin-arena is decode-bin-owned with the owning copies carved from
+	// a reused CloneArena: the allocation cliff of the owned variant (three
+	// allocations per run) amortises to zero in steady state.
+	b.Run(fmt.Sprintf("decode-bin-arena/runs=%d", len(runs)), func(b *testing.B) {
+		b.ReportAllocs()
+		arena := model.NewCloneArena()
+		for i := 0; i < b.N; i++ {
+			arena.Reset()
+			for _, data := range encoded {
+				if _, err := store.DecodeRunInto(arena, data); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -242,6 +258,12 @@ func BenchmarkStoreMultiGet(b *testing.B) {
 		if failed, err := s.PutMulti(keys, payloads); failed != 0 {
 			b.Fatalf("PutMulti: %d failed: %v", failed, err)
 		}
+		// Return retained heap to the OS and fault the batch back in before
+		// timing: earlier benchmarks' multi-GB churn otherwise keeps the
+		// process large enough that the container evicts these files from
+		// the page cache, and the timed loop measures eviction, not reads.
+		debug.FreeOSMemory()
+		s.GetMulti(batchKeys)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			got := s.GetMulti(batchKeys)
@@ -322,4 +344,73 @@ func BenchmarkSchedulerDuplicates(b *testing.B) {
 			fire(b, url)
 		}
 	})
+}
+
+// benchGetWire is benchGet with an Accept header, returning the response
+// body's size on the wire.
+func benchGetWire(b *testing.B, url, accept string) int64 {
+	b.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	return n
+}
+
+// BenchmarkServerWire compares the negotiated response formats on /v1/sweep,
+// reporting the body size on the wire alongside the latency.  The warm pair
+// at a wide window is the tentpole measurement: warm-bin replays the stored
+// container byte-for-byte (no decode, no re-encode), so both its latency and
+// its wire size are the floor the JSON path is measured against.
+func BenchmarkServerWire(b *testing.B) {
+	const scenario = "prop2.3-nudc"
+	formats := []struct{ name, accept string }{
+		{"json", ""},
+		{"bin", "application/x-udc-bin"},
+		{"ndjson", "application/x-ndjson"},
+		{"bin-stream", "application/x-udc-bin-stream"},
+	}
+
+	const coldSeeds = 8
+	for _, f := range formats {
+		b.Run(fmt.Sprintf("cold-%s/%s/seeds=%d", f.name, scenario, coldSeeds), func(b *testing.B) {
+			_, ts := newBenchServer(b)
+			var wire int64
+			for i := 0; i < b.N; i++ {
+				wire += benchGetWire(b, fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d",
+					ts.URL, scenario, coldSeeds, 1+i*100000), f.accept)
+			}
+			b.ReportMetric(float64(wire)/float64(b.N), "wirebytes/op")
+		})
+	}
+
+	const window = 512
+	for _, f := range formats {
+		b.Run(fmt.Sprintf("warm-%s/%s/seeds=%d", f.name, scenario, window), func(b *testing.B) {
+			_, ts := newBenchServer(b)
+			url := fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d", ts.URL, scenario, window)
+			benchGet(b, url) // prime the window record
+			b.ResetTimer()
+			var wire int64
+			for i := 0; i < b.N; i++ {
+				wire += benchGetWire(b, url, f.accept)
+			}
+			b.ReportMetric(float64(wire)/float64(b.N), "wirebytes/op")
+		})
+	}
 }

@@ -194,6 +194,7 @@ func compare(w io.Writer, oldPath, newPath string, threshold, minNs float64) ([]
 
 	fmt.Fprintf(w, "%-72s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	var regressions []string
+	var added, retired, compared int
 	seen := make(map[string]bool, len(newSnap.Benchmarks))
 	for _, b := range newSnap.Benchmarks {
 		ns, ok := b.Metrics["ns/op"]
@@ -204,9 +205,11 @@ func compare(w io.Writer, oldPath, newPath string, threshold, minNs float64) ([]
 		allocs := allocDelta("B/op", oldMetrics[b.Name], b.Metrics) + allocDelta("allocs/op", oldMetrics[b.Name], b.Metrics)
 		oldM, ok := oldMetrics[b.Name]
 		if !ok {
+			added++
 			fmt.Fprintf(w, "%-72s %14s %14.0f %9s%s\n", b.Name, "-", ns, "new", allocs)
 			continue
 		}
+		compared++
 		old := oldM["ns/op"]
 		delta := (ns - old) / old
 		mark := ""
@@ -218,9 +221,12 @@ func compare(w io.Writer, oldPath, newPath string, threshold, minNs float64) ([]
 	}
 	for _, b := range oldSnap.Benchmarks {
 		if _, ok := b.Metrics["ns/op"]; ok && !seen[b.Name] {
+			retired++
 			fmt.Fprintf(w, "%-72s %14.0f %14s %9s\n", b.Name, b.Metrics["ns/op"], "-", "gone")
 		}
 	}
+	fmt.Fprintf(w, "compared %d benchmarks: %d new, %d gone, %d regressions\n",
+		compared, added, retired, len(regressions))
 	return regressions, nil
 }
 

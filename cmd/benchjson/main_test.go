@@ -128,6 +128,9 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if strings.Count(out, "REGRESSION") != 1 {
 		t.Errorf("exactly one regression marker expected:\n%s", out)
 	}
+	if !strings.Contains(out, "compared 3 benchmarks: 1 new, 1 gone, 1 regressions") {
+		t.Errorf("compare output lacks the summary line:\n%s", out)
+	}
 }
 
 // writeMetricsSnapshot writes a snapshot with full metric maps per benchmark.

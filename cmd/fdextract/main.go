@@ -53,6 +53,7 @@ func run(args []string, w io.Writer) error {
 		outPath       string
 		format        string
 		remote        string
+		wire          string
 	)
 	fs := flag.NewFlagSet("fdextract", flag.ContinueOnError)
 	fs.StringVar(&scenario, "scenario", "kx-perfect",
@@ -66,6 +67,7 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&outPath, "o", "", "write the transformed runs (the simulated detector's system) to this file in -format")
 	fs.StringVar(&format, "format", store.FormatAuto, "run file format for -o: bin | json | auto (bin)")
 	fs.StringVar(&remote, "remote", "", "udcd base URL: serve the pipeline from the daemon instead of executing locally (incompatible with -o and -workers)")
+	fs.StringVar(&wire, "wire", "bin", "with -remote: response wire format, bin (the store's codec container, decoded locally) or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +86,10 @@ func run(args []string, w io.Writer) error {
 		if workers != 0 {
 			return fmt.Errorf("-workers sizes the local pool; the daemon's fleet is configured on its side (drop -remote or -workers)")
 		}
-		return runRemote(w, remote, scenario, adversary, runs, seed)
+		if wire != "bin" && wire != "json" {
+			return fmt.Errorf("-wire must be bin or json, not %q", wire)
+		}
+		return runRemote(w, remote, wire, scenario, adversary, runs, seed)
 	}
 
 	sc, err := registry.LookupExtraction(scenario)
@@ -164,8 +169,8 @@ func run(args []string, w io.Writer) error {
 // catalog is authoritative — the pipeline name, and the stress flag that
 // decides whether violations are the expected result, both resolve on its
 // side, so a client can drive pipelines its own build does not know.
-func runRemote(w io.Writer, remote, scenario, adversary string, runs int, seed int64) error {
-	client := &server.Client{BaseURL: remote}
+func runRemote(w io.Writer, remote, wire, scenario, adversary string, runs int, seed int64) error {
+	client := &server.Client{BaseURL: remote, Wire: wire}
 	resp, cache, err := client.Extract(server.ExtractRequest{
 		Extraction: scenario,
 		Adversary:  adversary,

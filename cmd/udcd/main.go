@@ -16,6 +16,15 @@
 // Endpoints: /healthz, /v1/sweep, /v1/extract, /v1/scenarios,
 // /v1/adversaries, /v1/stats, /metrics (Prometheus text exposition), and —
 // with -pprof — /debug/pprof/*.
+//
+// The sweep and extract routes content-negotiate: JSON (the default), the
+// store's binary codec container (Accept: application/x-udc-bin or
+// ?format=bin, served byte-for-byte with no re-encode), streamed NDJSON
+// (application/x-ndjson, one outcome per line plus a trailer record), and —
+// for sweeps — length-prefixed binary frames (application/x-udc-bin-stream).
+// -rate-limit, -max-queue and -request-timeout add admission control: shed
+// requests answer 429 with a Retry-After hint while everything admitted is
+// served to completion.
 package main
 
 import (
@@ -53,6 +62,10 @@ type options struct {
 	stats       bool
 	pprof       bool
 	slowLog     time.Duration
+	rateLimit   float64
+	rateBurst   int
+	maxQueue    int
+	reqTimeout  time.Duration
 }
 
 func parseOptions(args []string) (options, error) {
@@ -67,6 +80,10 @@ func parseOptions(args []string) (options, error) {
 	fs.BoolVar(&o.stats, "stats", false, "query the daemon running at -addr for its counters (full/partial/miss hits, seed traffic, store layers) and exit")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	fs.DurationVar(&o.slowLog, "slow-log", 30*time.Second, "log requests slower than this with their stage trace (0 disables)")
+	fs.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client sweep/extract requests per second; shed with 429 + Retry-After past the burst (0 disables)")
+	fs.IntVar(&o.rateBurst, "rate-burst", 0, "per-client burst allowance for -rate-limit (0 = twice the rate)")
+	fs.IntVar(&o.maxQueue, "max-queue", 0, "shed compute requests with 429 when this many fleet jobs are already pending; cache hits always served (0 disables)")
+	fs.DurationVar(&o.reqTimeout, "request-timeout", 0, "server-side deadline per sweep/extract request; exceeding it answers 503 and releases claimed seeds (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -146,11 +163,15 @@ func buildServer(o options) (*server.Server, error) {
 		return nil, err
 	}
 	return server.New(server.Config{
-		Store:       st,
-		Workers:     o.workers,
-		BatchWindow: o.batchWindow,
-		Pprof:       o.pprof,
-		SlowRequest: o.slowLog,
+		Store:          st,
+		Workers:        o.workers,
+		BatchWindow:    o.batchWindow,
+		Pprof:          o.pprof,
+		SlowRequest:    o.slowLog,
+		RateLimit:      o.rateLimit,
+		RateBurst:      o.rateBurst,
+		MaxQueue:       o.maxQueue,
+		RequestTimeout: o.reqTimeout,
 	})
 }
 

@@ -80,6 +80,7 @@ type options struct {
 	format          string
 	decodePath      string
 	remote          string
+	wire            string
 	timeline        int
 	quiet           bool
 	verbose         bool
@@ -120,6 +121,7 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.format, "format", store.FormatAuto, "run file format for -o and -decode: bin | json | auto (bin on encode, sniffed on decode)")
 	fs.StringVar(&o.decodePath, "decode", "", "decode a recorded run file and print its summary instead of simulating (with -check, also re-check it; with -o/-json, re-export it, converting formats)")
 	fs.StringVar(&o.remote, "remote", "", "udcd base URL: serve the sweep from the daemon instead of simulating locally (requires -scenario and -sweep; the summary line reports the daemon's X-Cache verdict: hit, partial or miss)")
+	fs.StringVar(&o.wire, "wire", "bin", "with -remote: response wire format, bin (the store's codec container, decoded locally) or json")
 	fs.IntVar(&o.timeline, "timeline", -1, "print the full event timeline of this process id")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-run summary")
 	fs.BoolVar(&o.verbose, "v", false, "with -remote: also print the daemon's Server-Timing stage breakdown")
@@ -310,7 +312,12 @@ func runRemote(o options) error {
 	if o.workers != 0 {
 		return fmt.Errorf("-workers sizes the local pool; the daemon's fleet is configured on its side (drop -remote or -workers)")
 	}
-	client := &server.Client{BaseURL: o.remote}
+	switch o.wire {
+	case "bin", "json":
+	default:
+		return fmt.Errorf("-wire must be bin or json, not %q", o.wire)
+	}
+	client := &server.Client{BaseURL: o.remote, Wire: o.wire}
 	resp, cache, err := client.Sweep(server.SweepRequest{
 		Scenario:  o.scenario,
 		Adversary: o.adversary,
@@ -322,8 +329,11 @@ func runRemote(o options) error {
 	}
 	fmt.Printf("%-34s ok=%d/%d msgs=%8.0f latency=%6.1f violations=%d [remote cache %s]\n",
 		resp.Scenario, resp.Successes, resp.Seeds, resp.MeanMessages, resp.MeanLatency, resp.TotalViolations, cache)
-	if o.verbose && client.ServerTiming != "" {
-		fmt.Printf("  server-timing: %s\n", client.ServerTiming)
+	if o.verbose {
+		fmt.Printf("  wire: format=%s bytes=%d\n", client.WireFormat, client.WireBytes)
+		if client.ServerTiming != "" {
+			fmt.Printf("  server-timing: %s\n", client.ServerTiming)
+		}
 	}
 	if !o.quiet {
 		for _, out := range resp.Outcomes {

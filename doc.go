@@ -11,10 +11,14 @@
 // Chandra-Toueg consensus baselines (internal/consensus), a registry of named
 // protocols, oracles and scenarios (internal/registry), a parallel sweep
 // runner with deterministic aggregates (internal/workload), the Table 1
-// reproduction harness (internal/table1), and a dependency-free
-// observability layer — Prometheus-format metrics, an exposition parser and
-// the Server-Timing stage tracer behind udcd's /metrics endpoint
-// (internal/obs).  See README.md for a tour.
+// reproduction harness (internal/table1), a dependency-free observability
+// layer — Prometheus-format metrics, an exposition parser, the Server-Timing
+// stage tracer and the admission token bucket behind udcd's serving path
+// (internal/obs), the content-addressed run-corpus store with its binary
+// codec and length-prefixed frame streams (internal/store), and the udcd
+// daemon itself — content negotiation across JSON/binary/streamed wire
+// formats, seed-granular scheduling and queue-aware admission control
+// (internal/server).  See README.md for a tour.
 //
 // The benchmarks in bench_test.go regenerate every row of the paper's only
 // table (Table 1) plus per-proposition workloads and ablations; run them with

@@ -1,0 +1,104 @@
+package model
+
+// CloneArena amortises the slab allocations of CompactClone across many
+// clones.  CompactClone performs three allocations per run (event slab, span
+// table, Run struct); a consumer that retains whole batches of decoded runs —
+// a binary-negotiated client draining a stream, a transcoder, DecodeSystem —
+// pays that per run.  A CloneArena carves all three out of chunked slabs that
+// Reset retains, so a steady-state loop of clone → use → Reset performs no
+// allocation at all once the chunks have grown to the batch's high-water
+// mark.
+//
+// Runs cloned through an arena remain valid until the arena is Reset; Reset
+// recycles the chunk memory, so a run retained across a Reset is clobbered by
+// later clones.  Growth never invalidates earlier clones — a full chunk is
+// retired in place (still referenced by the runs carved from it) and a larger
+// one started.  Arenas are not safe for concurrent use.
+type CloneArena struct {
+	slab  []TimedEvent
+	spans [][]TimedEvent
+	runs  []Run
+}
+
+// NewCloneArena returns an empty arena ready for use.
+func NewCloneArena() *CloneArena { return &CloneArena{} }
+
+// Clone returns a deep copy of the run carved from the arena, equivalent to
+// r.CompactClone(): per-process histories become capacity-clipped spans of
+// one contiguous slab sharing nothing with r.
+func (a *CloneArena) Clone(r *Run) *Run {
+	total := 0
+	for _, evs := range r.Events {
+		total += len(evs)
+	}
+	slab := a.carveEvents(total)
+	spans := a.carveSpans(len(r.Events))
+	off := 0
+	for p, evs := range r.Events {
+		end := off + copy(slab[off:], evs)
+		spans[p] = slab[off:end:end]
+		off = end
+	}
+	run := a.carveRun()
+	*run = Run{N: r.N, Horizon: r.Horizon, Events: spans}
+	return run
+}
+
+// Reset recycles the arena's current chunks for reuse, invalidating every run
+// previously cloned through it.  Span and run chunks are cleared so stale
+// entries do not pin retired event chunks.
+func (a *CloneArena) Reset() {
+	a.slab = a.slab[:0]
+	clear(a.spans[:cap(a.spans)])
+	a.spans = a.spans[:0]
+	clear(a.runs[:cap(a.runs)])
+	a.runs = a.runs[:0]
+}
+
+// minEventChunk keeps chunk churn low for tiny first clones without
+// pre-committing real memory for arenas that are never used.
+const minEventChunk = 1024
+
+func (a *CloneArena) carveEvents(n int) []TimedEvent {
+	if cap(a.slab)-len(a.slab) < n {
+		capacity := 2 * cap(a.slab)
+		if capacity < n {
+			capacity = n
+		}
+		if capacity < minEventChunk {
+			capacity = minEventChunk
+		}
+		a.slab = make([]TimedEvent, 0, capacity)
+	}
+	start := len(a.slab)
+	a.slab = a.slab[:start+n]
+	return a.slab[start : start+n : start+n]
+}
+
+func (a *CloneArena) carveSpans(n int) [][]TimedEvent {
+	if cap(a.spans)-len(a.spans) < n {
+		capacity := 2 * cap(a.spans)
+		if capacity < n {
+			capacity = n
+		}
+		if capacity < 16 {
+			capacity = 16
+		}
+		a.spans = make([][]TimedEvent, 0, capacity)
+	}
+	start := len(a.spans)
+	a.spans = a.spans[:start+n]
+	return a.spans[start : start+n : start+n]
+}
+
+func (a *CloneArena) carveRun() *Run {
+	if cap(a.runs) == len(a.runs) {
+		capacity := 2 * cap(a.runs)
+		if capacity < 8 {
+			capacity = 8
+		}
+		a.runs = make([]Run, 0, capacity)
+	}
+	a.runs = a.runs[:len(a.runs)+1]
+	return &a.runs[len(a.runs)-1]
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCloneArenaMatchesCompactClone(t *testing.T) {
+	r := sampleRun(t)
+	a := NewCloneArena()
+	got := a.Clone(r)
+	want := r.CompactClone()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arena clone differs from CompactClone:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestCloneArenaClonesAreIndependent(t *testing.T) {
+	r := sampleRun(t)
+	a := NewCloneArena()
+	clone := a.Clone(r)
+	// Mutating the source must not show through the clone: the arena copy
+	// shares no memory with r.
+	r.Events[0][0].Event.Msg.Kind = "mutated"
+	if clone.Events[0][0].Event.Msg.Kind == "mutated" {
+		t.Fatal("arena clone aliases the source run's events")
+	}
+	// Earlier clones survive later ones, including clones that force chunk
+	// growth.
+	first := a.Clone(r)
+	firstCopy := first.CompactClone()
+	for i := 0; i < 100; i++ {
+		a.Clone(r)
+	}
+	if !reflect.DeepEqual(first, firstCopy) {
+		t.Fatal("arena growth clobbered an earlier clone")
+	}
+}
+
+func TestCloneArenaResetRecyclesMemory(t *testing.T) {
+	r := sampleRun(t)
+	a := NewCloneArena()
+	want := r.CompactClone()
+	for round := 0; round < 3; round++ {
+		var clones []*Run
+		for i := 0; i < 10; i++ {
+			clones = append(clones, a.Clone(r))
+		}
+		for i, c := range clones {
+			if !reflect.DeepEqual(c, want) {
+				t.Fatalf("round %d clone %d differs after Reset reuse", round, i)
+			}
+		}
+		a.Reset()
+	}
+}
+
+func TestCloneArenaSteadyStateAllocs(t *testing.T) {
+	r := sampleRun(t)
+	a := NewCloneArena()
+	// Warm the chunks to the loop's high-water mark.
+	for i := 0; i < 10; i++ {
+		a.Clone(r)
+	}
+	a.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 10; i++ {
+			a.Clone(r)
+		}
+		a.Reset()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state clone loop allocates %.1f times per round, want 0", allocs)
+	}
+}

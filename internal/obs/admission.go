@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a deterministic token-bucket rate limiter: capacity `burst`
+// tokens, refilled continuously at `rate` tokens per second.  Every method
+// takes the current time explicitly, so tests drive it with a fake clock and
+// the limiter itself never reads a wall clock.  A TokenBucket is safe for
+// concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket.  rate must be positive; a burst below
+// one token is raised to one so a conforming client can always make progress.
+func NewTokenBucket(rate float64, burst float64, now time.Time) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// Allow reports whether one request may proceed at time now, consuming a
+// token if so.
+func (b *TokenBucket) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter returns how long a rejected caller should wait at time now
+// before one token will have accrued.  It is zero when a token is already
+// available.
+func (b *TokenBucket) RetryAfter(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// refill accrues tokens for the elapsed time; callers hold b.mu.  A clock
+// that goes backwards accrues nothing rather than draining the bucket.
+func (b *TokenBucket) refill(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}

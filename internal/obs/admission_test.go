@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(2, 3, now) // 2/s, burst 3, starts full
+	for i := 0; i < 3; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if b.Allow(now) {
+		t.Fatal("request past the burst allowed")
+	}
+	// Half a second refills one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("refilled token denied")
+	}
+	if b.Allow(now) {
+		t.Fatal("second token allowed before it refilled")
+	}
+}
+
+func TestTokenBucketRetryAfter(t *testing.T) {
+	now := time.Unix(2000, 0)
+	b := NewTokenBucket(2, 1, now)
+	if !b.Allow(now) {
+		t.Fatal("first request denied")
+	}
+	if b.Allow(now) {
+		t.Fatal("empty bucket allowed")
+	}
+	// One token at 2/s takes 500ms to refill.
+	if ra := b.RetryAfter(now); ra <= 0 || ra > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want in (0, 500ms]", ra)
+	}
+	if ra := b.RetryAfter(now.Add(time.Second)); ra != 0 {
+		t.Fatalf("RetryAfter with a refilled bucket = %v, want 0", ra)
+	}
+}
+
+func TestTokenBucketClockSafety(t *testing.T) {
+	now := time.Unix(3000, 0)
+	b := NewTokenBucket(1, 1, now)
+	if !b.Allow(now) {
+		t.Fatal("first request denied")
+	}
+	// A clock that jumps backwards must not mint tokens or panic.
+	if b.Allow(now.Add(-time.Hour)) {
+		t.Fatal("backwards clock minted a token")
+	}
+	// Burst below 1 is clamped so the bucket can ever admit.
+	c := NewTokenBucket(1, 0, now)
+	if !c.Allow(now) {
+		t.Fatal("clamped bucket never admits")
+	}
+}

@@ -10,22 +10,39 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Client talks to a udcd daemon.  The -remote modes of udcsim and fdextract
 // are built on it.
+//
+// By default the client negotiates the binary wire format: the daemon ships
+// the store's own codec container byte-for-byte and the client decodes it
+// locally, so a warm sweep costs a fraction of the JSON body on the wire and
+// no JSON marshal/parse on either side.  Both formats decode to the same
+// SweepResponse/ExtractResponse values.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient overrides the transport (nil means a client with a
 	// 10-minute timeout, matching long cold sweeps).
 	HTTPClient *http.Client
+	// Wire selects the sweep/extract response encoding: "" or "bin"
+	// negotiates the binary codec container (the default), "json" forces the
+	// JSON body (the golden format; useful for debugging and equivalence
+	// checks).
+	Wire string
 	// ServerTiming is the Server-Timing header of the most recent sweep or
 	// extract response: the daemon's stage breakdown (resolve, claim,
 	// compute, assemble, persist, total) plus the cache grade.  Verbose
 	// command modes print it; it is overwritten per call, so a Client shared
 	// across goroutines should not read it.
 	ServerTiming string
+	// WireFormat and WireBytes describe the most recent sweep or extract
+	// response: the format the daemon actually served ("json" or "bin") and
+	// its body size on the wire.  Overwritten per call, like ServerTiming.
+	WireFormat string
+	WireBytes  int
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -35,53 +52,92 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 10 * time.Minute}
 }
 
-// post sends a JSON request and decodes the JSON response into out.  The
-// returned cache string is the response's X-Cache header — "hit" (served
-// entirely from the daemon's run corpus), "partial" (assembled from cached
-// and freshly computed seeds) or "miss" — which the -remote command modes
-// print verbatim.
-func (c *Client) post(path string, req, out any) (cache string, err error) {
+// accept is the Accept header value for the configured wire preference.
+func (c *Client) accept() string {
+	if c.Wire == formatJSON {
+		return ctJSON
+	}
+	return ctBinary
+}
+
+// post sends a JSON request and returns the raw response body plus its
+// content type.  The returned cache string is the response's X-Cache header —
+// "hit" (served entirely from the daemon's run corpus), "partial" (assembled
+// from cached and freshly computed seeds) or "miss" — which the -remote
+// command modes print verbatim.  Error envelopes are always JSON whatever
+// format was negotiated.
+func (c *Client) post(path string, req any) (raw []byte, ct, cache string, err error) {
 	body := MarshalBody(req)
 	url := strings.TrimRight(c.BaseURL, "/") + path
-	resp, err := c.httpClient().Post(url, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return nil, "", "", err
+	}
+	hreq.Header.Set("Content-Type", ctJSON)
+	hreq.Header.Set("Accept", c.accept())
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, "", "", err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return "", fmt.Errorf("%s: read response: %w", path, err)
+		return nil, "", "", fmt.Errorf("%s: read response: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return "", fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+			return nil, "", "", fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
 		}
-		return "", fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+		return nil, "", "", fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
 	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return "", fmt.Errorf("%s: decode response: %w", path, err)
-	}
+	ct, _, _ = strings.Cut(resp.Header.Get("Content-Type"), ";")
+	ct = strings.TrimSpace(ct)
 	c.ServerTiming = resp.Header.Get("Server-Timing")
-	return resp.Header.Get("X-Cache"), nil
+	c.WireFormat = formatJSON
+	if ct == ctBinary {
+		c.WireFormat = formatBin
+	}
+	c.WireBytes = len(raw)
+	return raw, ct, resp.Header.Get("X-Cache"), nil
 }
 
 // Sweep requests a sweep from the daemon.
 func (c *Client) Sweep(req SweepRequest) (*SweepResponse, string, error) {
-	var out SweepResponse
-	cache, err := c.post("/v1/sweep", req, &out)
+	raw, ct, cache, err := c.post("/v1/sweep", req)
 	if err != nil {
 		return nil, "", err
+	}
+	if ct == ctBinary {
+		rec, err := store.DecodeSweepRecord(raw)
+		if err != nil {
+			return nil, "", fmt.Errorf("/v1/sweep: decode binary response: %w", err)
+		}
+		return SweepResponseOf(rec), cache, nil
+	}
+	var out SweepResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, "", fmt.Errorf("/v1/sweep: decode response: %w", err)
 	}
 	return &out, cache, nil
 }
 
 // Extract requests an extraction pipeline from the daemon.
 func (c *Client) Extract(req ExtractRequest) (*ExtractResponse, string, error) {
-	var out ExtractResponse
-	cache, err := c.post("/v1/extract", req, &out)
+	raw, ct, cache, err := c.post("/v1/extract", req)
 	if err != nil {
 		return nil, "", err
+	}
+	if ct == ctBinary {
+		rec, err := store.DecodeExtractionRecord(raw)
+		if err != nil {
+			return nil, "", fmt.Errorf("/v1/extract: decode binary response: %w", err)
+		}
+		return ExtractResponseOf(rec), cache, nil
+	}
+	var out ExtractResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, "", fmt.Errorf("/v1/extract: decode response: %w", err)
 	}
 	return &out, cache, nil
 }

@@ -32,6 +32,17 @@ type serverMetrics struct {
 	// "error" for failures).
 	httpRequests *obs.CounterVec
 	httpDuration *obs.HistogramVec
+
+	// Wire accounting for the corpus-backed routes: finished response bodies
+	// and their on-the-wire bytes, by route and negotiated format
+	// (json | bin | ndjson | bin-stream).
+	wireResponses *obs.CounterVec
+	wireBytes     *obs.CounterVec
+
+	// rateLimited counts requests shed by the per-client admission rate
+	// limiter before reaching the scheduler (they also appear as 429s in
+	// httpRequests, but never in the scheduler's own counters).
+	rateLimited *obs.Counter
 }
 
 func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serverMetrics {
@@ -44,6 +55,14 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 	m.httpDuration = reg.HistogramVec("udc_http_request_duration_seconds",
 		"HTTP request latency in seconds, by route and cache grade.",
 		obs.DefBuckets, "route", "cache")
+	m.wireResponses = reg.CounterVec("udc_wire_responses_total",
+		"Response bodies served on the corpus-backed routes, by route and negotiated format.",
+		"route", "format")
+	m.wireBytes = reg.CounterVec("udc_wire_bytes_total",
+		"Response body bytes put on the wire by the corpus-backed routes, by route and negotiated format.",
+		"route", "format")
+	m.rateLimited = reg.Counter("udc_admission_rate_limited_total",
+		"Requests shed by the per-client admission rate limiter (answered 429 before reaching the scheduler).")
 
 	// Scheduler mirrors.
 	requests := reg.Counter("udc_scheduler_requests_total",
@@ -53,6 +72,8 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 	servedHit, servedPartial, servedMiss := served.With("hit"), served.With("partial"), served.With("miss")
 	errorsC := reg.Counter("udc_scheduler_request_errors_total",
 		"Requests that failed (unknown names, compute errors).")
+	shed := reg.Counter("udc_scheduler_shed_total",
+		"Requests shed by the compute-queue admission gate (a subset of request errors; answered 429 + Retry-After).")
 	coalesced := reg.Counter("udc_scheduler_requests_coalesced_total",
 		"Requests that computed nothing themselves because concurrent requests were already computing everything they needed.")
 	seedsRequested := reg.Counter("udc_scheduler_seeds_requested_total",
@@ -126,6 +147,7 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 		servedPartial.Set(ss.PartialHits)
 		servedMiss.Set(ss.Misses)
 		errorsC.Set(ss.Errors)
+		shed.Set(ss.Shed)
 		coalesced.Set(ss.Coalesced)
 		seedsRequested.Set(ss.SeedsRequested)
 		seedsCached.Set(ss.SeedsCached)

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Content negotiation for the corpus-backed routes.  Four response encodings
+// exist; the buffered ones answer with one body, the streamed ones emit
+// per-seed records as the scheduler's flight table resolves them:
+//
+//	json        buffered JSON body (the default, and the golden format)
+//	bin         buffered binary: the store's codec container, byte-for-byte
+//	ndjson      streamed NDJSON: one outcome per line, then a trailer record
+//	bin-stream  streamed binary: length-prefixed container frames
+//
+// A request picks a format with an Accept header (application/json,
+// application/x-udc-bin, application/x-ndjson, application/x-udc-bin-stream)
+// or the ?format= query fallback.  Unknown Accept values fall back to JSON —
+// a browser's */* must keep working — but an explicit unsupported ?format=
+// is a 406, because the caller named something this server cannot speak.
+
+// Response content types.
+const (
+	ctJSON      = "application/json"
+	ctBinary    = "application/x-udc-bin"
+	ctNDJSON    = "application/x-ndjson"
+	ctBinStream = "application/x-udc-bin-stream"
+)
+
+// Format names (the ?format= values).
+const (
+	formatJSON      = "json"
+	formatBin       = "bin"
+	formatNDJSON    = "ndjson"
+	formatBinStream = "bin-stream"
+)
+
+// notAcceptable marks an explicitly requested format the server cannot
+// produce (406).
+func notAcceptable(err error) error {
+	return &httpError{status: http.StatusNotAcceptable, err: err}
+}
+
+// negotiateFormat resolves a request's response format.  ?format= wins over
+// Accept; within Accept, the first recognised media type in listed order
+// wins, and a header naming none of ours (or absent) falls back to JSON.
+func negotiateFormat(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("format"); q != "" {
+		switch q {
+		case formatJSON, formatBin, formatNDJSON, formatBinStream:
+			return q, nil
+		}
+		return "", notAcceptable(fmt.Errorf("unsupported format %q (json, bin, ndjson, bin-stream)", q))
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		switch strings.ToLower(strings.TrimSpace(mediaType)) {
+		case ctBinary:
+			return formatBin, nil
+		case ctNDJSON:
+			return formatNDJSON, nil
+		case ctBinStream:
+			return formatBinStream, nil
+		case ctJSON, "*/*", "application/*":
+			return formatJSON, nil
+		}
+	}
+	return formatJSON, nil
+}
+
+// maxLimiterClients bounds the per-client bucket map; past it the map is
+// dropped wholesale (brief amnesty beats unbounded growth — the daemon's
+// admission gate still guards the compute queue).
+const maxLimiterClients = 4096
+
+// rateLimiter applies a per-client token bucket to the corpus-backed routes.
+// Clients are keyed by remote IP.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*obs.TokenBucket
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rate
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*obs.TokenBucket)}
+}
+
+// admit reports whether the client may proceed at time now; when it may not,
+// the returned duration is the client's Retry-After hint.
+func (l *rateLimiter) admit(client string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	if len(l.buckets) >= maxLimiterClients {
+		l.buckets = make(map[string]*obs.TokenBucket)
+	}
+	b, ok := l.buckets[client]
+	if !ok {
+		b = obs.NewTokenBucket(l.rate, l.burst, now)
+		l.buckets[client] = b
+	}
+	l.mu.Unlock()
+	if b.Allow(now) {
+		return true, 0
+	}
+	return false, b.RetryAfter(now)
+}
+
+// clientKey identifies a request's client for rate limiting: the remote IP
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admit applies the per-client rate limit to a corpus-backed route.  A shed
+// request is answered here (429 + Retry-After + JSON error envelope,
+// whatever format was negotiated) and false is returned.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retry := s.limiter.admit(clientKey(r), time.Now())
+	if ok {
+		return true
+	}
+	s.metrics.rateLimited.Inc()
+	writeError(w, overloaded(fmt.Errorf("server: per-client rate limit exceeded"), retry))
+	return false
+}

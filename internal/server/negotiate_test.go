@@ -1,0 +1,705 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// newConfiguredServer is newTestServer with a caller-supplied Config; the
+// store is opened over dir and injected.
+func newConfiguredServer(t *testing.T, dir string, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// getAccept is get with an Accept header, returning the response trailer too
+// (streamed responses carry X-Cache and Server-Timing there).
+func getAccept(t *testing.T, url, accept string) (int, http.Header, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body, resp.Trailer
+}
+
+func sweepURL(ts *httptest.Server, req server.SweepRequest) string {
+	return fmt.Sprintf("%s/v1/sweep?scenario=%s&seeds=%d&seedBase=%d&adversary=%s",
+		ts.URL, req.Scenario, req.Seeds, req.SeedBase, req.Adversary)
+}
+
+// TestBinarySweepGolden pins the binary format: the body is the store's codec
+// container whose decoded rendering is byte-identical to the JSON body, it is
+// served for both the Accept header and the ?format= fallback, and it is
+// materially smaller on the wire.
+func TestBinarySweepGolden(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}
+
+	jsonStatus, _, jsonBody := get(t, sweepURL(ts, req))
+	if jsonStatus != http.StatusOK {
+		t.Fatalf("JSON sweep: HTTP %d: %s", jsonStatus, jsonBody)
+	}
+	for name, url := range map[string]string{
+		"query":  sweepURL(ts, req) + "&format=bin",
+		"accept": sweepURL(ts, req),
+	} {
+		accept := ""
+		if name == "accept" {
+			accept = "application/x-udc-bin"
+		}
+		status, header, bin, _ := getAccept(t, url, accept)
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", name, status, bin)
+		}
+		if ct := header.Get("Content-Type"); ct != "application/x-udc-bin" {
+			t.Fatalf("%s: Content-Type = %q", name, ct)
+		}
+		if header.Get("X-Cache") == "" || header.Get("Server-Timing") == "" {
+			t.Fatalf("%s: binary response lacks X-Cache/Server-Timing headers", name)
+		}
+		rec, err := store.DecodeSweepRecord(bin)
+		if err != nil {
+			t.Fatalf("%s: decode binary body: %v", name, err)
+		}
+		if got := server.MarshalBody(server.SweepResponseOf(rec)); !bytes.Equal(got, jsonBody) {
+			t.Fatalf("%s: binary transcode differs from the JSON body", name)
+		}
+		if len(bin) >= len(jsonBody) {
+			t.Errorf("%s: binary body (%d bytes) not smaller than JSON (%d bytes)", name, len(bin), len(jsonBody))
+		}
+	}
+}
+
+// TestBinaryExtractGolden is TestBinarySweepGolden for /v1/extract.
+func TestBinaryExtractGolden(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	url := ts.URL + "/v1/extract?extraction=kx-perfect&runs=4"
+
+	jsonStatus, _, jsonBody := get(t, url)
+	if jsonStatus != http.StatusOK {
+		t.Fatalf("JSON extract: HTTP %d: %s", jsonStatus, jsonBody)
+	}
+	status, header, bin, _ := getAccept(t, url, "application/x-udc-bin")
+	if status != http.StatusOK {
+		t.Fatalf("binary extract: HTTP %d: %s", status, bin)
+	}
+	if ct := header.Get("Content-Type"); ct != "application/x-udc-bin" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	rec, err := store.DecodeExtractionRecord(bin)
+	if err != nil {
+		t.Fatalf("decode binary body: %v", err)
+	}
+	if got := server.MarshalBody(server.ExtractResponseOf(rec)); !bytes.Equal(got, jsonBody) {
+		t.Fatal("binary transcode differs from the JSON body")
+	}
+}
+
+// TestNegotiationEdgeCases pins the negotiation contract's corners.
+func TestNegotiationEdgeCases(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 4, SeedBase: 1}
+
+	// An Accept naming nothing of ours falls back to JSON: browsers and
+	// naive HTTP clients must keep working.
+	status, header, body, _ := getAccept(t, sweepURL(ts, req), "text/html, image/png")
+	if status != http.StatusOK || header.Get("Content-Type") != "application/json" {
+		t.Fatalf("unknown Accept: HTTP %d, Content-Type %q", status, header.Get("Content-Type"))
+	}
+
+	// An explicitly requested unsupported ?format= is a 406 with a JSON
+	// error envelope.
+	status, header, body, _ = getAccept(t, sweepURL(ts, req)+"&format=xml", "")
+	if status != http.StatusNotAcceptable {
+		t.Fatalf("format=xml: HTTP %d, want 406", status)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("406 body is not a JSON error envelope: %s", body)
+	}
+
+	// Errors keep their JSON envelope whatever format was negotiated.
+	status, header, body, _ = getAccept(t, ts.URL+"/v1/sweep?scenario=no-such-scenario&seeds=4", "application/x-udc-bin")
+	if status != http.StatusNotFound || header.Get("Content-Type") != "application/json" {
+		t.Fatalf("binary-negotiated 404: HTTP %d, Content-Type %q", status, header.Get("Content-Type"))
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("binary-negotiated 404 body: %s", body)
+	}
+
+	// Extraction pipelines have no per-seed frame sequence: bin-stream is an
+	// explicit 406 there, while ndjson and bin remain available.
+	status, _, body, _ = getAccept(t, ts.URL+"/v1/extract?extraction=kx-perfect&runs=4&format=bin-stream", "")
+	if status != http.StatusNotAcceptable {
+		t.Fatalf("extract bin-stream: HTTP %d: %s, want 406", status, body)
+	}
+}
+
+// ndjsonLines splits a streamed NDJSON body into its lines.
+func ndjsonLines(t *testing.T, body []byte) [][]byte {
+	t.Helper()
+	trimmed, ok := bytes.CutSuffix(body, []byte("\n"))
+	if !ok {
+		t.Fatalf("NDJSON body does not end in a newline: %q", body)
+	}
+	return bytes.Split(trimmed, []byte("\n"))
+}
+
+type trailerLine struct {
+	Trailer *struct {
+		Aggregate json.RawMessage `json:"aggregate"`
+		Trace     json.RawMessage `json:"trace"`
+	} `json:"trailer"`
+}
+
+// TestNDJSONStreamGolden pins the NDJSON stream against the buffered body:
+// same record set (outcome lines are byte-identical to the buffered outcomes
+// array's elements), trailer aggregate byte-identical to the buffered body
+// minus its outcomes, and the cache grade delivered as an HTTP trailer.
+func TestNDJSONStreamGolden(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}
+
+	for _, step := range []struct{ pass, wantCache string }{{"cold", "miss"}, {"warm", "hit"}} {
+		pass, wantCache := step.pass, step.wantCache
+		status, header, body, trailer := getAccept(t, sweepURL(ts, req), "application/x-ndjson")
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", pass, status, body)
+		}
+		if ct := header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("%s: Content-Type = %q", pass, ct)
+		}
+		if got := trailer.Get("X-Cache"); got != wantCache {
+			t.Fatalf("%s: trailing X-Cache = %q, want %q", pass, got, wantCache)
+		}
+		if trailer.Get("Server-Timing") == "" {
+			t.Fatalf("%s: stream lacks a Server-Timing trailer", pass)
+		}
+
+		lines := ndjsonLines(t, body)
+		if len(lines) != req.Seeds+1 {
+			t.Fatalf("%s: %d lines, want %d outcomes + 1 trailer", pass, len(lines), req.Seeds)
+		}
+
+		// The buffered JSON body over the same (now primed) corpus.
+		bstatus, _, buffered := get(t, sweepURL(ts, req))
+		if bstatus != http.StatusOK {
+			t.Fatalf("%s: buffered sweep: HTTP %d", pass, bstatus)
+		}
+		var parsed struct {
+			Outcomes []json.RawMessage `json:"outcomes"`
+		}
+		if err := json.Unmarshal(buffered, &parsed); err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[string]bool, len(parsed.Outcomes))
+		for _, o := range parsed.Outcomes {
+			want[string(o)] = true
+		}
+		for i, line := range lines[:req.Seeds] {
+			if !want[string(line)] {
+				t.Fatalf("%s: outcome line %d not an element of the buffered outcomes array: %s", pass, i, line)
+			}
+			delete(want, string(line))
+		}
+		if len(want) != 0 {
+			t.Fatalf("%s: buffered outcomes missing from the stream: %v", pass, want)
+		}
+
+		// Trailer aggregate == buffered body minus its outcomes.
+		var tl trailerLine
+		if err := json.Unmarshal(lines[req.Seeds], &tl); err != nil || tl.Trailer == nil {
+			t.Fatalf("%s: last line is not a trailer record: %s", pass, lines[req.Seeds])
+		}
+		bin, err := store.DecodeSweepRecord(mustBinarySweep(t, ts, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAgg, err := json.Marshal(server.SweepAggregateOf(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tl.Trailer.Aggregate, wantAgg) {
+			t.Fatalf("%s: trailer aggregate differs from the buffered aggregate:\n%s\nvs\n%s",
+				pass, tl.Trailer.Aggregate, wantAgg)
+		}
+	}
+}
+
+// mustBinarySweep fetches a sweep in the buffered binary format.
+func mustBinarySweep(t *testing.T, ts *httptest.Server, req server.SweepRequest) []byte {
+	t.Helper()
+	status, _, body, _ := getAccept(t, sweepURL(ts, req), "application/x-udc-bin")
+	if status != http.StatusOK {
+		t.Fatalf("binary sweep: HTTP %d: %s", status, body)
+	}
+	return body
+}
+
+// TestBinaryStreamGolden pins the bin-stream format: per-seed KindOutcome
+// frames matching the buffered record's outcomes, then a trailer frame
+// byte-identical to the buffered binary body.
+func TestBinaryStreamGolden(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 6, SeedBase: 1}
+
+	status, header, body, trailer := getAccept(t, sweepURL(ts, req), "application/x-udc-bin-stream")
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	if ct := header.Get("Content-Type"); ct != "application/x-udc-bin-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if got := trailer.Get("X-Cache"); got != "miss" {
+		t.Fatalf("trailing X-Cache = %q, want miss", got)
+	}
+
+	buffered := mustBinarySweep(t, ts, req)
+	rec, err := store.DecodeSweepRecord(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds := make(map[int64]bool, len(rec.Outcomes))
+	for _, o := range rec.Outcomes {
+		wantSeeds[o.Seed] = true
+	}
+
+	fr := store.NewFrameReader(bytes.NewReader(body))
+	outcomes := 0
+	for {
+		frame, err := fr.Next()
+		if err == io.EOF {
+			t.Fatal("stream ended without a sweep trailer frame")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, oerr := store.DecodeOutcome(frame); oerr == nil {
+			outcomes++
+			if !wantSeeds[o.Seed] {
+				t.Fatalf("outcome frame for unexpected seed %d", o.Seed)
+			}
+			delete(wantSeeds, o.Seed)
+			continue
+		}
+		// Not an outcome: must be the trailer, byte-identical to the
+		// buffered binary body, and the last frame.
+		if !bytes.Equal(frame, buffered) {
+			t.Fatal("trailer frame differs from the buffered binary body")
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("frames after the trailer: err = %v, want io.EOF", err)
+		}
+		break
+	}
+	if outcomes != req.Seeds || len(wantSeeds) != 0 {
+		t.Fatalf("stream carried %d outcome frames (unmatched %v), want %d", outcomes, wantSeeds, req.Seeds)
+	}
+}
+
+// TestStreamCachedRecordsFlushBeforeCompute pins the progressive property: on
+// a partially primed corpus, every cached seed's record is emitted before any
+// computed seed's, so first-record latency tracks the cache, not the window.
+func TestStreamCachedRecordsFlushBeforeCompute(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	prime := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}
+	if status, _, body := get(t, sweepURL(ts, prime)); status != http.StatusOK {
+		t.Fatalf("prime: HTTP %d: %s", status, body)
+	}
+	primed := make(map[int64]bool, prime.Seeds)
+	var parsed struct {
+		Outcomes []struct {
+			Seed int64 `json:"seed"`
+		} `json:"outcomes"`
+	}
+	_, _, body := get(t, sweepURL(ts, prime))
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range parsed.Outcomes {
+		primed[o.Seed] = true
+	}
+
+	grown := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 24, SeedBase: 1}
+	status, _, stream, trailer := getAccept(t, sweepURL(ts, grown), "application/x-ndjson")
+	if status != http.StatusOK {
+		t.Fatalf("grown stream: HTTP %d: %s", status, stream)
+	}
+	if got := trailer.Get("X-Cache"); got != "partial" {
+		t.Fatalf("trailing X-Cache = %q, want partial", got)
+	}
+	lines := ndjsonLines(t, stream)
+	if len(lines) != grown.Seeds+1 {
+		t.Fatalf("%d lines, want %d + trailer", len(lines), grown.Seeds)
+	}
+	for i, line := range lines[:prime.Seeds] {
+		var o struct {
+			Seed int64 `json:"seed"`
+		}
+		if err := json.Unmarshal(line, &o); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !primed[o.Seed] {
+			t.Fatalf("line %d carries computed seed %d before the %d cached records flushed",
+				i, o.Seed, prime.Seeds)
+		}
+	}
+}
+
+// TestStreamMidComputeFailure forces a failure after cached records are on
+// the wire: a drain-mode queue (MaxQueue < 0 admits no compute) over a primed
+// corpus streams the cached seeds, then terminates with a well-formed error
+// record instead of a trailer.
+func TestStreamMidComputeFailure(t *testing.T) {
+	dir := t.TempDir()
+	prime := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}
+	func() {
+		_, ts := newTestServer(t, dir)
+		if status, _, body := get(t, sweepURL(ts, prime)); status != http.StatusOK {
+			t.Fatalf("prime: HTTP %d: %s", status, body)
+		}
+	}()
+
+	_, ts := newConfiguredServer(t, dir, server.Config{MaxQueue: -1})
+	grown := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 16, SeedBase: 1}
+
+	// NDJSON: cached outcome lines, then an {"error":...} line.
+	status, _, body, _ := getAccept(t, sweepURL(ts, grown), "application/x-ndjson")
+	if status != http.StatusOK {
+		t.Fatalf("stream started with HTTP %d (the failure comes mid-stream): %s", status, body)
+	}
+	lines := ndjsonLines(t, body)
+	if len(lines) != prime.Seeds+1 {
+		t.Fatalf("%d lines, want %d cached outcomes + 1 error record", len(lines), prime.Seeds)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	last := lines[len(lines)-1]
+	if err := json.Unmarshal(last, &e); err != nil || e.Error == "" {
+		t.Fatalf("last line is not an error record: %s", last)
+	}
+	var tl trailerLine
+	if json.Unmarshal(last, &tl); tl.Trailer != nil {
+		t.Fatalf("failed stream still produced a trailer: %s", last)
+	}
+
+	// bin-stream: cached outcome frames, then a KindError frame.
+	status, _, body, _ = getAccept(t, sweepURL(ts, grown), "application/x-udc-bin-stream")
+	if status != http.StatusOK {
+		t.Fatalf("binary stream: HTTP %d: %s", status, body)
+	}
+	fr := store.NewFrameReader(bytes.NewReader(body))
+	outcomes := 0
+	sawError := false
+	for {
+		frame, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, oerr := store.DecodeOutcome(frame); oerr == nil {
+			outcomes++
+			continue
+		}
+		if msg, eerr := store.DecodeStreamError(frame); eerr == nil && msg != "" {
+			sawError = true
+			continue
+		}
+		t.Fatalf("unexpected frame kind in a failed stream")
+	}
+	if outcomes != prime.Seeds || !sawError {
+		t.Fatalf("failed binary stream: %d outcome frames (want %d), error frame %v", outcomes, prime.Seeds, sawError)
+	}
+
+	// A buffered request over the same drain-mode queue is shed whole.
+	status, header, body := get(t, sweepURL(ts, grown))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("buffered drain-mode sweep: HTTP %d: %s, want 429", status, body)
+	}
+	if header.Get("Retry-After") == "" {
+		t.Fatal("429 lacks a Retry-After header")
+	}
+}
+
+// TestQueueShedAccounting pins the 429 bookkeeping: shed requests appear in
+// the scheduler's error and shed counters, the request classification still
+// reconciles, and /metrics mirrors both alongside an honest 429 code label.
+func TestQueueShedAccounting(t *testing.T) {
+	srv, ts := newConfiguredServer(t, t.TempDir(), server.Config{MaxQueue: -1})
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 4, SeedBase: 1}
+
+	status, header, body := get(t, sweepURL(ts, req))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d: %s, want 429", status, body)
+	}
+	if header.Get("Retry-After") == "" {
+		t.Fatal("429 lacks a Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body is not a JSON error envelope: %s", body)
+	}
+
+	ss := srv.SchedulerStats()
+	if ss.Shed != 1 || ss.Errors != 1 {
+		t.Fatalf("Shed = %d, Errors = %d, want 1 and 1", ss.Shed, ss.Errors)
+	}
+	if ss.Requests != ss.FullHits+ss.PartialHits+ss.Misses+ss.Errors {
+		t.Fatalf("classification does not reconcile: %+v", ss)
+	}
+
+	client := &server.Client{BaseURL: ts.URL}
+	samples, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := obs.Value(samples, "udc_scheduler_shed_total"); !ok || v != 1 {
+		t.Fatalf("udc_scheduler_shed_total = %v, %v", v, ok)
+	}
+	if v, ok := obs.Value(samples, "udc_http_requests_total", "route", "/v1/sweep", "code", "429"); !ok || v < 1 {
+		t.Fatalf("udc_http_requests_total{429} = %v, %v", v, ok)
+	}
+}
+
+// TestQueueOverloadServesAdmitted pins the overload contract with a real
+// queue bound: under more concurrent compute requests than the queue admits,
+// excess requests shed with 429 while every admitted one is served to
+// completion, and the classification still reconciles.
+func TestQueueOverloadServesAdmitted(t *testing.T) {
+	srv, ts := newConfiguredServer(t, t.TempDir(), server.Config{MaxQueue: 1, Workers: 2})
+	const burst = 12
+
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	bodies := make([][]byte, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seed bases: every request needs compute, so each holds
+			// a queue slot instead of coalescing.
+			url := fmt.Sprintf("%s/v1/sweep?scenario=prop2.3-nudc&seeds=2&seedBase=%d", ts.URL, 1+i*100000)
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+			var parsed struct {
+				Seeds int `json:"seeds"`
+			}
+			if err := json.Unmarshal(bodies[i], &parsed); err != nil || parsed.Seeds != 2 {
+				t.Fatalf("admitted request %d not served to completion: %s", i, bodies[i])
+			}
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("request %d: HTTP %d: %s", i, code, bodies[i])
+		}
+	}
+	if ok < 1 || shed < 1 {
+		t.Fatalf("overload burst: %d served, %d shed — want at least one of each", ok, shed)
+	}
+
+	ss := srv.SchedulerStats()
+	if ss.Shed != uint64(shed) {
+		t.Fatalf("SchedulerStats.Shed = %d, want %d", ss.Shed, shed)
+	}
+	if ss.Requests != ss.FullHits+ss.PartialHits+ss.Misses+ss.Errors {
+		t.Fatalf("classification does not reconcile under overload: %+v", ss)
+	}
+}
+
+// TestRateLimitSheds pins the per-client admission gate: a burst past the
+// limit answers 429 with a Retry-After hint, counts on the admission metric,
+// and never reaches the scheduler.
+func TestRateLimitSheds(t *testing.T) {
+	srv, ts := newConfiguredServer(t, t.TempDir(), server.Config{RateLimit: 1, RateBurst: 2})
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 2, SeedBase: 1}
+
+	var shed int
+	var retryAfter string
+	for i := 0; i < 5; i++ {
+		status, header, body := get(t, sweepURL(ts, req))
+		switch status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			retryAfter = header.Get("Retry-After")
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("429 body is not a JSON error envelope: %s", body)
+			}
+		default:
+			t.Fatalf("HTTP %d: %s", status, body)
+		}
+	}
+	if shed < 1 {
+		t.Fatal("a 5-request burst against burst-2 rate-1/s never shed")
+	}
+	if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", retryAfter)
+	}
+	if ss := srv.SchedulerStats(); ss.Requests != uint64(5-shed) {
+		t.Fatalf("scheduler saw %d requests, want %d (rate-limited requests shed before it)", ss.Requests, 5-shed)
+	}
+
+	client := &server.Client{BaseURL: ts.URL}
+	samples, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := obs.Value(samples, "udc_admission_rate_limited_total"); !ok || v != float64(shed) {
+		t.Fatalf("udc_admission_rate_limited_total = %v, %v, want %d", v, ok, shed)
+	}
+}
+
+// TestClientWireFormats pins the client's default binary negotiation: the
+// decoded response is deeply equal to a JSON-forced one, and the binary wire
+// carried fewer bytes.
+func TestClientWireFormats(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 8, SeedBase: 1}
+
+	binClient := &server.Client{BaseURL: ts.URL}
+	binResp, binCache, err := binClient.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binClient.WireFormat != "bin" {
+		t.Fatalf("default client WireFormat = %q, want bin", binClient.WireFormat)
+	}
+
+	jsonClient := &server.Client{BaseURL: ts.URL, Wire: "json"}
+	jsonResp, jsonCache, err := jsonClient.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonClient.WireFormat != "json" {
+		t.Fatalf("forced client WireFormat = %q, want json", jsonClient.WireFormat)
+	}
+	if !reflect.DeepEqual(binResp, jsonResp) {
+		t.Fatal("binary-decoded response differs from the JSON one")
+	}
+	if binCache != "miss" || jsonCache != "hit" {
+		t.Fatalf("cache grades %q then %q, want miss then hit", binCache, jsonCache)
+	}
+	if binClient.WireBytes >= jsonClient.WireBytes {
+		t.Fatalf("binary wire %d bytes, JSON %d: binary should be smaller", binClient.WireBytes, jsonClient.WireBytes)
+	}
+
+	extBin, _, err := binClient.Extract(server.ExtractRequest{Extraction: "kx-perfect", Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extJSON, _, err := jsonClient.Extract(server.ExtractRequest{Extraction: "kx-perfect", Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(extBin, extJSON) {
+		t.Fatal("binary-decoded extraction differs from the JSON one")
+	}
+}
+
+// TestExtractNDJSONStream pins the extraction stream: one verdict per line,
+// then a trailer whose aggregate matches the buffered body minus verdicts.
+func TestExtractNDJSONStream(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	url := ts.URL + "/v1/extract?extraction=kx-perfect&runs=4"
+
+	status, header, body, trailer := getAccept(t, url, "application/x-ndjson")
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	if ct := header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if got := trailer.Get("X-Cache"); got != "miss" {
+		t.Fatalf("trailing X-Cache = %q, want miss", got)
+	}
+
+	bstatus, _, buffered := get(t, url)
+	if bstatus != http.StatusOK {
+		t.Fatalf("buffered extract: HTTP %d", bstatus)
+	}
+	var parsed struct {
+		Verdicts []json.RawMessage `json:"verdicts"`
+	}
+	if err := json.Unmarshal(buffered, &parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := ndjsonLines(t, body)
+	if len(lines) != len(parsed.Verdicts)+1 {
+		t.Fatalf("%d lines, want %d verdicts + trailer", len(lines), len(parsed.Verdicts))
+	}
+	for i, v := range parsed.Verdicts {
+		if !bytes.Equal(lines[i], v) {
+			t.Fatalf("verdict line %d differs from the buffered verdicts array:\n%s\nvs\n%s", i, lines[i], v)
+		}
+	}
+	var tl trailerLine
+	if err := json.Unmarshal(lines[len(lines)-1], &tl); err != nil || tl.Trailer == nil {
+		t.Fatalf("last line is not a trailer record: %s", lines[len(lines)-1])
+	}
+	if !strings.Contains(string(tl.Trailer.Aggregate), `"extraction":"kx-perfect"`) {
+		t.Fatalf("trailer aggregate lacks the extraction name: %s", tl.Trailer.Aggregate)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -59,8 +60,12 @@ type SchedulerStats struct {
 	// Computed counts jobs executed on the worker fleet: batched
 	// missing-seed simulation passes and extraction pipeline tails.
 	Computed uint64 `json:"computed"`
-	// Errors counts requests that failed (unknown names, compute errors).
+	// Errors counts requests that failed (unknown names, compute errors,
+	// admission rejections).
 	Errors uint64 `json:"errors"`
+	// Shed counts requests the queue-depth admission gate rejected with 429
+	// instead of queueing; sheds are a subset of Errors.
+	Shed uint64 `json:"shed"`
 	// PutErrors counts computed payloads (request records or per-seed
 	// records) that could not be persisted; the results are still served
 	// (caching is an optimisation, not a correctness requirement), so
@@ -80,11 +85,13 @@ type SchedulerStats struct {
 	IndexedRunsReused uint64 `json:"indexedRunsReused"`
 }
 
-// httpError carries the HTTP status an error should surface as.  Errors
-// without one are internal (500).
+// httpError carries the HTTP status an error should surface as (and, for
+// admission rejections, a Retry-After hint).  Errors without one are internal
+// (500).
 type httpError struct {
-	status int
-	err    error
+	status     int
+	retryAfter time.Duration
+	err        error
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
@@ -96,6 +103,18 @@ func notFound(err error) error { return &httpError{status: http.StatusNotFound, 
 // badRequest marks a malformed request (400).
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
 
+// overloaded marks a request shed by admission control: 429 plus a
+// Retry-After hint for the client's backoff.
+func overloaded(err error, retryAfter time.Duration) error {
+	return &httpError{status: http.StatusTooManyRequests, retryAfter: retryAfter, err: err}
+}
+
+// abandoned wraps a request context's termination: the client went away (or
+// its deadline fired) before the computation finished.
+func abandoned(ctx context.Context) error {
+	return &httpError{status: http.StatusServiceUnavailable, err: fmt.Errorf("server: request abandoned: %w", ctx.Err())}
+}
+
 // statusOf maps an error to its response status: a tagged status if one is
 // attached, 500 otherwise.
 func statusOf(err error) int {
@@ -104,6 +123,15 @@ func statusOf(err error) int {
 		return he.status
 	}
 	return http.StatusInternalServerError
+}
+
+// retryAfterOf returns the Retry-After hint attached to an error, or zero.
+func retryAfterOf(err error) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
 }
 
 // Per-seed corpus keys are namespaced by their catalog family, so a sweep
@@ -180,6 +208,11 @@ type scheduler struct {
 	store       *store.Store
 	runner      workload.Runner
 	batchWindow time.Duration
+	// maxQueue is the queue-depth admission gate: when positive, a submit
+	// that would raise pending past it is shed with 429 instead of queued
+	// (cache hits still serve — the gate guards compute, not reads).  Zero
+	// disables the gate; negative admits nothing (drain mode).
+	maxQueue int
 
 	mu         sync.Mutex
 	inflight   map[store.Key]*call
@@ -208,7 +241,7 @@ type scheduler struct {
 	wg     sync.WaitGroup
 }
 
-func newScheduler(st *store.Store, workers int, batchWindow time.Duration) *scheduler {
+func newScheduler(st *store.Store, workers int, batchWindow time.Duration, maxQueue int) *scheduler {
 	if batchWindow <= 0 {
 		batchWindow = 2 * time.Millisecond
 	}
@@ -216,6 +249,7 @@ func newScheduler(st *store.Store, workers int, batchWindow time.Duration) *sche
 		store:       st,
 		runner:      workload.Runner{Workers: workers},
 		batchWindow: batchWindow,
+		maxQueue:    maxQueue,
 		inflight:    make(map[store.Key]*call),
 		seedflight:  make(map[store.Key]*seedCall),
 		exstates:    make(map[store.Key]*workload.ExtractionState),
@@ -342,12 +376,21 @@ func (s *scheduler) releaseExtractionState(id store.Key, st *workload.Extraction
 
 // submit hands one job to the dispatcher and waits for its round.  pending
 // brackets the wait so the queue-depth gauge sees jobs from the moment they
-// contend for a round until their round completes.
-func (s *scheduler) submit(job *fleetJob) error {
-	s.pending.Add(1)
+// contend for a round until their round completes — and so the admission gate
+// reads the same signal /metrics exposes.  The pre-handoff select honours the
+// request context (fleetq is unbuffered, so a job is either fully handed to a
+// round or not at all); once handed off, the round is bounded, so the wait is
+// unconditional.
+func (s *scheduler) submit(ctx context.Context, job *fleetJob) error {
+	n := s.pending.Add(1)
 	defer s.pending.Add(-1)
+	if s.maxQueue != 0 && (s.maxQueue < 0 || n > int64(s.maxQueue)) {
+		return overloaded(fmt.Errorf("server: compute queue full (%d pending, limit %d)", n-1, s.maxQueue), s.batchWindow+time.Second)
+	}
 	select {
 	case s.fleetq <- job:
+	case <-ctx.Done():
+		return abandoned(ctx)
 	case <-s.quit:
 		return fmt.Errorf("server: scheduler shut down")
 	}
@@ -378,6 +421,9 @@ func (s *scheduler) finish(status CacheStatus, err error) {
 	s.count(func(st *SchedulerStats) {
 		if err != nil {
 			st.Errors++
+			if statusOf(err) == http.StatusTooManyRequests {
+				st.Shed++
+			}
 			return
 		}
 		switch status {
@@ -435,7 +481,13 @@ func (r resolution) status() CacheStatus {
 // tr (nil-safe) accumulates the stage timings: corpus reads under "resolve",
 // flight-table claims under "claim", fleet waits under "compute", per-seed
 // record writes under "persist" and outcome merging under "assemble".
-func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool, tr *obs.Trace) (resolution, error) {
+// A non-nil emit observes every resolved outcome as it becomes available —
+// cached seeds during the corpus read, computed seeds when their fleet round
+// lands, joined seeds as their owners publish them — in arrival order, on the
+// request's own goroutine; it is how streamed responses flush progressively.
+// ctx bounds the computation: an expired context sheds unclaimed work and
+// releases this request's seed claims (joiners see the error and recompute).
+func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool, tr *obs.Trace, emit func(workload.RunOutcome)) (resolution, error) {
 	n := len(seeds)
 	keys := make([]store.Key, n)
 	for i, seed := range seeds {
@@ -460,6 +512,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			return nil
 		}
 		cachedOut = append(cachedOut, rec.Outcome())
+		if emit != nil {
+			emit(rec.Outcome())
+		}
 		run := rec.Run
 		if needRuns {
 			run = run.CompactClone()
@@ -552,7 +607,7 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			done: make(chan struct{}),
 		}
 		computeSpan := tr.Span("compute")
-		computeErr = s.submit(job)
+		computeErr = s.submit(ctx, job)
 		computeSpan.End()
 		if computeErr == nil {
 			persistSpan := tr.Span("persist")
@@ -561,6 +616,9 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 			for j, i := range owned {
 				sr := job.seedRuns[j]
 				computedOut = append(computedOut, sr.Outcome)
+				if emit != nil {
+					emit(sr.Outcome)
+				}
 				if needRuns {
 					runsBySeed[sr.Outcome.Seed] = sr.Run
 				}
@@ -590,14 +648,25 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 	}
 
 	// Collect the seeds concurrent requests computed for us.  The wait is
-	// compute time: someone's fleet round is producing these seeds.
+	// compute time: someone's fleet round is producing these seeds.  An
+	// expired request context stops waiting — the owners' computations are
+	// unaffected, this request just stops consuming them.
 	joinSpan := tr.Span("compute")
 	for _, c := range joinedCalls {
-		<-c.done
+		if computeErr != nil {
+			break
+		}
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			// The owners' computations are unaffected; this request just
+			// stops consuming them (c stays untouched — it is published by
+			// its owner, not us).
+			computeErr = abandoned(ctx)
+			continue
+		}
 		if c.err != nil {
-			if computeErr == nil {
-				computeErr = c.err
-			}
+			computeErr = c.err
 			continue
 		}
 		joinedOut = append(joinedOut, c.outcome)
@@ -643,8 +712,15 @@ func (s *scheduler) resolveSeeds(qualifiedName, adversary string, spec workload.
 
 // Sweep serves one validated sweep request, returning the encoded record and
 // how much of it came from the corpus.  tr (nil-safe) collects per-stage
-// timings for the Server-Timing header and ?debug=timing traces.
-func (s *scheduler) Sweep(req SweepRequest, tr *obs.Trace) (payload []byte, status CacheStatus, err error) {
+// timings for the Server-Timing header and ?debug=timing traces.  A non-nil
+// emit observes every per-seed outcome as the flight table resolves it (see
+// resolveSeeds); on the window-record fast path the stored record is decoded
+// and replayed through emit, so streamed responses carry the same record set
+// whatever the cache grade.  ctx bounds the request's compute.
+func (s *scheduler) Sweep(ctx context.Context, req SweepRequest, tr *obs.Trace, emit func(workload.RunOutcome)) (payload []byte, status CacheStatus, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sc, err := registry.LookupScenario(req.Scenario)
 	if err != nil {
 		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
@@ -668,11 +744,18 @@ func (s *scheduler) Sweep(req SweepRequest, tr *obs.Trace) (payload []byte, stat
 	payload, probed := s.store.Probe(key)
 	probeSpan.End()
 	if probed {
+		if emit != nil {
+			if rec, derr := store.DecodeSweepRecord(payload); derr == nil {
+				for _, o := range rec.Outcomes {
+					emit(o)
+				}
+			}
+		}
 		s.finish(CacheHit, nil)
 		return payload, CacheHit, nil
 	}
 
-	res, err := s.resolveSeeds(scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false, tr)
+	res, err := s.resolveSeeds(ctx, scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false, tr, emit)
 	if err != nil {
 		s.finish(CacheMiss, err)
 		return nil, CacheMiss, err
@@ -708,8 +791,13 @@ func (s *scheduler) Sweep(req SweepRequest, tr *obs.Trace) (payload []byte, stat
 // request-level cache; on a miss, the simulate stage reuses cached per-seed
 // source runs and only the pipeline tail is recomputed.  tr (nil-safe)
 // collects per-stage timings for the Server-Timing header and ?debug=timing
-// traces.
-func (s *scheduler) Extract(req ExtractRequest, tr *obs.Trace) (payload []byte, status CacheStatus, err error) {
+// traces.  ctx bounds the request's compute; the pipeline tail is one
+// indivisible computation, so there is no per-seed emit here — streamed
+// extraction responses replay the decoded record instead.
+func (s *scheduler) Extract(ctx context.Context, req ExtractRequest, tr *obs.Trace) (payload []byte, status CacheStatus, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sc, err := registry.LookupExtraction(req.Extraction)
 	if err != nil {
 		s.count(func(st *SchedulerStats) { st.Requests++; st.Errors++ })
@@ -756,7 +844,14 @@ func (s *scheduler) Extract(req ExtractRequest, tr *obs.Trace) (payload []byte, 
 		// The wait is compute time: the owning request's pipeline tail is
 		// producing this response.
 		waitSpan := tr.Span("compute")
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			waitSpan.End()
+			err := abandoned(ctx)
+			s.finish(CacheMiss, err)
+			return nil, CacheMiss, err
+		}
 		waitSpan.End()
 		s.finish(c.status, c.err)
 		return c.payload, c.status, c.err
@@ -789,12 +884,12 @@ func (s *scheduler) Extract(req ExtractRequest, tr *obs.Trace) (payload []byte, 
 		seeds := workload.Seeds(ext.BaseSeed, ext.Runs)[reused:]
 		var res resolution
 		if len(seeds) > 0 {
-			res, c.err = s.resolveSeeds(extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true, tr)
+			res, c.err = s.resolveSeeds(ctx, extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true, tr, nil)
 		}
 		if c.err == nil {
 			job := &fleetJob{extract: &ext, sampled: res.runs, exState: exState, done: make(chan struct{})}
 			tailSpan := tr.Span("compute")
-			c.err = s.submit(job)
+			c.err = s.submit(ctx, job)
 			tailSpan.End()
 			// The state stays coherent even when the tail errors, so it is
 			// always worth returning to the cache.

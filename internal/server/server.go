@@ -31,6 +31,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,17 +66,34 @@ type Config struct {
 	SlowRequest time.Duration
 	// Logf receives slow-request log lines; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// RateLimit is the per-client admission rate (requests/second, keyed by
+	// remote IP) on the corpus-backed routes; excess requests are shed with
+	// 429 + Retry-After.  0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the per-client burst allowance (0 means 2×RateLimit).
+	RateBurst int
+	// MaxQueue is the queue-depth admission gate: a request whose compute
+	// would raise the scheduler's pending-jobs gauge past it is shed with
+	// 429 + Retry-After instead of queued (cache hits still serve).  0
+	// disables the gate; negative admits no compute at all (drain mode).
+	MaxQueue int
+	// RequestTimeout bounds each sweep/extract request's compute via its
+	// context; an expired request releases its seed claims.  0 means no
+	// server-side deadline (the client's disconnect still cancels).
+	RequestTimeout time.Duration
 }
 
 // Server is the daemon: an http.Handler plus the scheduler and store behind
 // it.
 type Server struct {
-	store   *store.Store
-	sched   *scheduler
-	mux     *http.ServeMux
-	metrics *serverMetrics
-	slow    time.Duration
-	logf    func(format string, args ...any)
+	store      *store.Store
+	sched      *scheduler
+	mux        *http.ServeMux
+	metrics    *serverMetrics
+	limiter    *rateLimiter
+	reqTimeout time.Duration
+	slow       time.Duration
+	logf       func(format string, args ...any)
 }
 
 // New assembles a server from the config.
@@ -88,11 +106,15 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		store: st,
-		sched: newScheduler(st, cfg.Workers, cfg.BatchWindow),
-		mux:   http.NewServeMux(),
-		slow:  cfg.SlowRequest,
-		logf:  cfg.Logf,
+		store:      st,
+		sched:      newScheduler(st, cfg.Workers, cfg.BatchWindow, cfg.MaxQueue),
+		mux:        http.NewServeMux(),
+		reqTimeout: cfg.RequestTimeout,
+		slow:       cfg.SlowRequest,
+		logf:       cfg.Logf,
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
@@ -165,21 +187,42 @@ func (s *Server) SchedulerStats() SchedulerStats { return s.sched.Stats() }
 func (s *Server) Close() { s.sched.close() }
 
 // writeJSON writes a response body through MarshalBody, the same rendering
-// the golden tests and remote clients use.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// the golden tests and remote clients use.  It returns the body size for the
+// wire accounting.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
 	body := MarshalBody(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	w.Write(body)
+	return len(body)
 }
 
 // writeError maps an error to a JSON error body using its tagged HTTP
-// status: 404 for unknown catalog names, 400 for malformed requests, and 500
-// for anything untagged (internal failures must not masquerade as client
-// errors).
+// status: 404 for unknown catalog names, 400 for malformed requests, 429
+// (plus a Retry-After header) for admission sheds, and 500 for anything
+// untagged (internal failures must not masquerade as client errors).  Error
+// envelopes are always JSON whatever format the request negotiated — an
+// error body is for the human or the retry loop, not the codec.
 func writeError(w http.ResponseWriter, err error) {
+	if ra := retryAfterOf(err); ra > 0 {
+		secs := int(ra / time.Second)
+		if ra%time.Second != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// requestContext derives a request's compute context: the client connection's
+// own context (cancelled on disconnect, so abandoned requests release their
+// seed claims) plus the configured server-side deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // decodeRequest fills req from the query string (GET) or the JSON body
@@ -239,8 +282,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateFormat(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
 	var req SweepRequest
-	err := decodeRequest(r, map[string]any{
+	err = decodeRequest(r, map[string]any{
 		"scenario":  &req.Scenario,
 		"adversary": &req.Adversary,
 		"seeds":     &req.Seeds,
@@ -259,9 +310,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := &obs.Trace{}
 	start := time.Now()
-	payload, status, err := s.sched.Sweep(req, tr)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if format == formatNDJSON || format == formatBinStream {
+		s.streamSweep(ctx, w, req, tr, start, format)
+		return
+	}
+	payload, status, err := s.sched.Sweep(ctx, req, tr, nil)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if format == formatBin {
+		setCacheHeader(w, status)
+		s.writeTracedBinary(w, "/v1/sweep", tr, start, status, payload)
 		return
 	}
 	rec, err := store.DecodeSweepRecord(payload)
@@ -274,8 +336,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateFormat(r)
+	if err == nil && format == formatBinStream {
+		// An extraction's pipeline tail is one indivisible computation, so
+		// there is no per-seed frame sequence to stream; NDJSON streams the
+		// verdicts, binary callers take the buffered container.
+		err = notAcceptable(fmt.Errorf("format bin-stream is not supported on /v1/extract (use bin or ndjson)"))
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
 	var req ExtractRequest
-	err := decodeRequest(r, map[string]any{
+	err = decodeRequest(r, map[string]any{
 		"extraction": &req.Extraction,
 		"adversary":  &req.Adversary,
 		"runs":       &req.Runs,
@@ -294,9 +370,20 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := &obs.Trace{}
 	start := time.Now()
-	payload, status, err := s.sched.Extract(req, tr)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if format == formatNDJSON {
+		s.streamExtract(ctx, w, req, tr, start)
+		return
+	}
+	payload, status, err := s.sched.Extract(ctx, req, tr)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if format == formatBin {
+		setCacheHeader(w, status)
+		s.writeTracedBinary(w, "/v1/extract", tr, start, status, payload)
 		return
 	}
 	rec, err := store.DecodeExtractionRecord(payload)
@@ -343,21 +430,50 @@ func (s *Server) writeTraced(w http.ResponseWriter, r *http.Request, route strin
 	w.Header().Set("Server-Timing", tr.ServerTiming(
 		"total;dur="+obs.FormatMillis(total),
 		`cache;desc="`+string(status)+`"`))
+	var n int
 	if r.URL.Query().Get("debug") == "timing" {
 		trace := TraceJSON{TotalMillis: millis(total), Cache: string(status)}
 		for _, st := range tr.Stages() {
 			trace.Stages = append(trace.Stages, TraceStageJSON{Name: st.Name, Millis: millis(st.Dur)})
 		}
-		writeJSON(w, http.StatusOK, DebugTimingResponse{
+		n = writeJSON(w, http.StatusOK, DebugTimingResponse{
 			Trace:    trace,
 			Response: json.RawMessage(bytes.TrimSuffix(MarshalBody(v), []byte("\n"))),
 		})
 	} else {
-		writeJSON(w, http.StatusOK, v)
+		n = writeJSON(w, http.StatusOK, v)
 	}
+	s.observeWire(route, formatJSON, n)
 	if s.slow > 0 && total >= s.slow {
 		s.logf("slow request: route=%s cache=%s total=%s stages=%q", route, status, total, tr.ServerTiming())
 	}
+}
+
+// writeTracedBinary finishes a served sweep/extract response in the binary
+// format: the store's codec container written to the wire byte-for-byte —
+// what the scheduler returned is what the client's decoder (and the corpus)
+// sees, with no re-encode in between.  ?debug=timing has no binary framing;
+// the stage trace still travels in the Server-Timing header.
+func (s *Server) writeTracedBinary(w http.ResponseWriter, route string, tr *obs.Trace, start time.Time, status CacheStatus, payload []byte) {
+	total := time.Since(start)
+	w.Header().Set("Server-Timing", tr.ServerTiming(
+		"total;dur="+obs.FormatMillis(total),
+		`cache;desc="`+string(status)+`"`))
+	w.Header().Set("Content-Type", ctBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+	s.observeWire(route, formatBin, len(payload))
+	if s.slow > 0 && total >= s.slow {
+		s.logf("slow request: route=%s cache=%s format=bin total=%s stages=%q", route, status, total, tr.ServerTiming())
+	}
+}
+
+// observeWire records one finished corpus-route response body on the wire
+// accounting counters, by route and negotiated format.
+func (s *Server) observeWire(route, format string, bytes int) {
+	s.metrics.wireResponses.With(route, format).Inc()
+	s.metrics.wireBytes.With(route, format).Add(uint64(bytes))
 }
 
 // setCacheHeader marks how much of the body came from the run corpus: "hit"

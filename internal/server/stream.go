@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Streamed responses.  A streamed sweep emits one record per seed as the
+// scheduler's flight table resolves it — cached seeds flush immediately,
+// computed seeds flush as their fleet batch lands — then a trailer record
+// with the aggregate, so a 10k-seed window renders progressively instead of
+// buffering.  Records arrive in resolution order, not seed order (each is
+// self-describing via its seed field); the buffered body remains the
+// seed-ordered rendering of the same record set.
+//
+// NDJSON (application/x-ndjson): one compact JSON value per line — every
+// outcome line is byte-identical to the corresponding element of the
+// buffered body's outcomes array, the final line is
+// {"trailer":{"aggregate":...,"trace":...}} whose aggregate equals the
+// buffered body minus its outcomes, and a mid-stream failure terminates the
+// stream with an {"error":...} line instead of a trailer.
+//
+// Binary (application/x-udc-bin-stream): length-prefixed codec frames — one
+// KindOutcome container per seed, then the assembled KindSweep container as
+// the trailer (byte-identical to the buffered binary body), or a KindError
+// container on mid-stream failure.
+//
+// Both modes declare X-Cache and Server-Timing as HTTP trailers: the cache
+// grade is only known once the window has resolved, after the header block
+// is gone.  Failures before the first record are ordinary JSON error
+// responses with real status codes.
+
+// streamer writes one streamed response.  Its emitOutcome method is the
+// scheduler's emit callback; it runs on the request goroutine, so no
+// locking.
+type streamer struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	format  string // formatNDJSON or formatBinStream
+	started bool
+	records int
+	bytes   int
+	frame   []byte // bin-stream frame scratch, reused across records
+}
+
+func newStreamer(w http.ResponseWriter, format string) *streamer {
+	fl, _ := w.(http.Flusher)
+	return &streamer{w: w, flusher: fl, format: format}
+}
+
+// begin sends the header block before the first record: the stream content
+// type plus the trailer declaration for the end-of-stream X-Cache and
+// Server-Timing values.
+func (st *streamer) begin() {
+	if st.started {
+		return
+	}
+	st.started = true
+	ct := ctNDJSON
+	if st.format == formatBinStream {
+		ct = ctBinStream
+	}
+	st.w.Header().Set("Content-Type", ct)
+	st.w.Header().Set("Trailer", "X-Cache, Server-Timing")
+	st.w.WriteHeader(http.StatusOK)
+}
+
+// write sends one record and flushes it to the socket, so clients observe
+// records as they resolve rather than at buffer boundaries.
+func (st *streamer) write(b []byte) {
+	st.begin()
+	n, _ := st.w.Write(b)
+	st.bytes += n
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+}
+
+// writeFrame sends one length-prefixed container frame.
+func (st *streamer) writeFrame(container []byte) {
+	st.frame = store.AppendFrame(st.frame[:0], container)
+	st.write(st.frame)
+}
+
+// emitOutcome is the scheduler's emit callback: one record per resolved
+// seed.
+func (st *streamer) emitOutcome(o workload.RunOutcome) {
+	st.records++
+	if st.format == formatNDJSON {
+		st.write(MarshalBody(outcomeJSON(o)))
+	} else {
+		st.writeFrame(store.EncodeOutcome(o))
+	}
+}
+
+// setTrailers fills the declared HTTP trailers once the outcome is known.
+func (st *streamer) setTrailers(status CacheStatus, tr *obs.Trace, total time.Duration) {
+	st.w.Header().Set("X-Cache", string(status))
+	st.w.Header().Set("Server-Timing", tr.ServerTiming(
+		"total;dur="+obs.FormatMillis(total),
+		`cache;desc="`+string(status)+`"`))
+}
+
+// fail terminates the stream: a mid-stream failure (records already on the
+// wire, status line long gone) appends a well-formed error record in the
+// stream's own framing; a failure before the first record is an ordinary
+// JSON error response with its real status code.
+func (st *streamer) fail(err error) {
+	if !st.started {
+		writeError(st.w, err)
+		return
+	}
+	if st.format == formatNDJSON {
+		st.write(MarshalBody(errorResponse{Error: err.Error()}))
+	} else {
+		st.writeFrame(store.EncodeStreamError(err.Error()))
+	}
+}
+
+// streamTrailerLine is the NDJSON trailer envelope: the one line of a
+// streamed response whose top-level key is "trailer" rather than an outcome
+// shape, so line consumers dispatch on it.
+type streamTrailerLine struct {
+	Trailer any `json:"trailer"`
+}
+
+// SweepTrailerJSON is a streamed sweep's trailer record: the aggregate the
+// buffered body carries before its outcomes, plus the stage trace and cache
+// grade the buffered response carries in headers.
+type SweepTrailerJSON struct {
+	Aggregate SweepAggregate `json:"aggregate"`
+	Trace     TraceJSON      `json:"trace"`
+}
+
+// ExtractTrailerJSON is SweepTrailerJSON for extraction streams.
+type ExtractTrailerJSON struct {
+	Aggregate ExtractAggregate `json:"aggregate"`
+	Trace     TraceJSON        `json:"trace"`
+}
+
+// traceJSON renders a stage trace for ?debug=timing envelopes and stream
+// trailers.
+func traceJSON(tr *obs.Trace, total time.Duration, status CacheStatus) TraceJSON {
+	t := TraceJSON{TotalMillis: millis(total), Cache: string(status)}
+	for _, st := range tr.Stages() {
+		t.Stages = append(t.Stages, TraceStageJSON{Name: st.Name, Millis: millis(st.Dur)})
+	}
+	return t
+}
+
+// streamSweep serves one sweep request in a streamed format.
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, req SweepRequest, tr *obs.Trace, start time.Time, format string) {
+	st := newStreamer(w, format)
+	payload, status, err := s.sched.Sweep(ctx, req, tr, st.emitOutcome)
+	if err == nil && format == formatNDJSON {
+		var rec *store.SweepRecord
+		if rec, err = store.DecodeSweepRecord(payload); err == nil {
+			total := time.Since(start)
+			st.setTrailers(status, tr, total)
+			st.write(MarshalBody(streamTrailerLine{Trailer: SweepTrailerJSON{
+				Aggregate: SweepAggregateOf(rec),
+				Trace:     traceJSON(tr, total, status),
+			}}))
+		}
+	} else if err == nil {
+		// The assembled sweep container is the binary trailer, byte-identical
+		// to the buffered binary body.
+		st.setTrailers(status, tr, time.Since(start))
+		st.writeFrame(payload)
+	}
+	if err != nil {
+		st.fail(err)
+	}
+	s.finishStream("/v1/sweep", st, tr, start, status, err)
+}
+
+// streamExtract serves one extraction request as NDJSON: verdict lines, then
+// the trailer.  The pipeline tail is one indivisible computation, so the
+// lines flush together once it lands — streaming here is about incremental
+// consumption of large verdict sets, not progressive compute.
+func (s *Server) streamExtract(ctx context.Context, w http.ResponseWriter, req ExtractRequest, tr *obs.Trace, start time.Time) {
+	st := newStreamer(w, formatNDJSON)
+	payload, status, err := s.sched.Extract(ctx, req, tr)
+	var rec *store.ExtractionRecord
+	if err == nil {
+		rec, err = store.DecodeExtractionRecord(payload)
+	}
+	if err != nil {
+		st.fail(err)
+		s.finishStream("/v1/extract", st, tr, start, status, err)
+		return
+	}
+	for _, v := range rec.Verdicts {
+		st.records++
+		st.write(MarshalBody(verdictJSON(v)))
+	}
+	total := time.Since(start)
+	st.setTrailers(status, tr, total)
+	st.write(MarshalBody(streamTrailerLine{Trailer: ExtractTrailerJSON{
+		Aggregate: ExtractAggregateOf(rec),
+		Trace:     traceJSON(tr, total, status),
+	}}))
+	s.finishStream("/v1/extract", st, tr, start, status, nil)
+}
+
+// finishStream records a finished stream's wire accounting and slow-request
+// log line.
+func (s *Server) finishStream(route string, st *streamer, tr *obs.Trace, start time.Time, status CacheStatus, err error) {
+	s.observeWire(route, st.format, st.bytes)
+	total := time.Since(start)
+	if s.slow > 0 && total >= s.slow {
+		outcome := string(status)
+		if err != nil {
+			outcome = "error"
+		}
+		s.logf("slow request: route=%s cache=%s format=%s records=%d total=%s stages=%q",
+			route, outcome, st.format, st.records, total, tr.ServerTiming())
+	}
+}

@@ -140,26 +140,61 @@ type OutcomeJSON struct {
 	LatencyActions int             `json:"latencyActions,omitempty"`
 }
 
-// SweepResponse is the /v1/sweep body.
+// outcomeJSON renders one per-seed outcome — the element type of a buffered
+// response's outcomes array and the line type of a streamed one, so the two
+// encodings carry byte-identical records.
+func outcomeJSON(o workload.RunOutcome) OutcomeJSON {
+	return OutcomeJSON{
+		Seed:           o.Seed,
+		OK:             o.OK(),
+		Stats:          statsJSON(o.Stats),
+		Violations:     violationsJSON(o.Violations),
+		LatencySum:     o.LatencySum,
+		LatencyActions: o.LatencyActions,
+	}
+}
+
+// SweepResponse is the /v1/sweep body.  Outcomes is deliberately the last
+// field: the preceding fields are exactly a SweepAggregate, so a streamed
+// trailer's aggregate is a byte prefix of the buffered body.
 type SweepResponse struct {
-	Scenario        string        `json:"scenario"`
-	Check           string        `json:"check"`
-	Adversary       string        `json:"adversary,omitempty"`
-	SeedBase        int64         `json:"seedBase"`
-	Seeds           int           `json:"seeds"`
-	Successes       int           `json:"successes"`
-	SuccessRate     float64       `json:"successRate"`
-	TotalViolations int           `json:"totalViolations"`
-	MeanMessages    float64       `json:"meanMessages"`
-	MeanLatency     float64       `json:"meanLatency"`
-	Outcomes        []OutcomeJSON `json:"outcomes"`
+	SweepAggregate
+	Outcomes []OutcomeJSON `json:"outcomes"`
+}
+
+// SweepAggregate is a sweep response minus the per-seed outcomes — the shape
+// of a streamed sweep's trailer record.
+type SweepAggregate struct {
+	Scenario        string  `json:"scenario"`
+	Check           string  `json:"check"`
+	Adversary       string  `json:"adversary,omitempty"`
+	SeedBase        int64   `json:"seedBase"`
+	Seeds           int     `json:"seeds"`
+	Successes       int     `json:"successes"`
+	SuccessRate     float64 `json:"successRate"`
+	TotalViolations int     `json:"totalViolations"`
+	MeanMessages    float64 `json:"meanMessages"`
+	MeanLatency     float64 `json:"meanLatency"`
 }
 
 // SweepResponseOf renders a stored sweep record.  It is the only way sweep
 // bodies are produced, so cached and freshly computed responses coincide.
 func SweepResponseOf(rec *store.SweepRecord) *SweepResponse {
-	agg := workload.SweepResult{Outcomes: rec.Outcomes}
 	resp := &SweepResponse{
+		SweepAggregate: SweepAggregateOf(rec),
+		Outcomes:       make([]OutcomeJSON, len(rec.Outcomes)),
+	}
+	for i, o := range rec.Outcomes {
+		resp.Outcomes[i] = outcomeJSON(o)
+	}
+	return resp
+}
+
+// SweepAggregateOf renders a stored sweep record's aggregate — the part of
+// the response that is not the per-seed outcomes.
+func SweepAggregateOf(rec *store.SweepRecord) SweepAggregate {
+	agg := workload.SweepResult{Outcomes: rec.Outcomes}
+	return SweepAggregate{
 		Scenario:        rec.Scenario,
 		Check:           rec.Check,
 		Adversary:       rec.Adversary,
@@ -170,19 +205,7 @@ func SweepResponseOf(rec *store.SweepRecord) *SweepResponse {
 		TotalViolations: agg.TotalViolations(),
 		MeanMessages:    agg.MeanMessages(),
 		MeanLatency:     agg.MeanLatency(),
-		Outcomes:        make([]OutcomeJSON, len(rec.Outcomes)),
 	}
-	for i, o := range rec.Outcomes {
-		resp.Outcomes[i] = OutcomeJSON{
-			Seed:           o.Seed,
-			OK:             o.OK(),
-			Stats:          statsJSON(o.Stats),
-			Violations:     violationsJSON(o.Violations),
-			LatencySum:     o.LatencySum,
-			LatencyActions: o.LatencyActions,
-		}
-	}
-	return resp
 }
 
 // IndexJSON is the epistemic index's shape in an extract response.
@@ -201,28 +224,55 @@ type VerdictJSON struct {
 	Violations []ViolationJSON `json:"violations,omitempty"`
 }
 
-// ExtractResponse is the /v1/extract body.
+// ExtractResponse is the /v1/extract body.  Like SweepResponse, the per-run
+// verdicts are deliberately the last field, so the preceding fields are
+// exactly an ExtractAggregate.
 type ExtractResponse struct {
-	Extraction      string        `json:"extraction"`
-	Mode            string        `json:"mode"`
-	T               int           `json:"t,omitempty"`
-	Adversary       string        `json:"adversary,omitempty"`
-	Runs            int           `json:"runs"`
-	SeedBase        int64         `json:"seedBase"`
-	Stress          bool          `json:"stress,omitempty"`
-	Kept            int           `json:"kept"`
-	Excluded        int           `json:"excluded"`
-	ExcludedSeeds   []int64       `json:"excludedSeeds,omitempty"`
-	Index           IndexJSON     `json:"index"`
-	OK              bool          `json:"ok"`
-	TotalViolations int           `json:"totalViolations"`
-	Verdicts        []VerdictJSON `json:"verdicts"`
+	ExtractAggregate
+	Verdicts []VerdictJSON `json:"verdicts"`
+}
+
+// ExtractAggregate is an extract response minus the per-run verdicts — the
+// shape of a streamed extraction's trailer record.
+type ExtractAggregate struct {
+	Extraction      string    `json:"extraction"`
+	Mode            string    `json:"mode"`
+	T               int       `json:"t,omitempty"`
+	Adversary       string    `json:"adversary,omitempty"`
+	Runs            int       `json:"runs"`
+	SeedBase        int64     `json:"seedBase"`
+	Stress          bool      `json:"stress,omitempty"`
+	Kept            int       `json:"kept"`
+	Excluded        int       `json:"excluded"`
+	ExcludedSeeds   []int64   `json:"excludedSeeds,omitempty"`
+	Index           IndexJSON `json:"index"`
+	OK              bool      `json:"ok"`
+	TotalViolations int       `json:"totalViolations"`
+}
+
+// verdictJSON renders one transformed run's property check — the element
+// type of a buffered response's verdicts array and the line type of a
+// streamed one.
+func verdictJSON(v store.Verdict) VerdictJSON {
+	return VerdictJSON{Seed: v.Seed, OK: len(v.Violations) == 0, Violations: violationsJSON(v.Violations)}
 }
 
 // ExtractResponseOf renders a stored extraction record; like SweepResponseOf
 // it is the single producer of extract bodies.
 func ExtractResponseOf(rec *store.ExtractionRecord) *ExtractResponse {
 	resp := &ExtractResponse{
+		ExtractAggregate: ExtractAggregateOf(rec),
+		Verdicts:         make([]VerdictJSON, len(rec.Verdicts)),
+	}
+	for i, v := range rec.Verdicts {
+		resp.Verdicts[i] = verdictJSON(v)
+	}
+	return resp
+}
+
+// ExtractAggregateOf renders a stored extraction record's aggregate.
+func ExtractAggregateOf(rec *store.ExtractionRecord) ExtractAggregate {
+	agg := ExtractAggregate{
 		Extraction:    rec.Extraction,
 		Mode:          rec.Mode,
 		T:             rec.T,
@@ -241,13 +291,9 @@ func ExtractResponseOf(rec *store.ExtractionRecord) *ExtractResponse {
 			Intervals: rec.Index.Intervals,
 		},
 		TotalViolations: rec.TotalViolations(),
-		Verdicts:        make([]VerdictJSON, len(rec.Verdicts)),
 	}
-	resp.OK = resp.TotalViolations == 0
-	for i, v := range rec.Verdicts {
-		resp.Verdicts[i] = VerdictJSON{Seed: v.Seed, OK: len(v.Violations) == 0, Violations: violationsJSON(v.Violations)}
-	}
-	return resp
+	agg.OK = agg.TotalViolations == 0
+	return agg
 }
 
 // ScenarioJSON is one catalog entry in the /v1/scenarios body.

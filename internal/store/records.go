@@ -132,6 +132,12 @@ func EncodeSeedRecord(rec *SeedRecord) []byte {
 // DecodeSeedRecord deserialises a record encoded by EncodeSeedRecord,
 // validating the embedded run's structural invariants like DecodeRun does.
 func DecodeSeedRecord(data []byte) (*SeedRecord, error) {
+	return DecodeSeedRecordInto(nil, data)
+}
+
+// DecodeSeedRecordInto is DecodeSeedRecord with the owning run copy carved
+// from arena (nil falls back to a fresh CompactClone).
+func DecodeSeedRecordInto(arena *model.CloneArena, data []byte) (*SeedRecord, error) {
 	d := Decoders.Get()
 	defer Decoders.Put(d)
 	transient, err := d.DecodeSeedRecord(data)
@@ -140,7 +146,7 @@ func DecodeSeedRecord(data []byte) (*SeedRecord, error) {
 	}
 	rec := new(SeedRecord)
 	*rec = *transient
-	rec.Run = transient.Run.CompactClone()
+	rec.Run = cloneRun(arena, transient.Run)
 	return rec, nil
 }
 

@@ -7,7 +7,12 @@
 # that must be a byte-identical full hit, and a second cold daemon whose
 # from-scratch seeds=16 body must equal the assembled one byte for byte.
 # Along the way it scrapes /metrics, validates the exposition grammar line by
-# line, and checks the scheduler mirror agrees with /v1/stats.
+# line, and checks the scheduler mirror agrees with /v1/stats.  Two more legs
+# cover the wire protocol and admission control: the NDJSON stream must carry
+# one record per seed plus a trailer whose aggregate is byte-identical to the
+# buffered body minus its outcomes (with the binary body materially smaller),
+# and a rate-limited daemon must shed a burst with 429 + Retry-After while
+# counting the sheds honestly on /metrics.
 # Run by `make daemon-smoke` and by CI.
 set -eu
 
@@ -16,28 +21,34 @@ workdir="$(mktemp -d)"
 logfile="$workdir/udcd.log"
 pid=""
 pid2=""
+pid3=""
 
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+    [ -n "$pid3" ] && kill "$pid3" 2>/dev/null || true
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
 
 $GO build -o "$workdir/udcd" ./cmd/udcd
 
-# boot_daemon logfile storedir — sets $bootpid and the announced $base URL.
+# boot_daemon logfile storedir [flags...] — sets $bootpid and the announced
+# $base URL.
 boot_daemon() {
-    "$workdir/udcd" -addr 127.0.0.1:0 -store "$2" >"$1" 2>&1 &
+    bootlog="$1"
+    bootstore="$2"
+    shift 2
+    "$workdir/udcd" -addr 127.0.0.1:0 -store "$bootstore" "$@" >"$bootlog" 2>&1 &
     bootpid=$!
     base=""
     for _ in $(seq 1 100); do
-        base="$(sed -n 's#^udcd listening on \(http://[0-9.:]*\).*#\1#p' "$1")"
+        base="$(sed -n 's#^udcd listening on \(http://[0-9.:]*\).*#\1#p' "$bootlog")"
         [ -n "$base" ] && break
-        kill -0 "$bootpid" 2>/dev/null || { echo "udcd exited early:"; cat "$1"; exit 1; }
+        kill -0 "$bootpid" 2>/dev/null || { echo "udcd exited early:"; cat "$bootlog"; exit 1; }
         sleep 0.1
     done
-    [ -n "$base" ] || { echo "udcd never announced its address:"; cat "$1"; exit 1; }
+    [ -n "$base" ] || { echo "udcd never announced its address:"; cat "$bootlog"; exit 1; }
 }
 
 boot_daemon "$logfile" "$workdir/store"
@@ -77,6 +88,26 @@ bad="$(grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-
 [ -z "$bad" ] || { echo "malformed exposition lines:"; echo "$bad"; exit 1; }
 grep -q '^udc_scheduler_seeds_computed_total 16$' "$workdir/metrics.txt" || { echo "/metrics seeds_computed disagrees with /v1/stats (want 16):"; grep seeds_computed "$workdir/metrics.txt"; exit 1; }
 
+# Streaming leg: the NDJSON stream over the primed window must carry one
+# record per seed plus a trailer record, and the trailer's aggregate must be
+# byte-identical to the buffered body minus its outcomes array.
+curl -sfN -H 'Accept: application/x-ndjson' -D "$workdir/hstream" -o "$workdir/stream16" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
+grep -qi '^content-type: application/x-ndjson' "$workdir/hstream" || { echo "stream lacks the NDJSON content type:"; cat "$workdir/hstream"; exit 1; }
+lines="$(wc -l < "$workdir/stream16")"
+[ "$lines" -eq 17 ] || { echo "NDJSON stream carried $lines lines, want 16 outcomes + 1 trailer"; exit 1; }
+tail -n 1 "$workdir/stream16" | grep -q '^{"trailer":' || { echo "stream did not end in a trailer record:"; tail -n 1 "$workdir/stream16"; exit 1; }
+sed 's/,"outcomes":.*$/}/' "$workdir/b16" >"$workdir/agg.want"
+tail -n 1 "$workdir/stream16" | sed 's/^{"trailer":{"aggregate"://; s/,"trace":.*$//' >"$workdir/agg.got"
+cmp "$workdir/agg.want" "$workdir/agg.got" || { echo "stream trailer aggregate differs from the buffered aggregate:"; cat "$workdir/agg.want" "$workdir/agg.got"; exit 1; }
+
+# Binary leg: the negotiated binary body is the codec container, materially
+# smaller than the JSON rendering of the same record.
+curl -sf -H 'Accept: application/x-udc-bin' -D "$workdir/hbin" -o "$workdir/bin16" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=16"
+grep -qi '^content-type: application/x-udc-bin' "$workdir/hbin" || { echo "binary sweep lacks its content type:"; cat "$workdir/hbin"; exit 1; }
+binsize="$(wc -c < "$workdir/bin16")"
+jsonsize="$(wc -c < "$workdir/b16")"
+[ "$binsize" -lt "$((jsonsize / 2))" ] || { echo "binary body ($binsize bytes) not materially smaller than JSON ($jsonsize bytes)"; exit 1; }
+
 # A cold daemon over a fresh store must compute the same 16-seed body byte
 # for byte — the assembled partial-hit response is indistinguishable from a
 # from-scratch computation.
@@ -87,4 +118,24 @@ curl -sf -D "$workdir/h16c" -o "$workdir/b16c" "$base/v1/sweep?scenario=prop3.1-
 grep -qi '^x-cache: miss' "$workdir/h16c" || { echo "reference seeds=16 was not a miss:"; cat "$workdir/h16c"; exit 1; }
 cmp "$workdir/b16" "$workdir/b16c" || { echo "partial-hit body differs from a cold daemon's computation"; exit 1; }
 
-echo "daemon smoke OK: partial-hit assembly byte-identical to cold computation, 8 seeds reused"
+# Admission leg: a rate-limited daemon (1 req/s, burst 2) must shed part of a
+# 5-request burst with 429 + Retry-After, count the sheds on /metrics, and
+# label the 429s honestly on the HTTP counter.
+boot_daemon "$workdir/udcd3.log" "$workdir/store3" -rate-limit 1 -rate-burst 2
+pid3=$bootpid
+echo "rate-limited daemon up at $base"
+shed=0
+for i in 1 2 3 4 5; do
+    code="$(curl -s -o /dev/null -D "$workdir/hadm$i" -w '%{http_code}' "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=2")"
+    case "$code" in
+        200) ;;
+        429) shed=$((shed + 1)); grep -qi '^retry-after: [0-9]' "$workdir/hadm$i" || { echo "429 without a Retry-After hint:"; cat "$workdir/hadm$i"; exit 1; } ;;
+        *) echo "burst request $i answered HTTP $code"; exit 1 ;;
+    esac
+done
+[ "$shed" -ge 1 ] || { echo "a 5-request burst against burst-2 rate-1/s never shed"; exit 1; }
+curl -sf "$base/metrics" >"$workdir/metrics3.txt"
+grep -q "^udc_admission_rate_limited_total $shed\$" "$workdir/metrics3.txt" || { echo "/metrics rate-limited counter disagrees (want $shed):"; grep rate_limited "$workdir/metrics3.txt"; exit 1; }
+grep -q 'udc_http_requests_total{route="/v1/sweep",code="429"}' "$workdir/metrics3.txt" || { echo "429s missing from the HTTP counter:"; grep udc_http_requests_total "$workdir/metrics3.txt"; exit 1; }
+
+echo "daemon smoke OK: partial-hit assembly byte-identical to cold computation, 8 seeds reused, stream trailer matches buffered aggregate, $shed/5 burst requests shed with 429"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -75,10 +76,18 @@ func negotiateFormat(r *http.Request) (string, error) {
 	return formatJSON, nil
 }
 
-// maxLimiterClients bounds the per-client bucket map; past it the map is
-// dropped wholesale (brief amnesty beats unbounded growth — the daemon's
-// admission gate still guards the compute queue).
+// maxLimiterClients bounds the per-client bucket map; at capacity, stale
+// buckets are evicted (an idle bucket has fully refilled, so it carries no
+// limiting state worth keeping), never the whole map — a wholesale reset
+// would hand every active client a fresh full burst at once.
 const maxLimiterClients = 4096
+
+// clientBucket is one client's token bucket plus its last admission time,
+// the eviction signal.  lastSeen is guarded by rateLimiter.mu.
+type clientBucket struct {
+	*obs.TokenBucket
+	lastSeen time.Time
+}
 
 // rateLimiter applies a per-client token bucket to the corpus-backed routes.
 // Clients are keyed by remote IP.
@@ -87,7 +96,7 @@ type rateLimiter struct {
 	burst float64
 
 	mu      sync.Mutex
-	buckets map[string]*obs.TokenBucket
+	buckets map[string]*clientBucket
 }
 
 func newRateLimiter(rate float64, burst int) *rateLimiter {
@@ -95,26 +104,55 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 	if b <= 0 {
 		b = 2 * rate
 	}
-	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*obs.TokenBucket)}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*clientBucket)}
 }
 
 // admit reports whether the client may proceed at time now; when it may not,
 // the returned duration is the client's Retry-After hint.
 func (l *rateLimiter) admit(client string, now time.Time) (bool, time.Duration) {
 	l.mu.Lock()
-	if len(l.buckets) >= maxLimiterClients {
-		l.buckets = make(map[string]*obs.TokenBucket)
-	}
 	b, ok := l.buckets[client]
 	if !ok {
-		b = obs.NewTokenBucket(l.rate, l.burst, now)
+		if len(l.buckets) >= maxLimiterClients {
+			l.evict(now)
+		}
+		b = &clientBucket{TokenBucket: obs.NewTokenBucket(l.rate, l.burst, now)}
 		l.buckets[client] = b
 	}
+	b.lastSeen = now
 	l.mu.Unlock()
 	if b.Allow(now) {
 		return true, 0
 	}
 	return false, b.RetryAfter(now)
+}
+
+// evict, called with mu held when the bucket map is at capacity, first drops
+// buckets idle long enough to have fully refilled — they limit nothing — and
+// then, if every bucket is live, the least recently seen quarter, so under
+// client-address churn admission state degrades for the stalest clients only
+// instead of resetting for all of them.
+func (l *rateLimiter) evict(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range l.buckets {
+		if now.Sub(b.lastSeen) >= idle {
+			delete(l.buckets, key)
+		}
+	}
+	if len(l.buckets) < maxLimiterClients {
+		return
+	}
+	seen := make([]time.Time, 0, len(l.buckets))
+	for _, b := range l.buckets {
+		seen = append(seen, b.lastSeen)
+	}
+	sort.Slice(seen, func(i, j int) bool { return seen[i].Before(seen[j]) })
+	cutoff := seen[len(seen)/4]
+	for key, b := range l.buckets {
+		if !b.lastSeen.After(cutoff) {
+			delete(l.buckets, key)
+		}
+	}
 }
 
 // clientKey identifies a request's client for rate limiting: the remote IP
@@ -128,7 +166,9 @@ func clientKey(r *http.Request) string {
 
 // admit applies the per-client rate limit to a corpus-backed route.  A shed
 // request is answered here (429 + Retry-After + JSON error envelope,
-// whatever format was negotiated) and false is returned.
+// whatever format was negotiated) and false is returned.  The handlers call
+// it after decoding and validating, so only well-formed requests draw a
+// token — a malformed 400 must not drain its client's budget.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if s.limiter == nil {
 		return true

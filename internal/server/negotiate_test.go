@@ -703,3 +703,86 @@ func TestExtractNDJSONStream(t *testing.T) {
 		t.Fatalf("trailer aggregate lacks the extraction name: %s", tl.Trailer.Aggregate)
 	}
 }
+
+// TestStreamCoalescedRecordsComplete forces coalescing under streaming:
+// concurrent NDJSON sweeps over the same cold window, where whichever request
+// joins another's in-flight seeds must still emit one outcome line per seed —
+// a joined record that never reaches the stream would show up here as a short
+// response with no error.
+func TestStreamCoalescedRecordsComplete(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 32, SeedBase: 1}
+	const clients = 4
+
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hreq, err := http.NewRequest(http.MethodGet, sweepURL(ts, req), nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			hreq.Header.Set("Accept", "application/x-ndjson")
+			resp, err := http.DefaultClient.Do(hreq)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stream %d: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("stream %d: HTTP %d: %s", i, statuses[i], bodies[i])
+		}
+		lines := ndjsonLines(t, bodies[i])
+		if len(lines) != req.Seeds+1 {
+			t.Fatalf("stream %d carried %d lines, want %d outcomes + 1 trailer", i, len(lines), req.Seeds)
+		}
+		var tl trailerLine
+		if err := json.Unmarshal(lines[req.Seeds], &tl); err != nil || tl.Trailer == nil {
+			t.Fatalf("stream %d: last line is not a trailer record: %s", i, lines[req.Seeds])
+		}
+	}
+
+	// The flight table still deduplicates: every distinct seed computed once,
+	// and the per-seed accounting reconciles across the coalesced streams.
+	ss := srv.SchedulerStats()
+	if ss.SeedsComputed != uint64(req.Seeds) {
+		t.Fatalf("SeedsComputed = %d, want %d", ss.SeedsComputed, req.Seeds)
+	}
+	if ss.SeedsCached+ss.SeedsCoalesced+ss.SeedsComputed != ss.SeedsRequested {
+		t.Fatalf("seed accounting does not reconcile: %+v", ss)
+	}
+}
+
+// TestMalformedRequestsNotRateCharged pins the admission charging order: a
+// malformed request is rejected with 400 before it draws a rate-limit token,
+// so a burst of garbage cannot starve the client's well-formed requests.
+func TestMalformedRequestsNotRateCharged(t *testing.T) {
+	_, ts := newConfiguredServer(t, t.TempDir(), server.Config{RateLimit: 1, RateBurst: 1})
+
+	for i := 0; i < 3; i++ {
+		status, _, body := get(t, ts.URL+"/v1/sweep") // no scenario: malformed
+		if status != http.StatusBadRequest {
+			t.Fatalf("malformed request %d: HTTP %d: %s, want 400", i, status, body)
+		}
+	}
+	// The burst-1 budget is untouched: one well-formed request still admits.
+	req := server.SweepRequest{Scenario: "prop2.3-nudc", Seeds: 2, SeedBase: 1}
+	if status, _, body := get(t, sweepURL(ts, req)); status != http.StatusOK {
+		t.Fatalf("well-formed request after malformed burst: HTTP %d: %s, want 200", status, body)
+	}
+}

@@ -115,6 +115,32 @@ func abandoned(ctx context.Context) error {
 	return &httpError{status: http.StatusServiceUnavailable, err: fmt.Errorf("server: request abandoned: %w", ctx.Err())}
 }
 
+// ownerLocal reports whether a failed seed computation's error is local to
+// the request that owned the claim rather than to the computation itself: an
+// admission shed (the owner's submit drew the 429) or an abandonment (the
+// owner's client went away).  Neither says anything about a request that
+// merely joined the claim, so joiners re-claim and recompute such seeds.
+func ownerLocal(err error) bool {
+	switch statusOf(err) {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// coalesceUpstream re-tags an owner-local failure that outlived a joiner's
+// re-claim budget: the joiner is answered with a retryable 503 — retryable
+// because the seeds are computable, 503 because the failure happened upstream
+// — instead of inheriting a 429 or abandonment status its own client never
+// earned.
+func coalesceUpstream(err error) error {
+	return &httpError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: time.Second,
+		err:        fmt.Errorf("server: coalesced seed computation failed upstream: %w", err),
+	}
+}
+
 // statusOf maps an error to its response status: a tagged status if one is
 // attached, 500 otherwise.
 func statusOf(err error) int {
@@ -196,6 +222,11 @@ type fleetJob struct {
 
 // maxBatch bounds the number of jobs one dispatcher round carries.
 const maxBatch = 64
+
+// maxClaimPasses bounds resolveSeeds' claim/join passes: the first pass plus
+// re-claims of seeds whose joined owner failed with an owner-local error
+// (shed or abandoned) that says nothing about this request.
+const maxClaimPasses = 3
 
 // scheduler turns validated requests into store payloads.  Every request
 // resolves into (cached seeds ∪ missing seeds): the cached side is served
@@ -486,7 +517,8 @@ func (r resolution) status() CacheStatus {
 // lands, joined seeds as their owners publish them — in arrival order, on the
 // request's own goroutine; it is how streamed responses flush progressively.
 // ctx bounds the computation: an expired context sheds unclaimed work and
-// releases this request's seed claims (joiners see the error and recompute).
+// releases this request's seed claims; joiners of those claims do not inherit
+// this request's failure — they re-claim the seeds and recompute.
 func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool, tr *obs.Trace, emit func(workload.RunOutcome)) (resolution, error) {
 	n := len(seeds)
 	keys := make([]store.Key, n)
@@ -537,144 +569,183 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 	}
 	resolveSpan.End()
 
-	// Claim the unresolved seeds, joining any already in flight.
-	claimSpan := tr.Span("claim")
-	var owned []int
-	ownedCalls := make(map[int]*seedCall)
-	var joined []int
-	var joinedCalls []*seedCall
-	s.mu.Lock()
-	for i := range seeds {
-		if resolved[i] {
-			continue
-		}
-		if c, ok := s.seedflight[keys[i]]; ok {
-			joined = append(joined, i)
-			joinedCalls = append(joinedCalls, c)
-			continue
-		}
-		c := &seedCall{done: make(chan struct{})}
-		s.seedflight[keys[i]] = c
-		owned = append(owned, i)
-		ownedCalls[i] = c
-	}
-	s.mu.Unlock()
-
-	// An identical seed may have been computed and stored between our batch
-	// read and the flight registration; it was stored before its call
-	// deregistered, so one uncounted probe per claimed seed closes the race
-	// and keeps overlapping requests at exactly one computation per seed.
-	stillOwned := owned[:0]
-	for _, i := range owned {
-		var rec *store.SeedRecord
-		if payload, ok := s.store.Probe(keys[i]); ok {
-			if r, err := dec.DecodeSeedRecord(payload); err == nil && r.Seed == seeds[i] && (eval == nil || r.Scored) {
-				rec = r
-			}
-		}
-		if rec == nil {
-			stillOwned = append(stillOwned, i)
-			continue
-		}
-		// Joiners on this key come from the same namespace, so they need the
-		// run exactly when this request does; the published run is adopt's
-		// owned copy, never the decoder's transient view.
-		run := adopt(rec)
-		resolved[i] = true
-		c := ownedCalls[i]
-		c.outcome = rec.Outcome()
-		if needRuns {
-			c.run = run
-		}
-		s.mu.Lock()
-		delete(s.seedflight, keys[i])
-		s.mu.Unlock()
-		close(c.done)
-	}
-	owned = stillOwned
-	claimSpan.End()
-
-	// Simulate the claimed seeds in one dispatcher round, persist them as
-	// per-seed records, and publish them to any requests that joined.
+	// Claim the unresolved seeds — joining any already in flight — compute
+	// the claims, and collect the joins.  The outer loop exists for the
+	// joiners: a joined owner can fail with an error that is local to it (its
+	// submit was shed by the admission gate, or its client disconnected and
+	// its context expired), which says nothing about this request.  Those
+	// seeds stay unresolved and the next pass re-claims them — an owner
+	// deregisters its flight entries before publishing failure, so the retry
+	// either becomes the owner, earning this request's own admission verdict,
+	// or joins a fresh owner.  Passes are bounded; an owner-local error that
+	// survives them is re-tagged by coalesceUpstream so the joiner's client is
+	// answered with a retryable 503 rather than a status it never earned.
+	// This request's own submit errors propagate unmodified.
 	var computeErr error
-	if len(owned) > 0 {
-		ownedSeeds := make([]int64, len(owned))
-		for j, i := range owned {
-			ownedSeeds[j] = seeds[i]
-		}
-		job := &fleetJob{
-			runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
-			done: make(chan struct{}),
-		}
-		computeSpan := tr.Span("compute")
-		computeErr = s.submit(ctx, job)
-		computeSpan.End()
-		if computeErr == nil {
-			persistSpan := tr.Span("persist")
-			putKeys := make([]store.Key, len(owned))
-			putPayloads := make([][]byte, len(owned))
-			for j, i := range owned {
-				sr := job.seedRuns[j]
-				computedOut = append(computedOut, sr.Outcome)
-				if emit != nil {
-					emit(sr.Outcome)
-				}
-				if needRuns {
-					runsBySeed[sr.Outcome.Seed] = sr.Run
-				}
-				putKeys[j] = keys[i]
-				putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(sr, eval != nil))
-			}
-			if failed, _ := s.store.PutMulti(putKeys, putPayloads); failed > 0 {
-				s.count(func(st *SchedulerStats) { st.PutErrors += uint64(failed) })
-			}
-			persistSpan.End()
-		}
+	joinedTotal := 0
+	for pass := 1; computeErr == nil; pass++ {
+		claimSpan := tr.Span("claim")
+		var owned []int
+		ownedCalls := make(map[int]*seedCall)
+		var joined []int
+		var joinedCalls []*seedCall
 		s.mu.Lock()
-		for _, i := range owned {
-			delete(s.seedflight, keys[i])
+		for i := range seeds {
+			if resolved[i] {
+				continue
+			}
+			if c, ok := s.seedflight[keys[i]]; ok {
+				joined = append(joined, i)
+				joinedCalls = append(joinedCalls, c)
+				continue
+			}
+			c := &seedCall{done: make(chan struct{})}
+			s.seedflight[keys[i]] = c
+			owned = append(owned, i)
+			ownedCalls[i] = c
 		}
 		s.mu.Unlock()
-		for j, i := range owned {
-			c := ownedCalls[i]
-			if computeErr != nil {
-				c.err = computeErr
-			} else {
-				sr := job.seedRuns[j]
-				c.outcome, c.run = sr.Outcome, sr.Run
-			}
-			close(c.done)
-		}
-	}
-
-	// Collect the seeds concurrent requests computed for us.  The wait is
-	// compute time: someone's fleet round is producing these seeds.  An
-	// expired request context stops waiting — the owners' computations are
-	// unaffected, this request just stops consuming them.
-	joinSpan := tr.Span("compute")
-	for _, c := range joinedCalls {
-		if computeErr != nil {
+		if len(owned) == 0 && len(joined) == 0 {
+			claimSpan.End()
 			break
 		}
-		select {
-		case <-c.done:
-		case <-ctx.Done():
-			// The owners' computations are unaffected; this request just
-			// stops consuming them (c stays untouched — it is published by
-			// its owner, not us).
-			computeErr = abandoned(ctx)
-			continue
+
+		// An identical seed may have been computed and stored between our batch
+		// read and the flight registration; it was stored before its call
+		// deregistered, so one uncounted probe per claimed seed closes the race
+		// and keeps overlapping requests at exactly one computation per seed.
+		stillOwned := owned[:0]
+		for _, i := range owned {
+			var rec *store.SeedRecord
+			if payload, ok := s.store.Probe(keys[i]); ok {
+				if r, err := dec.DecodeSeedRecord(payload); err == nil && r.Seed == seeds[i] && (eval == nil || r.Scored) {
+					rec = r
+				}
+			}
+			if rec == nil {
+				stillOwned = append(stillOwned, i)
+				continue
+			}
+			// Joiners on this key come from the same namespace, so they need the
+			// run exactly when this request does; the published run is adopt's
+			// owned copy, never the decoder's transient view.
+			run := adopt(rec)
+			resolved[i] = true
+			c := ownedCalls[i]
+			c.outcome = rec.Outcome()
+			if needRuns {
+				c.run = run
+			}
+			s.mu.Lock()
+			delete(s.seedflight, keys[i])
+			s.mu.Unlock()
+			close(c.done)
 		}
-		if c.err != nil {
-			computeErr = c.err
-			continue
+		owned = stillOwned
+		claimSpan.End()
+
+		// Simulate the claimed seeds in one dispatcher round, persist them as
+		// per-seed records, and publish them to any requests that joined.
+		if len(owned) > 0 {
+			ownedSeeds := make([]int64, len(owned))
+			for j, i := range owned {
+				ownedSeeds[j] = seeds[i]
+			}
+			job := &fleetJob{
+				runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
+				done: make(chan struct{}),
+			}
+			computeSpan := tr.Span("compute")
+			computeErr = s.submit(ctx, job)
+			computeSpan.End()
+			if computeErr == nil {
+				persistSpan := tr.Span("persist")
+				putKeys := make([]store.Key, len(owned))
+				putPayloads := make([][]byte, len(owned))
+				for j, i := range owned {
+					sr := job.seedRuns[j]
+					computedOut = append(computedOut, sr.Outcome)
+					if emit != nil {
+						emit(sr.Outcome)
+					}
+					if needRuns {
+						runsBySeed[sr.Outcome.Seed] = sr.Run
+					}
+					resolved[i] = true
+					putKeys[j] = keys[i]
+					putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(sr, eval != nil))
+				}
+				if failed, _ := s.store.PutMulti(putKeys, putPayloads); failed > 0 {
+					s.count(func(st *SchedulerStats) { st.PutErrors += uint64(failed) })
+				}
+				persistSpan.End()
+			}
+			s.mu.Lock()
+			for _, i := range owned {
+				delete(s.seedflight, keys[i])
+			}
+			s.mu.Unlock()
+			for j, i := range owned {
+				c := ownedCalls[i]
+				if computeErr != nil {
+					c.err = computeErr
+				} else {
+					sr := job.seedRuns[j]
+					c.outcome, c.run = sr.Outcome, sr.Run
+				}
+				close(c.done)
+			}
 		}
-		joinedOut = append(joinedOut, c.outcome)
-		if needRuns {
-			runsBySeed[c.outcome.Seed] = c.run
+
+		// Collect the seeds concurrent requests computed for us.  The wait is
+		// compute time: someone's fleet round is producing these seeds.  An
+		// expired request context stops waiting — the owners' computations are
+		// unaffected, this request just stops consuming them.
+		joinSpan := tr.Span("compute")
+		retry := false
+		for j, c := range joinedCalls {
+			if computeErr != nil {
+				break
+			}
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				// The owners' computations are unaffected; this request just
+				// stops consuming them (c stays untouched — it is published by
+				// its owner, not us).
+				computeErr = abandoned(ctx)
+				continue
+			}
+			if c.err != nil {
+				if ownerLocal(c.err) {
+					// The owner's failure, not the seeds': leave them
+					// unresolved for the next pass to re-claim, or re-tag
+					// once the retry budget is spent.
+					if pass < maxClaimPasses {
+						retry = true
+					} else {
+						computeErr = coalesceUpstream(c.err)
+					}
+					continue
+				}
+				computeErr = c.err
+				continue
+			}
+			joinedOut = append(joinedOut, c.outcome)
+			if emit != nil {
+				emit(c.outcome)
+			}
+			if needRuns {
+				runsBySeed[c.outcome.Seed] = c.run
+			}
+			resolved[joined[j]] = true
+			joinedTotal++
+		}
+		joinSpan.End()
+		if !retry {
+			break
 		}
 	}
-	joinSpan.End()
 	if computeErr != nil {
 		return resolution{}, computeErr
 	}
@@ -688,7 +759,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 		outcomes: outcomes,
 		cached:   len(cachedOut),
 		computed: len(computedOut),
-		joined:   len(joined),
+		joined:   joinedTotal,
 	}
 	if needRuns {
 		res.runs = make(model.System, n)

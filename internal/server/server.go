@@ -287,9 +287,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if !s.admit(w, r) {
-		return
-	}
 	var req SweepRequest
 	err = decodeRequest(r, map[string]any{
 		"scenario":  &req.Scenario,
@@ -306,6 +303,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeError(w, badRequest(err))
+		return
+	}
+	if !s.admit(w, r) {
 		return
 	}
 	tr := &obs.Trace{}
@@ -347,9 +347,6 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if !s.admit(w, r) {
-		return
-	}
 	var req ExtractRequest
 	err = decodeRequest(r, map[string]any{
 		"extraction": &req.Extraction,
@@ -366,6 +363,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeError(w, badRequest(err))
+		return
+	}
+	if !s.admit(w, r) {
 		return
 	}
 	tr := &obs.Trace{}

@@ -99,7 +99,11 @@ func (st *streamer) emitOutcome(o workload.RunOutcome) {
 }
 
 // setTrailers fills the declared HTTP trailers once the outcome is known.
+// It begins the stream if nothing was written yet: a stream with zero records
+// before its trailer must still send the header block first, so the values
+// land as the declared trailers rather than as ordinary headers.
 func (st *streamer) setTrailers(status CacheStatus, tr *obs.Trace, total time.Duration) {
+	st.begin()
 	st.w.Header().Set("X-Cache", string(status))
 	st.w.Header().Set("Server-Timing", tr.ServerTiming(
 		"total;dur="+obs.FormatMillis(total),

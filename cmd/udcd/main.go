@@ -14,8 +14,10 @@
 //	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
 //
 // Endpoints: /healthz, /v1/sweep, /v1/extract, /v1/scenarios,
-// /v1/adversaries, /v1/stats, /metrics (Prometheus text exposition), and —
-// with -pprof — /debug/pprof/*.
+// /v1/adversaries, /v1/stats, /v1/corpus (shard occupancy + per-source seed
+// traffic), /metrics (Prometheus text exposition), /debug/traces and
+// /debug/traces/<id> (the request trace log), and — with -pprof —
+// /debug/pprof/*.
 //
 // The sweep and extract routes content-negotiate: JSON (the default), the
 // store's binary codec container (Accept: application/x-udc-bin or
@@ -25,6 +27,12 @@
 // -rate-limit, -max-queue and -request-timeout add admission control: shed
 // requests answer 429 with a Retry-After hint while everything admitted is
 // served to completion.
+//
+// Every sweep/extract response carries an X-Trace-Id header (a client's W3C
+// `traceparent` header is honoured); the finished trace — stage breakdown,
+// seed accounting, span links to coalesced owners — is retrievable from
+// /debug/traces/<id>.  Slow requests log as structured records keyed by
+// trace ID; -log-format picks text or JSON.
 package main
 
 import (
@@ -32,11 +40,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -62,6 +72,8 @@ type options struct {
 	stats       bool
 	pprof       bool
 	slowLog     time.Duration
+	logFormat   string
+	traceLog    int
 	rateLimit   float64
 	rateBurst   int
 	maxQueue    int
@@ -79,7 +91,9 @@ func parseOptions(args []string) (options, error) {
 	fs.Int64Var(&o.memBytes, "mem-bytes", 0, "in-memory cache byte bound (0 = 64 MiB)")
 	fs.BoolVar(&o.stats, "stats", false, "query the daemon running at -addr for its counters (full/partial/miss hits, seed traffic, store layers) and exit")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
-	fs.DurationVar(&o.slowLog, "slow-log", 30*time.Second, "log requests slower than this with their stage trace (0 disables)")
+	fs.DurationVar(&o.slowLog, "slow-log", 30*time.Second, "log requests slower than this with their stage trace, and always retain their traces in the trace log (0 disables)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log encoding on stderr: text or json")
+	fs.IntVar(&o.traceLog, "trace-log", 0, "trace log capacity: retains this many tail-sampled traces plus as many slow/errored ones (0 = 512)")
 	fs.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client sweep/extract requests per second; shed with 429 + Retry-After past the burst (0 disables)")
 	fs.IntVar(&o.rateBurst, "rate-burst", 0, "per-client burst allowance for -rate-limit (0 = twice the rate)")
 	fs.IntVar(&o.maxQueue, "max-queue", 0, "shed compute requests with 429 when this many fleet jobs are already pending; cache hits always served (0 disables)")
@@ -110,7 +124,59 @@ func printStats(w io.Writer, baseURL string) error {
 		st.MemHits, st.DiskHits, st.Misses, st.Puts, st.CorruptEntries, st.Evictions, st.MemEntries, st.MemBytes)
 	fmt.Fprintf(w, "versions: engine=%d codec=%d\n", stats.EngineVersion, stats.CodecVersion)
 	printMetricsSummary(w, client, sch)
+	printTraceSummary(w, client)
+	printCorpusSummary(w, client)
 	return nil
+}
+
+// printTraceSummary enriches -stats with the slowest recent traces from
+// /debug/traces.  Older daemons do not serve the endpoint; the block is just
+// omitted then, like the metrics summary.
+func printTraceSummary(w io.Writer, client *server.Client) {
+	traces, err := client.Traces(256)
+	if err != nil || len(traces) == 0 {
+		return
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].TotalMillis > traces[j].TotalMillis })
+	n := len(traces)
+	if n > 5 {
+		n = 5
+	}
+	fmt.Fprintf(w, "slowest traces (of %d logged):\n", len(traces))
+	for _, t := range traces[:n] {
+		outcome := t.Cache
+		if t.Error != "" {
+			outcome = "error"
+		}
+		fmt.Fprintf(w, "  %s %s %.1fms cache=%s\n", t.ID, t.Route, t.TotalMillis, outcome)
+	}
+}
+
+// printCorpusSummary enriches -stats with the corpus census from /v1/corpus:
+// totals plus the highest-occupancy shards.  Omitted when the endpoint is
+// absent or the corpus is memory-only.
+func printCorpusSummary(w io.Writer, client *server.Client) {
+	corpus, err := client.Corpus()
+	if err != nil {
+		return
+	}
+	if corpus.Disk.Entries > 0 {
+		fmt.Fprintf(w, "corpus: entries=%d bytes=%d shards=%d\n",
+			corpus.Disk.Entries, corpus.Disk.Bytes, len(corpus.Disk.Shards))
+		shards := append([]store.ShardInfo(nil), corpus.Disk.Shards...)
+		sort.Slice(shards, func(i, j int) bool { return shards[i].Entries > shards[j].Entries })
+		n := len(shards)
+		if n > 3 {
+			n = 3
+		}
+		for _, sh := range shards[:n] {
+			fmt.Fprintf(w, "  shard %s: entries=%d bytes=%d\n", sh.Shard, sh.Entries, sh.Bytes)
+		}
+	}
+	for _, src := range corpus.Sources {
+		fmt.Fprintf(w, "source %s adversary=%q: cached=%d computed=%d coalesced=%d seeds=[%d,%d]\n",
+			src.Source, src.Adversary, src.SeedsCached, src.SeedsComputed, src.SeedsCoalesced, src.MinSeed, src.MaxSeed)
+	}
 }
 
 // printMetricsSummary enriches -stats with the /metrics view of the daemon:
@@ -155,10 +221,26 @@ func fmtSeconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
 }
 
+// buildLogger assembles the daemon's structured logger on stderr in the
+// requested encoding.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text or json)", format)
+}
+
 // buildServer opens the store and assembles the daemon; split out so tests
 // can exercise the full wiring without binding a socket.
 func buildServer(o options) (*server.Server, error) {
 	st, err := store.Open(o.storeDir, store.Options{MaxMemEntries: o.memEntries, MaxMemBytes: o.memBytes})
+	if err != nil {
+		return nil, err
+	}
+	logger, err := buildLogger(o.logFormat)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +250,8 @@ func buildServer(o options) (*server.Server, error) {
 		BatchWindow:    o.batchWindow,
 		Pprof:          o.pprof,
 		SlowRequest:    o.slowLog,
+		Logger:         logger,
+		TraceCapacity:  o.traceLog,
 		RateLimit:      o.rateLimit,
 		RateBurst:      o.rateBurst,
 		MaxQueue:       o.maxQueue,

@@ -334,6 +334,9 @@ func runRemote(o options) error {
 		if client.ServerTiming != "" {
 			fmt.Printf("  server-timing: %s\n", client.ServerTiming)
 		}
+		if client.TraceID != "" {
+			fmt.Printf("  trace: %s (GET %s/debug/traces/%s)\n", client.TraceID, strings.TrimRight(o.remote, "/"), client.TraceID)
+		}
 	}
 	if !o.quiet {
 		for _, out := range resp.Outcomes {

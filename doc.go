@@ -13,12 +13,15 @@
 // runner with deterministic aggregates (internal/workload), the Table 1
 // reproduction harness (internal/table1), a dependency-free observability
 // layer — Prometheus-format metrics, an exposition parser, the Server-Timing
-// stage tracer and the admission token bucket behind udcd's serving path
-// (internal/obs), the content-addressed run-corpus store with its binary
-// codec and length-prefixed frame streams (internal/store), and the udcd
-// daemon itself — content negotiation across JSON/binary/streamed wire
-// formats, seed-granular scheduling and queue-aware admission control
-// (internal/server).  See README.md for a tour.
+// stage tracer, W3C traceparent identities with a tail-sampling trace log,
+// and the admission token bucket behind udcd's serving path (internal/obs),
+// the content-addressed run-corpus store with its binary codec,
+// length-prefixed frame streams and shard-occupancy census (internal/store),
+// and the udcd daemon itself — content negotiation across JSON/binary/
+// streamed wire formats, seed-granular scheduling, queue-aware admission
+// control, request-scoped tracing with span links across coalesced requests
+// (/debug/traces), structured slog request logs and corpus introspection
+// (/v1/corpus) (internal/server).  See README.md for a tour.
 //
 // The benchmarks in bench_test.go regenerate every row of the paper's only
 // table (Table 1) plus per-proposition workloads and ablations; run them with

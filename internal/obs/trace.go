@@ -6,15 +6,91 @@ import (
 	"time"
 )
 
-// Trace accumulates named stage timings for one request.  Stages with the
-// same name merge (a request that computes owned seeds and then waits on
-// joined ones gets one "compute" stage), and stage order is first-start
-// order, so the rendered breakdown reads in request order.  A Trace belongs
-// to one request goroutine and is not safe for concurrent use; the zero
-// value and the nil pointer are both ready to use (spans on a nil trace are
-// no-ops, so instrumented paths need no nil checks).
+// Trace accumulates one request's observability state: named stage timings,
+// the request's trace identity, span links to other traces whose in-flight
+// work it joined, and seed-resolution accounting.  Stages with the same name
+// merge (a request that computes owned seeds and then waits on joined ones
+// gets one "compute" stage), and stage order is first-start order, so the
+// rendered breakdown reads in request order.  A Trace belongs to one request
+// goroutine and is not safe for concurrent use; the zero value and the nil
+// pointer are both ready to use (spans, links and seed accounting on a nil
+// trace are no-ops, so instrumented paths need no nil checks).
 type Trace struct {
+	// ID is the request's trace identity: parsed from the client's
+	// traceparent header, or minted at ingress.  Zero on a bare &Trace{},
+	// which keeps stage-only uses (tests, library callers) working.
+	ID TraceID
+	// Parent is the client's span ID from its traceparent header, zero when
+	// the client supplied none.
+	Parent SpanID
+
 	stages []TraceStage
+	links  []TraceID
+	seeds  SeedCounts
+}
+
+// SeedCounts is a request's seed-resolution accounting: how many seeds it
+// asked for and how each one was obtained.
+type SeedCounts struct {
+	// Requested is the request's seed-window size.
+	Requested int `json:"requested"`
+	// Cached seeds decoded from existing corpus records.
+	Cached int `json:"cached"`
+	// Computed seeds were claimed by this request and simulated.
+	Computed int `json:"computed"`
+	// Coalesced seeds were joined from another request's in-flight claim.
+	Coalesced int `json:"coalesced"`
+}
+
+// TraceIDOrZero returns the trace's ID, tolerating a nil trace.
+func (t *Trace) TraceIDOrZero() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.ID
+}
+
+// Link records that this request consumed work owned by another trace (a
+// flight-table join).  Zero IDs, self-links and duplicates are dropped, so
+// callers can link unconditionally at every join site.
+func (t *Trace) Link(id TraceID) {
+	if t == nil || id.IsZero() || id == t.ID {
+		return
+	}
+	for _, l := range t.links {
+		if l == id {
+			return
+		}
+	}
+	t.links = append(t.links, id)
+}
+
+// Links returns the recorded span links in first-join order.
+func (t *Trace) Links() []TraceID {
+	if t == nil {
+		return nil
+	}
+	return t.links
+}
+
+// AddSeeds folds one resolution's seed accounting into the trace (an extract
+// request resolves seeds once for its simulate stage; a sweep once total).
+func (t *Trace) AddSeeds(c SeedCounts) {
+	if t == nil {
+		return
+	}
+	t.seeds.Requested += c.Requested
+	t.seeds.Cached += c.Cached
+	t.seeds.Computed += c.Computed
+	t.seeds.Coalesced += c.Coalesced
+}
+
+// Seeds returns the accumulated seed accounting.
+func (t *Trace) Seeds() SeedCounts {
+	if t == nil {
+		return SeedCounts{}
+	}
+	return t.seeds
 }
 
 // TraceStage is one accumulated stage.

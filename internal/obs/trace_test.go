@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	trace := NewTraceID()
+	span := NewSpanID()
+	header := Traceparent(trace, span)
+	gotTrace, gotSpan, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", header)
+	}
+	if gotTrace != trace || gotSpan != span {
+		t.Fatalf("round trip changed IDs: %s/%s -> %s/%s", trace, span, gotTrace, gotSpan)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, header := range []string{
+		"",
+		"garbage",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // unknown version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span ID
+		"00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",    // short trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g",  // bad flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",     // missing flags
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-", // trailing segment
+	} {
+		if _, _, ok := ParseTraceparent(header); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejection", header)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%s) = %s, %v", id, got, ok)
+	}
+	for _, s := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32)} {
+		if _, ok := ParseTraceID(s); ok {
+			t.Errorf("ParseTraceID(%q) = ok, want rejection", s)
+		}
+	}
+}
+
+func TestTraceLinksAndSeeds(t *testing.T) {
+	tr := &Trace{ID: NewTraceID()}
+	other := NewTraceID()
+	tr.Link(TraceID{}) // zero: dropped
+	tr.Link(tr.ID)     // self: dropped
+	tr.Link(other)
+	tr.Link(other) // duplicate: dropped
+	if got := tr.Links(); len(got) != 1 || got[0] != other {
+		t.Fatalf("Links() = %v, want exactly [%s]", got, other)
+	}
+	tr.AddSeeds(SeedCounts{Requested: 4, Cached: 1, Computed: 2, Coalesced: 1})
+	tr.AddSeeds(SeedCounts{Requested: 2, Cached: 2})
+	if got := tr.Seeds(); got != (SeedCounts{Requested: 6, Cached: 3, Computed: 2, Coalesced: 1}) {
+		t.Fatalf("Seeds() = %+v after two adds", got)
+	}
+
+	// The nil trace stays a no-op for all the new methods.
+	var nilTr *Trace
+	nilTr.Link(other)
+	nilTr.AddSeeds(SeedCounts{Requested: 1})
+	if nilTr.Links() != nil || nilTr.Seeds() != (SeedCounts{}) || !nilTr.TraceIDOrZero().IsZero() {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestTraceLogRetention(t *testing.T) {
+	l := NewTraceLog(4, 100*time.Millisecond)
+
+	// Flood the normal ring: only the newest 4 fast traces survive...
+	var fastIDs []TraceID
+	for i := 0; i < 10; i++ {
+		id := NewTraceID()
+		fastIDs = append(fastIDs, id)
+		l.Record(&TraceRecord{ID: id, Route: "/v1/sweep", Duration: time.Millisecond})
+	}
+	// ...but a slow trace and an errored trace recorded before the flood's
+	// tail stay retrievable: they live in the retained ring.
+	slow := &TraceRecord{ID: NewTraceID(), Route: "/v1/sweep", Duration: time.Second}
+	failed := &TraceRecord{ID: NewTraceID(), Route: "/v1/extract", Duration: time.Millisecond, Error: "boom"}
+	l.Record(slow)
+	l.Record(failed)
+	for i := 0; i < 10; i++ {
+		l.Record(&TraceRecord{ID: NewTraceID(), Route: "/v1/sweep", Duration: time.Millisecond})
+	}
+
+	if _, ok := l.Get(fastIDs[0]); ok {
+		t.Fatal("oldest fast trace survived a full ring of newer ones")
+	}
+	if got, ok := l.Get(slow.ID); !ok || got != slow {
+		t.Fatal("slow trace evicted by fast traffic")
+	}
+	if got, ok := l.Get(failed.ID); !ok || got != failed {
+		t.Fatal("errored trace evicted by fast traffic")
+	}
+
+	if st := l.Stats(); st.Recorded != 22 || st.Normal != 4 || st.Retained != 2 {
+		t.Fatalf("Stats() = %+v, want 22 recorded, 4 normal, 2 retained", st)
+	}
+}
+
+func TestTraceLogSnapshotFilters(t *testing.T) {
+	l := NewTraceLog(16, 100*time.Millisecond)
+	l.Record(&TraceRecord{ID: NewTraceID(), Route: "/v1/sweep", Duration: time.Millisecond, Cache: "hit"})
+	l.Record(&TraceRecord{ID: NewTraceID(), Route: "/v1/sweep", Duration: time.Second, Cache: "miss"})
+	l.Record(&TraceRecord{ID: NewTraceID(), Route: "/v1/extract", Duration: 2 * time.Millisecond, Cache: "partial"})
+	l.Record(&TraceRecord{ID: NewTraceID(), Route: "/v1/extract", Duration: time.Millisecond, Error: "nope"})
+
+	all := l.Snapshot(TraceFilter{})
+	if len(all) != 4 {
+		t.Fatalf("unfiltered snapshot has %d records, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].seq < all[i].seq {
+			t.Fatal("snapshot is not newest-first")
+		}
+	}
+	if got := l.Snapshot(TraceFilter{Route: "/v1/sweep"}); len(got) != 2 {
+		t.Fatalf("route filter kept %d, want 2", len(got))
+	}
+	if got := l.Snapshot(TraceFilter{MinDuration: 500 * time.Millisecond}); len(got) != 1 || got[0].Cache != "miss" {
+		t.Fatalf("min-duration filter kept %d, want the slow miss", len(got))
+	}
+	if got := l.Snapshot(TraceFilter{Cache: "partial"}); len(got) != 1 || got[0].Route != "/v1/extract" {
+		t.Fatalf("cache filter kept %d, want the partial extract", len(got))
+	}
+	if got := l.Snapshot(TraceFilter{ErrorsOnly: true}); len(got) != 1 || got[0].Error != "nope" {
+		t.Fatalf("errors filter kept %d, want the failure", len(got))
+	}
+	if got := l.Snapshot(TraceFilter{Limit: 2}); len(got) != 2 || got[0].Error != "nope" {
+		t.Fatalf("limit filter kept %d (first %+v), want the 2 newest", len(got), got[0])
+	}
+}
+
+// TestTraceLogConcurrency hammers record, point query and filtered snapshot
+// from many goroutines over a tiny log, so eviction churns constantly; run
+// with -race it pins that the log is safe for concurrent use.
+func TestTraceLogConcurrency(t *testing.T) {
+	l := NewTraceLog(8, 50*time.Millisecond)
+	const writers, readers, perWriter = 4, 4, 500
+
+	ids := make([][]TraceID, writers)
+	for i := range ids {
+		ids[i] = make([]TraceID, perWriter)
+		for j := range ids[i] {
+			ids[i][j] = NewTraceID()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j, id := range ids[w] {
+				dur := time.Duration(j%100) * time.Millisecond // mix of fast and slow
+				rec := &TraceRecord{ID: id, Route: "/v1/sweep", Duration: dur}
+				if j%7 == 0 {
+					rec.Error = fmt.Sprintf("writer %d failure %d", w, j)
+				}
+				l.Record(rec)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if rec, ok := l.Get(ids[r%writers][j%perWriter]); ok && rec.ID.IsZero() {
+					t.Error("Get returned a zero-ID record")
+				}
+				for _, rec := range l.Snapshot(TraceFilter{MinDuration: 50 * time.Millisecond, Limit: 4}) {
+					if rec.Duration < 50*time.Millisecond {
+						t.Error("snapshot ignored its filter under concurrency")
+					}
+				}
+				l.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if st := l.Stats(); st.Recorded != writers*perWriter {
+		t.Fatalf("recorded %d traces, want %d", st.Recorded, writers*perWriter)
+	}
+}

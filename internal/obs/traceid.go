@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+	"strings"
+)
+
+// W3C Trace Context identifiers.  A request trace is identified by a 16-byte
+// TraceID; the position inside a trace a client attributes to its outbound
+// call is an 8-byte SpanID.  The daemon parses both from an inbound
+// `traceparent` header (version 00) and generates a fresh TraceID at ingress
+// when a client supplies none, so every served request has exactly one trace
+// identity whether or not the caller participates in distributed tracing.
+
+// TraceID is a 16-byte trace identifier (32 lowercase hex digits on the wire).
+type TraceID [16]byte
+
+// SpanID is an 8-byte span identifier (16 lowercase hex digits on the wire).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value (the W3C spec
+// forbids it on the wire).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the span ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// NewTraceID returns a fresh random trace ID.  IDs only need uniqueness, not
+// unpredictability, so they draw from math/rand/v2's ChaCha8 generator (OS
+// entropy seeded, goroutine sharded) — a few nanoseconds instead of a
+// getrandom syscall on the request hot path.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		putUint64(id[:8], rand.Uint64())
+		putUint64(id[8:], rand.Uint64())
+	}
+	return id
+}
+
+// NewSpanID returns a fresh random span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		putUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+func putUint64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID.  The all-zero ID is
+// rejected like any other malformed value.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) || !hexDecode(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// ParseTraceparent parses a W3C `traceparent` header value,
+// `00-<32 hex trace id>-<16 hex span id>-<2 hex flags>`.  Only version 00 is
+// understood; malformed values, unknown versions and all-zero IDs report
+// !ok, in which case the caller should mint a fresh trace.
+func ParseTraceparent(header string) (trace TraceID, span SpanID, ok bool) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[3]) != 2 {
+		return TraceID{}, SpanID{}, false
+	}
+	trace, ok = ParseTraceID(parts[1])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if len(parts[2]) != 2*len(span) || !hexDecode(span[:], parts[2]) || span.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	if !hexDecode(make([]byte, 1), parts[3]) {
+		return TraceID{}, SpanID{}, false
+	}
+	return trace, span, true
+}
+
+// Traceparent renders a version-00 `traceparent` header value with the
+// sampled flag set (the daemon records every trace it is asked about).
+func Traceparent(trace TraceID, span SpanID) string {
+	return "00-" + trace.String() + "-" + span.String() + "-01"
+}
+
+// hexDecode decodes exactly len(dst)*2 lowercase-or-uppercase hex digits.
+func hexDecode(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	_, err := hex.Decode(dst, []byte(s))
+	return err == nil
+}

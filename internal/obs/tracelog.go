@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceLog is a fixed-capacity, concurrency-safe log of finished request
+// traces, queryable by ID and by filter.  It tail-samples: every finished
+// request is recorded, and when space runs out the oldest record is
+// overwritten — but slow and errored traces live in their own ring, so a
+// flood of fast, healthy traffic can never evict the records an operator
+// actually comes looking for.  Total retention is bounded at 2×capacity
+// records (one ring of each class).
+type TraceLog struct {
+	slow time.Duration
+
+	mu       sync.Mutex
+	normal   traceRing
+	retained traceRing
+	index    map[TraceID]*TraceRecord
+	recorded uint64
+}
+
+// TraceRecord is one finished request's trace as retained by the log.
+type TraceRecord struct {
+	ID       TraceID
+	Parent   SpanID
+	Route    string
+	Format   string
+	Start    time.Time
+	Duration time.Duration
+	// Cache is the response's X-Cache grade; empty for errored requests.
+	Cache string
+	// Error is the failure message; empty for served requests.
+	Error  string
+	Stages []TraceStage
+	Links  []TraceID
+	Seeds  SeedCounts
+
+	// seq orders records by completion (recording) time across both rings.
+	seq uint64
+}
+
+// TraceFilter selects records from a Snapshot.  Zero fields match everything.
+type TraceFilter struct {
+	// Route matches records served on exactly this route.
+	Route string
+	// MinDuration drops records faster than this.
+	MinDuration time.Duration
+	// Cache matches records with exactly this cache grade (hit|partial|miss).
+	Cache string
+	// ErrorsOnly keeps only failed requests.
+	ErrorsOnly bool
+	// Limit caps the result count (0 = no cap).  Records are newest-first, so
+	// the limit keeps the most recent matches.
+	Limit int
+}
+
+// DefaultTraceCapacity is the per-class ring size when a TraceLog is built
+// with capacity <= 0.
+const DefaultTraceCapacity = 512
+
+// NewTraceLog builds a trace log retaining up to capacity normal traces plus
+// capacity slow-or-errored ones.  A trace is "slow" at or above the slow
+// threshold; slow <= 0 disables the latency criterion (errors are always
+// retained).
+func NewTraceLog(capacity int, slow time.Duration) *TraceLog {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceLog{
+		slow:     slow,
+		normal:   traceRing{buf: make([]*TraceRecord, capacity)},
+		retained: traceRing{buf: make([]*TraceRecord, capacity)},
+		index:    make(map[TraceID]*TraceRecord, 2*capacity),
+	}
+}
+
+// Record adds a finished trace.  Slow and errored traces go to the retained
+// ring; everything else to the normal ring.  The record must not be mutated
+// after recording (queries return it by pointer).
+func (l *TraceLog) Record(rec *TraceRecord) {
+	if l == nil || rec == nil || rec.ID.IsZero() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recorded++
+	rec.seq = l.recorded
+	ring := &l.normal
+	if rec.Error != "" || (l.slow > 0 && rec.Duration >= l.slow) {
+		ring = &l.retained
+	}
+	if evicted := ring.add(rec); evicted != nil && l.index[evicted.ID] == evicted {
+		delete(l.index, evicted.ID)
+	}
+	// A client may reuse a traceparent across requests; the index keeps the
+	// newest record for the ID while the older one ages out of its ring.
+	l.index[rec.ID] = rec
+}
+
+// Get returns the newest retained record for the ID.
+func (l *TraceLog) Get(id TraceID) (*TraceRecord, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.index[id]
+	return rec, ok
+}
+
+// Snapshot returns the retained records matching the filter, newest first
+// (by completion order, across both rings).
+func (l *TraceLog) Snapshot(f TraceFilter) []*TraceRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	all := make([]*TraceRecord, 0, l.normal.len()+l.retained.len())
+	all = l.normal.appendAll(all)
+	all = l.retained.appendAll(all)
+	l.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	out := make([]*TraceRecord, 0, len(all))
+	for _, rec := range all {
+		if !f.matches(rec) {
+			continue
+		}
+		out = append(out, rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+func (f TraceFilter) matches(rec *TraceRecord) bool {
+	if f.Route != "" && rec.Route != f.Route {
+		return false
+	}
+	if rec.Duration < f.MinDuration {
+		return false
+	}
+	if f.Cache != "" && rec.Cache != f.Cache {
+		return false
+	}
+	if f.ErrorsOnly && rec.Error == "" {
+		return false
+	}
+	return true
+}
+
+// TraceLogStats is a point-in-time occupancy snapshot.
+type TraceLogStats struct {
+	// Recorded is the total traces ever recorded.
+	Recorded uint64
+	// Normal and Retained are the rings' current occupancy.
+	Normal   int
+	Retained int
+}
+
+// Stats returns the log's occupancy counters.
+func (l *TraceLog) Stats() TraceLogStats {
+	if l == nil {
+		return TraceLogStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return TraceLogStats{Recorded: l.recorded, Normal: l.normal.len(), Retained: l.retained.len()}
+}
+
+// traceRing is a fixed-capacity overwrite-oldest buffer.  Guarded by the
+// owning TraceLog's mutex.
+type traceRing struct {
+	buf  []*TraceRecord
+	next int
+	n    int
+}
+
+// add appends a record, returning the one it overwrote (nil below capacity).
+func (r *traceRing) add(rec *TraceRecord) (evicted *TraceRecord) {
+	evicted = r.buf[r.next]
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	return evicted
+}
+
+func (r *traceRing) len() int { return r.n }
+
+// appendAll appends the ring's records, oldest first.
+func (r *traceRing) appendAll(dst []*TraceRecord) []*TraceRecord {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.buf[(r.next-r.n+i+len(r.buf))%len(r.buf)])
+	}
+	return dst
+}

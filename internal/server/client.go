@@ -43,6 +43,14 @@ type Client struct {
 	// its body size on the wire.  Overwritten per call, like ServerTiming.
 	WireFormat string
 	WireBytes  int
+	// Traceparent, when set, is propagated verbatim as the `traceparent`
+	// header on every sweep/extract request, so the daemon's trace joins the
+	// caller's distributed trace instead of starting a fresh one.
+	Traceparent string
+	// TraceID is the X-Trace-Id of the most recent sweep or extract response:
+	// the daemon-side trace identity, queryable at /debug/traces/<id>.
+	// Overwritten per call, like ServerTiming.
+	TraceID string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -75,11 +83,15 @@ func (c *Client) post(path string, req any) (raw []byte, ct, cache string, err e
 	}
 	hreq.Header.Set("Content-Type", ctJSON)
 	hreq.Header.Set("Accept", c.accept())
+	if c.Traceparent != "" {
+		hreq.Header.Set("traceparent", c.Traceparent)
+	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, "", "", err
 	}
 	defer resp.Body.Close()
+	c.TraceID = resp.Header.Get("X-Trace-Id")
 	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, "", "", fmt.Errorf("%s: read response: %w", path, err)
@@ -142,20 +154,52 @@ func (c *Client) Extract(req ExtractRequest) (*ExtractResponse, string, error) {
 	return &out, cache, nil
 }
 
-// Stats fetches the daemon's store and scheduler counters.
-func (c *Client) Stats() (*StatsResponse, error) {
-	url := strings.TrimRight(c.BaseURL, "/") + "/v1/stats"
+// getJSON fetches a JSON endpoint into out.
+func (c *Client) getJSON(path string, out any) error {
+	url := strings.TrimRight(c.BaseURL, "/") + path
 	resp, err := c.httpClient().Get(url)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/v1/stats: HTTP %d", resp.StatusCode)
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
 	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%s: decode response: %w", path, err)
+	}
+	return nil
+}
+
+// Stats fetches the daemon's store and scheduler counters.
+func (c *Client) Stats() (*StatsResponse, error) {
 	var out StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("/v1/stats: decode response: %w", err)
+	if err := c.getJSON("/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Traces fetches up to limit entries from the daemon's trace log, newest
+// first (limit <= 0 uses the daemon's default).
+func (c *Client) Traces(limit int) ([]TraceSummaryJSON, error) {
+	path := "/debug/traces"
+	if limit > 0 {
+		path += "?limit=" + fmt.Sprint(limit)
+	}
+	var out TraceListResponse
+	if err := c.getJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Corpus fetches the daemon's corpus census (shard occupancy, kind counts,
+// per-source seed traffic).
+func (c *Client) Corpus() (*CorpusResponse, error) {
+	var out CorpusResponse
+	if err := c.getJSON("/v1/corpus", &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }

@@ -43,9 +43,14 @@ type serverMetrics struct {
 	// limiter before reaching the scheduler (they also appear as 429s in
 	// httpRequests, but never in the scheduler's own counters).
 	rateLimited *obs.Counter
+
+	// stageDuration aggregates the Server-Timing stage breakdown across
+	// requests: one observation per stage per finished sweep/extract request,
+	// labeled by stage name (resolve, claim, compute, assemble, persist).
+	stageDuration *obs.HistogramVec
 }
 
-func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serverMetrics {
+func newServerMetrics(sched *scheduler, st *store.Store, traces *obs.TraceLog, start time.Time) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{reg: reg}
 
@@ -63,6 +68,9 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 		"route", "format")
 	m.rateLimited = reg.Counter("udc_admission_rate_limited_total",
 		"Requests shed by the per-client admission rate limiter (answered 429 before reaching the scheduler).")
+	m.stageDuration = reg.HistogramVec("udc_stage_duration_seconds",
+		"Scheduler stage latency in seconds, by stage — the per-request Server-Timing breakdown, aggregated.",
+		obs.DefBuckets, "stage")
 
 	// Scheduler mirrors.
 	requests := reg.Counter("udc_scheduler_requests_total",
@@ -122,6 +130,14 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 	memBytes := reg.Gauge("udc_store_mem_bytes",
 		"Payload bytes currently held by the memory layer.")
 
+	// Trace-log mirrors.
+	tracesRecorded := reg.Counter("udc_traces_recorded_total",
+		"Request traces recorded into the trace log.")
+	traceEntries := reg.GaugeVec("udc_trace_log_entries",
+		"Traces currently held by the log, by retention class (normal = tail-sampled, retained = slow or errored).",
+		"class")
+	traceNormal, traceRetained := traceEntries.With("normal"), traceEntries.With("retained")
+
 	// Fleet occupancy mirrors (sampled from the process-wide workload gauges).
 	fleetInflight := reg.Gauge("udc_fleet_inflight_seeds",
 		"Simulation jobs admitted to an active fleet pass and not yet finished.")
@@ -175,6 +191,11 @@ func newServerMetrics(sched *scheduler, st *store.Store, start time.Time) *serve
 		bytesRead.Set(ts.BytesRead)
 		memEntries.Set(int64(ts.MemEntries))
 		memBytes.Set(ts.MemBytes)
+
+		ls := traces.Stats()
+		tracesRecorded.Set(ls.Recorded)
+		traceNormal.Set(int64(ls.Normal))
+		traceRetained.Set(int64(ls.Retained))
 
 		fleetInflight.Set(workload.Fleet.InflightSeeds.Load())
 		fleetBusy.Set(workload.Fleet.BusyWorkers.Load())

@@ -164,20 +164,19 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-// admit applies the per-client rate limit to a corpus-backed route.  A shed
-// request is answered here (429 + Retry-After + JSON error envelope,
-// whatever format was negotiated) and false is returned.  The handlers call
+// admitRate applies the per-client rate limit to a corpus-backed route,
+// returning the 429 + Retry-After error a shed request is answered with (the
+// caller writes it, so the shed still finishes its trace).  The handlers call
 // it after decoding and validating, so only well-formed requests draw a
 // token — a malformed 400 must not drain its client's budget.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) admitRate(r *http.Request) error {
 	if s.limiter == nil {
-		return true
+		return nil
 	}
 	ok, retry := s.limiter.admit(clientKey(r), time.Now())
 	if ok {
-		return true
+		return nil
 	}
 	s.metrics.rateLimited.Inc()
-	writeError(w, overloaded(fmt.Errorf("server: per-client rate limit exceeded"), retry))
-	return false
+	return overloaded(fmt.Errorf("server: per-client rate limit exceeded"), retry)
 }

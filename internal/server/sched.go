@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,22 @@ const (
 	// CacheMiss means nothing usable was cached.
 	CacheMiss CacheStatus = "miss"
 )
+
+// SourceStats is one catalog source's observed seed traffic since the server
+// started: how many of its seeds were served from the corpus, computed here,
+// or joined from concurrent requests, and the extent of the seed windows
+// requested.  Source is the namespaced catalog name ("scenario:..." /
+// "extraction:...").  Per-seed corpus records do not carry their source name
+// (keys are digests), so these are live traffic counters, not a disk census.
+type SourceStats struct {
+	Source         string `json:"source"`
+	Adversary      string `json:"adversary,omitempty"`
+	SeedsCached    uint64 `json:"seedsCached"`
+	SeedsComputed  uint64 `json:"seedsComputed"`
+	SeedsCoalesced uint64 `json:"seedsCoalesced"`
+	MinSeed        int64  `json:"minSeed"`
+	MaxSeed        int64  `json:"maxSeed"`
+}
 
 // SchedulerStats counts the scheduler's traffic.  All counters are cumulative
 // since the server started, and FullHits + PartialHits + Misses + Errors =
@@ -181,9 +198,12 @@ func ExtractSeedKey(extraction, adversary string, seed int64) store.Key {
 }
 
 // call is one in-flight request-level computation (extractions); duplicates
-// wait on done.
+// wait on done.  owner is the claiming request's trace ID (zero when untraced),
+// immutable after creation, so joiners link their traces to it without
+// synchronisation.
 type call struct {
 	done    chan struct{}
+	owner   obs.TraceID
 	payload []byte
 	status  CacheStatus
 	err     error
@@ -191,9 +211,11 @@ type call struct {
 
 // seedCall is one in-flight per-seed computation.  Concurrent requests whose
 // windows overlap the owning request's missing seeds wait on done instead of
-// re-simulating.
+// re-simulating.  owner is the claiming request's trace ID (zero when
+// untraced), immutable after creation.
 type seedCall struct {
 	done    chan struct{}
+	owner   obs.TraceID
 	outcome workload.RunOutcome
 	run     *model.Run
 	err     error
@@ -248,6 +270,9 @@ type scheduler struct {
 	mu         sync.Mutex
 	inflight   map[store.Key]*call
 	seedflight map[store.Key]*seedCall
+	// sources holds the per-source seed traffic counters behind /v1/corpus,
+	// keyed by qualified name + NUL + adversary.  Guarded by mu.
+	sources map[string]*SourceStats
 	// exstates caches extraction index states by pipeline identity (name,
 	// adversary, base seed — not window size), so a request whose seed window
 	// extends a previously served one feeds only the delta to System.Add.
@@ -283,6 +308,7 @@ func newScheduler(st *store.Store, workers int, batchWindow time.Duration, maxQu
 		maxQueue:    maxQueue,
 		inflight:    make(map[store.Key]*call),
 		seedflight:  make(map[store.Key]*seedCall),
+		sources:     make(map[string]*SourceStats),
 		exstates:    make(map[store.Key]*workload.ExtractionState),
 		fleetq:      make(chan *fleetJob),
 		quit:        make(chan struct{}),
@@ -599,7 +625,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 				joinedCalls = append(joinedCalls, c)
 				continue
 			}
-			c := &seedCall{done: make(chan struct{})}
+			c := &seedCall{done: make(chan struct{}), owner: tr.TraceIDOrZero()}
 			s.seedflight[keys[i]] = c
 			owned = append(owned, i)
 			ownedCalls[i] = c
@@ -732,6 +758,9 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 				continue
 			}
 			joinedOut = append(joinedOut, c.outcome)
+			// Span link: this request consumed a seed computed under the
+			// owner's trace.
+			tr.Link(c.owner)
 			if emit != nil {
 				emit(c.outcome)
 			}
@@ -769,6 +798,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 	}
 	assembleSpan.End()
 
+	tr.AddSeeds(obs.SeedCounts{Requested: n, Cached: res.cached, Computed: res.computed, Coalesced: res.joined})
 	s.count(func(st *SchedulerStats) {
 		st.SeedsRequested += uint64(n)
 		st.SeedsCached += uint64(res.cached)
@@ -778,7 +808,48 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 			st.Coalesced++
 		}
 	})
+	if n > 0 {
+		s.noteSource(qualifiedName, adversary, seeds[0], seeds[n-1], res.cached, res.computed, res.joined)
+	}
 	return res, nil
+}
+
+// noteSource folds one window resolution into the per-source seed counters
+// behind /v1/corpus.  Counters describe observed traffic since the server
+// started — per-seed corpus records do not carry their source name (keys are
+// digests), so live accounting is the only per-source view there is.
+func (s *scheduler) noteSource(qualifiedName, adversary string, first, last int64, cached, computed, joined int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := qualifiedName + "\x00" + adversary
+	c, ok := s.sources[key]
+	if !ok {
+		c = &SourceStats{Source: qualifiedName, Adversary: adversary, MinSeed: first, MaxSeed: last}
+		s.sources[key] = c
+	}
+	c.MinSeed = min(c.MinSeed, first)
+	c.MaxSeed = max(c.MaxSeed, last)
+	c.SeedsCached += uint64(cached)
+	c.SeedsComputed += uint64(computed)
+	c.SeedsCoalesced += uint64(joined)
+}
+
+// SourcesSnapshot returns the per-source seed counters, sorted by source then
+// adversary, for /v1/corpus.
+func (s *scheduler) SourcesSnapshot() []SourceStats {
+	s.mu.Lock()
+	out := make([]SourceStats, 0, len(s.sources))
+	for _, c := range s.sources {
+		out = append(out, *c)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Adversary < out[j].Adversary
+	})
+	return out
 }
 
 // Sweep serves one validated sweep request, returning the encoded record and
@@ -822,6 +893,7 @@ func (s *scheduler) Sweep(ctx context.Context, req SweepRequest, tr *obs.Trace, 
 				}
 			}
 		}
+		tr.AddSeeds(obs.SeedCounts{Requested: req.Seeds, Cached: req.Seeds})
 		s.finish(CacheHit, nil)
 		return payload, CacheHit, nil
 	}
@@ -897,6 +969,7 @@ func (s *scheduler) Extract(ctx context.Context, req ExtractRequest, tr *obs.Tra
 	payload, probed := s.store.Probe(key)
 	probeSpan.End()
 	if probed {
+		tr.AddSeeds(obs.SeedCounts{Requested: ext.Runs, Cached: ext.Runs})
 		s.finish(CacheHit, nil)
 		return payload, CacheHit, nil
 	}
@@ -912,6 +985,10 @@ func (s *scheduler) Extract(ctx context.Context, req ExtractRequest, tr *obs.Tra
 		s.stats.Coalesced++
 		s.mu.Unlock()
 		claimSpan.End()
+		// Span link: whatever the wait's outcome, this response is the owning
+		// request's work.
+		tr.Link(c.owner)
+		tr.AddSeeds(obs.SeedCounts{Requested: ext.Runs, Coalesced: ext.Runs})
 		// The wait is compute time: the owning request's pipeline tail is
 		// producing this response.
 		waitSpan := tr.Span("compute")
@@ -927,7 +1004,7 @@ func (s *scheduler) Extract(ctx context.Context, req ExtractRequest, tr *obs.Tra
 		s.finish(c.status, c.err)
 		return c.payload, c.status, c.err
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{done: make(chan struct{}), owner: tr.TraceIDOrZero()}
 	s.inflight[key] = c
 	s.mu.Unlock()
 	claimSpan.End()

@@ -18,15 +18,23 @@
 //	GET  /v1/scenarios               the scenario + extraction catalogs
 //	GET  /v1/adversaries             the adversary catalog
 //	GET  /v1/stats                   store + scheduler counters
+//	GET  /v1/corpus                  corpus census: shard occupancy + per-source seeds
 //	GET  /metrics                    Prometheus text exposition
+//	GET  /debug/traces               the trace log (route/min_ms/cache/errors/limit filters)
+//	GET  /debug/traces/<id>          one trace's stage + seed + span-link detail
 //	GET  /debug/pprof/*              runtime profiles (Config.Pprof only)
 //
 // Every response to /v1/sweep and /v1/extract carries a Server-Timing header
 // with the scheduler's stage breakdown (resolve, claim, compute, assemble,
-// persist), and `?debug=timing` wraps the body in a JSON trace envelope whose
-// inner `response` bytes are the unchanged normal body.  Observability lives
-// in headers and opt-in envelopes only, never in default bodies, so every
-// byte-identity guarantee above survives it.
+// persist) and an X-Trace-Id header naming its trace: parsed from the
+// client's W3C `traceparent` header or minted at ingress, recorded in a
+// fixed-capacity tail-sampling trace log (slow and errored traces always
+// retained) served by /debug/traces, with span links to the flight-table
+// owners whose in-flight work the request joined.  `?debug=timing` wraps the
+// body in a JSON trace envelope whose inner `response` bytes are the
+// unchanged normal body.  Observability lives in headers, logs and opt-in
+// envelopes only, never in default bodies, so every byte-identity guarantee
+// above survives it.
 package server
 
 import (
@@ -35,7 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -62,10 +70,16 @@ type Config struct {
 	// Off by default: profiles expose internals, so the operator opts in.
 	Pprof bool
 	// SlowRequest is the latency above which a served request is logged with
-	// its stage trace (0 disables slow-request logging).
+	// its stage trace, and above which its trace is always retained by the
+	// trace log (0 disables slow-request logging and slow retention).
 	SlowRequest time.Duration
-	// Logf receives slow-request log lines; nil means log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives structured request logs (slow requests, keyed by trace
+	// ID); nil means slog.Default().
+	Logger *slog.Logger
+	// TraceCapacity sizes the trace log: up to TraceCapacity tail-sampled
+	// normal traces plus as many retained slow/errored ones (0 means
+	// obs.DefaultTraceCapacity).
+	TraceCapacity int
 	// RateLimit is the per-client admission rate (requests/second, keyed by
 	// remote IP) on the corpus-backed routes; excess requests are shed with
 	// 429 + Retry-After.  0 disables rate limiting.
@@ -91,9 +105,10 @@ type Server struct {
 	mux        *http.ServeMux
 	metrics    *serverMetrics
 	limiter    *rateLimiter
+	traces     *obs.TraceLog
 	reqTimeout time.Duration
 	slow       time.Duration
-	logf       func(format string, args ...any)
+	logger     *slog.Logger
 }
 
 // New assembles a server from the config.
@@ -109,23 +124,27 @@ func New(cfg Config) (*Server, error) {
 		store:      st,
 		sched:      newScheduler(st, cfg.Workers, cfg.BatchWindow, cfg.MaxQueue),
 		mux:        http.NewServeMux(),
+		traces:     obs.NewTraceLog(cfg.TraceCapacity, cfg.SlowRequest),
 		reqTimeout: cfg.RequestTimeout,
 		slow:       cfg.SlowRequest,
-		logf:       cfg.Logf,
+		logger:     cfg.Logger,
 	}
 	if cfg.RateLimit > 0 {
 		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
-	if s.logf == nil {
-		s.logf = log.Printf
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
-	s.metrics = newServerMetrics(s.sched, st, time.Now())
+	s.metrics = newServerMetrics(s.sched, st, s.traces, time.Now())
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/extract", s.instrument("/v1/extract", s.handleExtract))
 	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
 	s.mux.HandleFunc("/v1/adversaries", s.instrument("/v1/adversaries", s.handleAdversaries))
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/v1/corpus", s.instrument("/v1/corpus", s.handleCorpus))
+	s.mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
+	s.mux.HandleFunc("/debug/traces/", s.instrument("/debug/traces", s.handleTraceByID))
 	// /metrics is deliberately uninstrumented: scraping must not perturb the
 	// exposed numbers, and idle scrapes must stay byte-identical.
 	s.mux.HandleFunc("/metrics", s.metrics.handleMetrics)
@@ -282,9 +301,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/sweep"
+	start := time.Now()
+	tr := s.beginTrace(r)
+	w.Header().Set("X-Trace-Id", tr.ID.String())
 	format, err := negotiateFormat(r)
 	if err != nil {
-		writeError(w, err)
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
 	var req SweepRequest
@@ -296,20 +319,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 	if err == errMethod {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: err.Error()})
+		s.finishRequest(route, format, tr, start, "", err)
 		return
 	}
 	if err == nil {
 		err = req.normalize()
 	}
 	if err != nil {
-		writeError(w, badRequest(err))
+		s.failRequest(w, route, format, tr, start, badRequest(err))
 		return
 	}
-	if !s.admit(w, r) {
+	if err := s.admitRate(r); err != nil {
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
-	tr := &obs.Trace{}
-	start := time.Now()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if format == formatNDJSON || format == formatBinStream {
@@ -318,24 +341,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	payload, status, err := s.sched.Sweep(ctx, req, tr, nil)
 	if err != nil {
-		writeError(w, err)
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
 	if format == formatBin {
 		setCacheHeader(w, status)
-		s.writeTracedBinary(w, "/v1/sweep", tr, start, status, payload)
+		s.writeTracedBinary(w, route, tr, start, status, payload)
 		return
 	}
 	rec, err := store.DecodeSweepRecord(payload)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.finishRequest(route, format, tr, start, "", err)
 		return
 	}
 	setCacheHeader(w, status)
-	s.writeTraced(w, r, "/v1/sweep", tr, start, status, SweepResponseOf(rec))
+	s.writeTraced(w, r, route, tr, start, status, SweepResponseOf(rec))
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/extract"
+	start := time.Now()
+	tr := s.beginTrace(r)
+	w.Header().Set("X-Trace-Id", tr.ID.String())
 	format, err := negotiateFormat(r)
 	if err == nil && format == formatBinStream {
 		// An extraction's pipeline tail is one indivisible computation, so
@@ -344,7 +372,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		err = notAcceptable(fmt.Errorf("format bin-stream is not supported on /v1/extract (use bin or ndjson)"))
 	}
 	if err != nil {
-		writeError(w, err)
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
 	var req ExtractRequest
@@ -356,20 +384,20 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	})
 	if err == errMethod {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: err.Error()})
+		s.finishRequest(route, format, tr, start, "", err)
 		return
 	}
 	if err == nil {
 		err = req.normalize()
 	}
 	if err != nil {
-		writeError(w, badRequest(err))
+		s.failRequest(w, route, format, tr, start, badRequest(err))
 		return
 	}
-	if !s.admit(w, r) {
+	if err := s.admitRate(r); err != nil {
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
-	tr := &obs.Trace{}
-	start := time.Now()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if format == formatNDJSON {
@@ -378,21 +406,22 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	payload, status, err := s.sched.Extract(ctx, req, tr)
 	if err != nil {
-		writeError(w, err)
+		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
 	if format == formatBin {
 		setCacheHeader(w, status)
-		s.writeTracedBinary(w, "/v1/extract", tr, start, status, payload)
+		s.writeTracedBinary(w, route, tr, start, status, payload)
 		return
 	}
 	rec, err := store.DecodeExtractionRecord(payload)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.finishRequest(route, format, tr, start, "", err)
 		return
 	}
 	setCacheHeader(w, status)
-	s.writeTraced(w, r, "/v1/extract", tr, start, status, ExtractResponseOf(rec))
+	s.writeTraced(w, r, route, tr, start, status, ExtractResponseOf(rec))
 }
 
 // TraceStageJSON is one stage of a ?debug=timing trace.
@@ -423,8 +452,8 @@ func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisec
 // writeTraced finishes a served sweep/extract response: it renders the stage
 // trace as a Server-Timing header (always), wraps the body in a trace
 // envelope when the request opted in with ?debug=timing (the inner response
-// bytes are the unchanged normal body), and logs requests slower than the
-// configured threshold with their full stage breakdown.
+// bytes are the unchanged normal body), and finishes the trace — histogram
+// observations, the trace-log record, and the structured slow-request log.
 func (s *Server) writeTraced(w http.ResponseWriter, r *http.Request, route string, tr *obs.Trace, start time.Time, status CacheStatus, v any) {
 	total := time.Since(start)
 	w.Header().Set("Server-Timing", tr.ServerTiming(
@@ -444,9 +473,7 @@ func (s *Server) writeTraced(w http.ResponseWriter, r *http.Request, route strin
 		n = writeJSON(w, http.StatusOK, v)
 	}
 	s.observeWire(route, formatJSON, n)
-	if s.slow > 0 && total >= s.slow {
-		s.logf("slow request: route=%s cache=%s total=%s stages=%q", route, status, total, tr.ServerTiming())
-	}
+	s.finishRequest(route, formatJSON, tr, start, status, nil)
 }
 
 // writeTracedBinary finishes a served sweep/extract response in the binary
@@ -464,9 +491,7 @@ func (s *Server) writeTracedBinary(w http.ResponseWriter, route string, tr *obs.
 	w.WriteHeader(http.StatusOK)
 	w.Write(payload)
 	s.observeWire(route, formatBin, len(payload))
-	if s.slow > 0 && total >= s.slow {
-		s.logf("slow request: route=%s cache=%s format=bin total=%s stages=%q", route, status, total, tr.ServerTiming())
-	}
+	s.finishRequest(route, formatBin, tr, start, status, nil)
 }
 
 // observeWire records one finished corpus-route response body on the wire

@@ -212,17 +212,10 @@ func (s *Server) streamExtract(ctx context.Context, w http.ResponseWriter, req E
 	s.finishStream("/v1/extract", st, tr, start, status, nil)
 }
 
-// finishStream records a finished stream's wire accounting and slow-request
-// log line.
+// finishStream records a finished stream's wire accounting and finishes its
+// trace — stage histograms, the trace-log record, and the structured
+// slow-request log, exactly like the buffered paths.
 func (s *Server) finishStream(route string, st *streamer, tr *obs.Trace, start time.Time, status CacheStatus, err error) {
 	s.observeWire(route, st.format, st.bytes)
-	total := time.Since(start)
-	if s.slow > 0 && total >= s.slow {
-		outcome := string(status)
-		if err != nil {
-			outcome = "error"
-		}
-		s.logf("slow request: route=%s cache=%s format=%s records=%d total=%s stages=%q",
-			route, outcome, st.format, st.records, total, tr.ServerTiming())
-	}
+	s.finishRequest(route, st.format, tr, start, status, err)
 }

@@ -290,6 +290,28 @@ func Kind(data []byte) (byte, error) {
 	return data[4], nil
 }
 
+// KindName names a container kind for human-facing output (the corpus census
+// groups entries by it).  Unknown bytes render as "unknown".
+func KindName(kind byte) string {
+	switch kind {
+	case KindRun:
+		return "run"
+	case KindSystem:
+		return "system"
+	case KindSweep:
+		return "sweep"
+	case KindExtraction:
+		return "extraction"
+	case KindSeed:
+		return "seed"
+	case KindOutcome:
+		return "outcome"
+	case KindError:
+		return "error"
+	}
+	return "unknown"
+}
+
 // --- model value encoding -------------------------------------------------
 
 // Field-presence masks keep non-message events to a couple of bytes each

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestScanShards(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := model.NewRun(2)
+	var keys []Key
+	var want int64
+	for i := 0; i < 8; i++ {
+		key := KeySpec{Kind: "scan-test", Name: "entry", SeedBase: int64(i)}.Key()
+		keys = append(keys, key)
+		payload := EncodeSeedRecord(&SeedRecord{Seed: int64(i), Run: run})
+		want += int64(len(payload))
+		if err := st.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One legacy flat-layout entry and one foreign file in the root: the scan
+	// must count the former under "flat" and skip the latter.
+	flatKey := KeySpec{Kind: "scan-test", Name: "flat"}.Key()
+	flatPayload := EncodeSweepRecord(&SweepRecord{Scenario: "s"})
+	if err := os.WriteFile(filepath.Join(dir, flatKey.String()+".bin"), flatPayload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.ScanShards(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != len(keys)+1 {
+		t.Fatalf("scan counted %d entries, want %d", res.Entries, len(keys)+1)
+	}
+	if res.Bytes != want+int64(len(flatPayload)) {
+		t.Fatalf("scan counted %d bytes, want %d", res.Bytes, want+int64(len(flatPayload)))
+	}
+	if res.Kinds["seed"] != len(keys) || res.Kinds["sweep"] != 1 {
+		t.Fatalf("kind census = %v, want %d seed + 1 sweep", res.Kinds, len(keys))
+	}
+
+	// Shard attribution: every sharded entry's shard must appear, with the
+	// flat pseudo-shard sorted last.
+	byName := make(map[string]ShardInfo)
+	for _, sh := range res.Shards {
+		byName[sh.Shard] = sh
+	}
+	for _, key := range keys {
+		shard := key.String()[:2]
+		if byName[shard].Entries == 0 {
+			t.Fatalf("shard %s missing from the scan (%+v)", shard, res.Shards)
+		}
+	}
+	if res.Shards[len(res.Shards)-1].Shard != "flat" || byName["flat"].Entries != 1 {
+		t.Fatalf("flat pseudo-shard misplaced or miscounted: %+v", res.Shards)
+	}
+
+	// Kind classification off: same totals, no census.
+	plain, err := st.ScanShards(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Kinds != nil || plain.Entries != res.Entries {
+		t.Fatalf("kind-less scan = %+v, want same totals and nil census", plain)
+	}
+
+	// Memory-only stores have nothing on disk to scan.
+	mem, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := mem.ScanShards(true); err != nil || res.Entries != 0 {
+		t.Fatalf("memory-only scan = %+v, %v; want empty", res, err)
+	}
+}

@@ -11,8 +11,10 @@
 # cover the wire protocol and admission control: the NDJSON stream must carry
 # one record per seed plus a trailer whose aggregate is byte-identical to the
 # buffered body minus its outcomes (with the binary body materially smaller),
-# and a rate-limited daemon must shed a burst with 429 + Retry-After while
-# counting the sheds honestly on /metrics.
+# a request issued with a W3C traceparent must be retrievable from
+# /debug/traces/<id> with the same stage names its Server-Timing header
+# carried, and a rate-limited daemon must shed a burst with 429 + Retry-After
+# while counting the sheds honestly on /metrics.
 # Run by `make daemon-smoke` and by CI.
 set -eu
 
@@ -88,6 +90,25 @@ bad="$(grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-
 [ -z "$bad" ] || { echo "malformed exposition lines:"; echo "$bad"; exit 1; }
 grep -q '^udc_scheduler_seeds_computed_total 16$' "$workdir/metrics.txt" || { echo "/metrics seeds_computed disagrees with /v1/stats (want 16):"; grep seeds_computed "$workdir/metrics.txt"; exit 1; }
 
+# Tracing leg: a sweep issued with a client-supplied W3C traceparent must echo
+# that trace identity in X-Trace-Id, and /debug/traces/<id> must serve the
+# finished trace with exactly the stage names the Server-Timing header carried.
+traceid="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -sf -H "traceparent: 00-$traceid-00f067aa0ba902b7-01" -D "$workdir/htrace" -o /dev/null \
+    "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=8&seedBase=77"
+grep -qi "^x-trace-id: $traceid" "$workdir/htrace" || { echo "X-Trace-Id does not echo the supplied traceparent:"; cat "$workdir/htrace"; exit 1; }
+curl -sf "$base/debug/traces/$traceid" >"$workdir/trace.json"
+tr -d '\r' <"$workdir/htrace" | sed -n 's/^[Ss]erver-[Tt]iming: //p' | tr ',' '\n' \
+    | sed -n 's/^ *\([a-z]*\);dur=.*$/\1/p' | grep -v '^total$' | sort -u >"$workdir/stages.header"
+grep -o '"name":"[a-z]*"' "$workdir/trace.json" | sed 's/.*"\([a-z]*\)"$/\1/' | sort -u >"$workdir/stages.trace"
+[ -s "$workdir/stages.header" ] || { echo "no stages parsed from Server-Timing:"; cat "$workdir/htrace"; exit 1; }
+cmp "$workdir/stages.header" "$workdir/stages.trace" || {
+    echo "trace stages differ from Server-Timing stages:"
+    echo "header:"; cat "$workdir/stages.header"
+    echo "trace:"; cat "$workdir/stages.trace"
+    exit 1
+}
+
 # Streaming leg: the NDJSON stream over the primed window must carry one
 # record per seed plus a trailer record, and the trailer's aggregate must be
 # byte-identical to the buffered body minus its outcomes array.
@@ -138,4 +159,4 @@ curl -sf "$base/metrics" >"$workdir/metrics3.txt"
 grep -q "^udc_admission_rate_limited_total $shed\$" "$workdir/metrics3.txt" || { echo "/metrics rate-limited counter disagrees (want $shed):"; grep rate_limited "$workdir/metrics3.txt"; exit 1; }
 grep -q 'udc_http_requests_total{route="/v1/sweep",code="429"}' "$workdir/metrics3.txt" || { echo "429s missing from the HTTP counter:"; grep udc_http_requests_total "$workdir/metrics3.txt"; exit 1; }
 
-echo "daemon smoke OK: partial-hit assembly byte-identical to cold computation, 8 seeds reused, stream trailer matches buffered aggregate, $shed/5 burst requests shed with 429"
+echo "daemon smoke OK: partial-hit assembly byte-identical to cold computation, 8 seeds reused, stream trailer matches buffered aggregate, trace stages match Server-Timing, $shed/5 burst requests shed with 429"

@@ -3,8 +3,9 @@
 #
 # Boots the daemon on a random port, drives one sweep and one extraction so
 # the counters are alive, then asserts: /metrics serves the required metric
-# families, two idle scrapes are byte-identical, and both corpus-backed
-# routes answer with a Server-Timing stage trace.
+# families (including the per-stage duration histograms), two idle scrapes
+# are byte-identical, and both corpus-backed routes answer with a
+# Server-Timing stage trace and an X-Trace-Id trace identity.
 # Run by `make metrics-smoke` and by CI.
 set -eu
 
@@ -37,11 +38,14 @@ curl -sf -D "$workdir/hsweep" "$base/v1/sweep?scenario=prop3.1-strong-udc&seeds=
 curl -sf -D "$workdir/hextract" "$base/v1/extract?extraction=kx-perfect&runs=6" >/dev/null
 grep -qi '^server-timing: .*compute;dur=' "$workdir/hsweep" || { echo "sweep lacks Server-Timing:"; cat "$workdir/hsweep"; exit 1; }
 grep -qi '^server-timing: .*compute;dur=' "$workdir/hextract" || { echo "extract lacks Server-Timing:"; cat "$workdir/hextract"; exit 1; }
+grep -qi '^x-trace-id: [0-9a-f]\{32\}' "$workdir/hsweep" || { echo "sweep lacks X-Trace-Id:"; cat "$workdir/hsweep"; exit 1; }
+grep -qi '^x-trace-id: [0-9a-f]\{32\}' "$workdir/hextract" || { echo "extract lacks X-Trace-Id:"; cat "$workdir/hextract"; exit 1; }
 
 curl -sf "$base/metrics" >"$workdir/m1"
 for family in \
     udc_http_requests_total \
     udc_http_request_duration_seconds \
+    udc_stage_duration_seconds \
     udc_scheduler_requests_total \
     udc_scheduler_requests_served_total \
     udc_scheduler_seeds_requested_total \
@@ -65,4 +69,4 @@ done
 curl -sf "$base/metrics" >"$workdir/m2"
 cmp "$workdir/m1" "$workdir/m2" || { echo "two idle scrapes differ"; exit 1; }
 
-echo "metrics smoke OK: $(grep -c '^# TYPE ' "$workdir/m1") families, deterministic scrape, Server-Timing on both routes"
+echo "metrics smoke OK: $(grep -c '^# TYPE ' "$workdir/m1") families, deterministic scrape, Server-Timing and X-Trace-Id on both routes"

@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 10x
 
-.PHONY: all build test race vet fmt-check smoke daemon-smoke metrics-smoke bench bench-compare
+.PHONY: all build test race vet fmt-check smoke daemon-smoke metrics-smoke fleet-smoke bench bench-compare
 
 all: build test
 
@@ -37,6 +37,12 @@ daemon-smoke:
 # /metrics families, scrape determinism and Server-Timing traces.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# fleet-smoke boots a 3-peer fleet, proves healthy and peer-killed sweeps are
+# byte-identical to a cold single daemon, checks the failure counters on
+# /metrics, and drains the coordinator cleanly on SIGTERM.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # bench runs the Table 1 benchmark, the adversary sweep, the
 # knowledge-extraction benchmark and the serving-layer benchmarks (codec,

@@ -13,11 +13,23 @@
 //	udcsim -remote http://127.0.0.1:8080 -scenario prop3.1-strong-udc -sweep 64
 //	fdextract -remote http://127.0.0.1:8080 -scenario kx-perfect
 //
-// Endpoints: /healthz, /v1/sweep, /v1/extract, /v1/scenarios,
-// /v1/adversaries, /v1/stats, /v1/corpus (shard occupancy + per-source seed
-// traffic), /metrics (Prometheus text exposition), /debug/traces and
-// /debug/traces/<id> (the request trace log), and — with -pprof —
-// /debug/pprof/*.
+// Endpoints: /healthz (liveness), /readyz (readiness; 503 while draining),
+// /v1/sweep, /v1/extract, /v1/scenarios, /v1/adversaries, /v1/stats,
+// /v1/corpus (shard occupancy + per-source seed traffic), /v1/fleet (fleet
+// membership + peer health), /v1/claim (fleet-internal), /metrics
+// (Prometheus text exposition), /debug/traces and /debug/traces/<id> (the
+// request trace log), and — with -pprof — /debug/pprof/*.
+//
+// Fleet mode (-fleet-peers with -fleet-self) shards the 256-way seed-record
+// prefix space across peers by rendezvous hashing: seeds owned by a remote
+// peer are claimed there over the binary wire, failures fall back to local
+// recompute (responses stay byte-identical to a single cold daemon), and a
+// consecutive-failure detector with half-open probes keeps suspected peers
+// out of the request path.
+//
+// On SIGINT/SIGTERM the daemon drains before exiting: /readyz flips to 503,
+// new sweep/extract/claim work is shed with 503 + Retry-After, and in-flight
+// requests (streams included) are given -drain-timeout to finish.
 //
 // The sweep and extract routes content-negotiate: JSON (the default), the
 // store's binary codec container (Accept: application/x-udc-bin or
@@ -47,9 +59,11 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -78,6 +92,13 @@ type options struct {
 	rateBurst   int
 	maxQueue    int
 	reqTimeout  time.Duration
+
+	drainTimeout time.Duration
+	fleetPeers   string
+	fleetSelf    string
+	fleetHedge   time.Duration
+	fleetSuspect int
+	fleetProbe   time.Duration
 }
 
 func parseOptions(args []string) (options, error) {
@@ -98,6 +119,12 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.rateBurst, "rate-burst", 0, "per-client burst allowance for -rate-limit (0 = twice the rate)")
 	fs.IntVar(&o.maxQueue, "max-queue", 0, "shed compute requests with 429 when this many fleet jobs are already pending; cache hits always served (0 disables)")
 	fs.DurationVar(&o.reqTimeout, "request-timeout", 0, "server-side deadline per sweep/extract request; exceeding it answers 503 and releases claimed seeds (0 disables)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long to wait for in-flight requests after SIGINT/SIGTERM before forcing shutdown")
+	fs.StringVar(&o.fleetPeers, "fleet-peers", "", "comma-separated fleet membership (base URLs, self included); empty = single-node")
+	fs.StringVar(&o.fleetSelf, "fleet-self", "", "this daemon's own base URL, exactly as it appears in -fleet-peers")
+	fs.DurationVar(&o.fleetHedge, "fleet-hedge", 0, "hedge outstanding remote claims with a local recompute after this long (0 = 500ms, negative disables)")
+	fs.IntVar(&o.fleetSuspect, "fleet-suspect-after", 0, "consecutive claim failures before a peer is suspected (0 = 3)")
+	fs.DurationVar(&o.fleetProbe, "fleet-probe-interval", 0, "spacing of half-open probes to suspected peers (0 = 3s)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -116,8 +143,8 @@ func printStats(w io.Writer, baseURL string) error {
 	sch, st := stats.Scheduler, stats.Store
 	fmt.Fprintf(w, "requests=%d fullHits=%d partialHits=%d misses=%d coalesced=%d errors=%d\n",
 		sch.Requests, sch.FullHits, sch.PartialHits, sch.Misses, sch.Coalesced, sch.Errors)
-	fmt.Fprintf(w, "seeds: requested=%d cached=%d computed=%d coalesced=%d\n",
-		sch.SeedsRequested, sch.SeedsCached, sch.SeedsComputed, sch.SeedsCoalesced)
+	fmt.Fprintf(w, "seeds: requested=%d cached=%d computed=%d coalesced=%d remote=%d\n",
+		sch.SeedsRequested, sch.SeedsCached, sch.SeedsComputed, sch.SeedsCoalesced, sch.SeedsRemote)
 	fmt.Fprintf(w, "fleet: jobs=%d batches=%d batchedTasks=%d putErrors=%d\n",
 		sch.Computed, sch.Batches, sch.BatchedTasks, sch.PutErrors)
 	fmt.Fprintf(w, "store: memHits=%d diskHits=%d misses=%d puts=%d corrupt=%d evictions=%d memEntries=%d memBytes=%d\n",
@@ -244,6 +271,22 @@ func buildServer(o options) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var fc *fleet.Config
+	if o.fleetPeers != "" {
+		var peers []string
+		for _, p := range strings.Split(o.fleetPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		fc = &fleet.Config{
+			Self:          o.fleetSelf,
+			Peers:         peers,
+			HedgeDelay:    o.fleetHedge,
+			SuspectAfter:  o.fleetSuspect,
+			ProbeInterval: o.fleetProbe,
+		}
+	}
 	return server.New(server.Config{
 		Store:          st,
 		Workers:        o.workers,
@@ -256,6 +299,7 @@ func buildServer(o options) (*server.Server, error) {
 		RateBurst:      o.rateBurst,
 		MaxQueue:       o.maxQueue,
 		RequestTimeout: o.reqTimeout,
+		Fleet:          fc,
 	})
 }
 
@@ -295,9 +339,19 @@ func run(args []string, w io.Writer) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(w, "udcd: received %v, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain, then shut down: readiness flips to 503 and new corpus work
+		// is shed immediately, while everything already admitted — streams
+		// included — gets -drain-timeout to finish.  Only then is the HTTP
+		// server torn down, so a clean drain never cuts a response short.
+		fmt.Fprintf(w, "udcd: received %v, draining\n", sig)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 		defer cancel()
+		if derr := srv.Drain(ctx); derr != nil {
+			fmt.Fprintf(w, "udcd: drain timed out with %d requests in flight\n", srv.ActiveRequests())
+		} else {
+			fmt.Fprintf(w, "udcd: drained cleanly\n")
+		}
 		return httpServer.Shutdown(ctx)
 	}
 }

@@ -17,9 +17,14 @@
 // and the admission token bucket behind udcd's serving path (internal/obs),
 // the content-addressed run-corpus store with its binary codec,
 // length-prefixed frame streams and shard-occupancy census (internal/store),
-// and the udcd daemon itself — content negotiation across JSON/binary/
-// streamed wire formats, seed-granular scheduling, queue-aware admission
-// control, request-scoped tracing with span links across coalesced requests
+// the fleet toolkit — rendezvous shard assignment, a consecutive-failure
+// suspicion detector with half-open probes, seeded-jitter backoff and a
+// deterministic fault-injection transport (internal/fleet), and the udcd
+// daemon itself — content negotiation across JSON/binary/streamed wire
+// formats, seed-granular scheduling, queue-aware admission control,
+// fault-tolerant fleet mode (sharded peers, claim RPCs, hedged reads,
+// degraded-mode local fallback, /v1/fleet), graceful drain (/readyz),
+// request-scoped tracing with span links across coalesced requests
 // (/debug/traces), structured slog request logs and corpus introspection
 // (/v1/corpus) (internal/server).  See README.md for a tour.
 //

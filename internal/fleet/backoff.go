@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Backoff produces capped exponential retry delays with deterministic
+// "equal jitter": attempt n waits between half and all of min(Base<<n, Cap),
+// the jitter fraction drawn from a seeded splitmix64 stream so tests replay
+// identical schedules. The zero value is not ready; use NewBackoff.
+//
+// Backoff is safe for concurrent use; concurrent callers interleave draws
+// from the one stream, which perturbs individual delays but preserves the
+// bounds (the bounds, not the exact values, are the contract under
+// concurrency).
+type Backoff struct {
+	base time.Duration
+	cap  time.Duration
+	seq  atomic.Uint64
+}
+
+// NewBackoff builds a jittered backoff schedule. Non-positive base or cap
+// fall back to 50ms and 2s; seed selects the jitter stream (any value,
+// including 0, is a valid deterministic stream).
+func NewBackoff(base, cap time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if cap < base {
+		cap = base
+	}
+	b := &Backoff{base: base, cap: cap}
+	b.seq.Store(splitmix64(seed))
+	return b
+}
+
+// Delay returns the wait before retry attempt n (0-based: Delay(0) is the
+// wait before the first retransmission).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	ceil := b.cap
+	if attempt < 62 {
+		if d := b.base << uint(attempt); d < ceil {
+			ceil = d
+		}
+	}
+	// Equal jitter: [ceil/2, ceil). The draw advances the seeded stream.
+	draw := splitmix64(b.seq.Add(0x9e3779b97f4a7c15))
+	frac := float64(draw>>11) / float64(1<<53)
+	return ceil/2 + time.Duration(frac*float64(ceil/2))
+}
+
+// DelayAfter is Delay with a server-provided hint (e.g. a Retry-After
+// header) folded in: the wait is never shorter than the hint, so a backoff
+// schedule cannot undercut explicit server pushback.
+func (b *Backoff) DelayAfter(attempt int, hint time.Duration) time.Duration {
+	d := b.Delay(attempt)
+	if hint > d {
+		return hint
+	}
+	return d
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Config describes one peer's view of the fleet. The zero value (no
+// peers) means single-node operation; a populated Config is validated and
+// defaulted by Normalize before use.
+type Config struct {
+	// Self is this daemon's own peer address, exactly as it appears in
+	// Peers. Seeds hashing to self-owned shards are computed locally.
+	Self string
+	// Peers is the full fleet membership, self included. Every member
+	// must be configured with the same set (spelling included) for the
+	// rendezvous assignment to agree.
+	Peers []string
+	// ClaimTimeout bounds each claim RPC attempt. Default 15s.
+	ClaimTimeout time.Duration
+	// HedgeDelay is how long the coordinator waits on outstanding remote
+	// claims before hedging: computing the still-missing seeds locally
+	// and taking whichever side finishes first (results are
+	// deterministic, so both sides agree). 0 keeps the default 500ms;
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// SuspectAfter is the consecutive-failure suspicion threshold.
+	// Default 3.
+	SuspectAfter int
+	// ProbeInterval spaces half-open probes to suspected peers.
+	// Default 3s.
+	ProbeInterval time.Duration
+	// Attempts caps claim RPC attempts per peer per claim (first try
+	// included). Default 3.
+	Attempts int
+	// RetryBase and RetryCap bound the jittered exponential backoff
+	// between attempts. Defaults 50ms and 2s.
+	RetryBase time.Duration
+	// RetryCap is the backoff ceiling.
+	RetryCap time.Duration
+	// JitterSeed selects the deterministic jitter stream.
+	JitterSeed uint64
+}
+
+// Enabled reports whether the config describes an actual fleet (two or
+// more members) rather than single-node operation.
+func (c *Config) Enabled() bool { return c != nil && len(c.Peers) > 1 }
+
+// Normalize validates membership and fills defaults in place. Addresses
+// are trimmed of trailing slashes so "http://a:1/" and "http://a:1"
+// cannot split the fleet's view of one peer.
+func (c *Config) Normalize() error {
+	c.Self = strings.TrimRight(strings.TrimSpace(c.Self), "/")
+	for i, p := range c.Peers {
+		c.Peers[i] = strings.TrimRight(strings.TrimSpace(p), "/")
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("fleet: no peers configured")
+	}
+	if c.Self == "" {
+		return fmt.Errorf("fleet: self address required")
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("fleet: self %q not in peer list", c.Self)
+	}
+	if c.ClaimTimeout <= 0 {
+		c.ClaimTimeout = 15 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 3 * time.Second
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	return nil
+}

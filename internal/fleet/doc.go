@@ -1,0 +1,31 @@
+// Package fleet is the robustness core of udcd's coordinator/worker mode:
+// the pieces that let a set of peer daemons partition the seed corpus and
+// keep serving correct responses while peers crash, hang, or partition.
+//
+// The package deliberately mirrors the paper's subject matter.  A fleet of
+// failure-detector simulators must itself survive its own adversary catalog,
+// so the serving layer grows the same primitives the simulated protocols
+// have: a failure detector (Tracker — timeout- and consecutive-failure-based
+// suspicion with half-open recovery probes), bounded retransmission
+// (Backoff — capped exponential backoff with deterministic jitter), and a
+// link adversary (FaultTransport — seedable drop/delay/error/truncate
+// verdicts injected into fleet RPCs, scriptable per peer, like
+// internal/adversary's channel shapers but for the serving wire).
+//
+// Topology is a rendezvous-hash Ring over the corpus's 256-way shard prefix
+// space: the store already shards per-seed records into 256 subdirectories
+// by the first byte of their content-address digest, so that byte is the
+// partitioning unit — Ring.Owner(shard) names the peer whose store holds
+// (and whose workers compute) every seed hashing into the shard.  Rendezvous
+// hashing gives every peer set a deterministic assignment with minimal
+// movement when membership changes, with ties broken lexically so every
+// peer computes the identical map from the identical Peers list.
+//
+// Correctness never depends on any of it: a suspected peer, a failed claim,
+// a truncated response or a lost partition only make the coordinator
+// recompute the affected seeds locally, so a degraded fleet's responses
+// stay byte-identical to a single cold daemon's — just slower.  The
+// serving-layer integration (the claim RPC, the scheduler's remote
+// resolution, /v1/fleet) lives in internal/server; this package holds the
+// policy pieces so they are testable in isolation.
+package fleet

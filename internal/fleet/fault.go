@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultOp is one injected verdict applied to a single claim RPC, in the
+// spirit of internal/adversary's channel shapers: the fault layer sits
+// between the coordinator and the real transport and decides, per call,
+// whether the message passes, is dropped, delayed, or cut off mid-stream.
+type FaultOp int
+
+const (
+	// Pass forwards the call untouched.
+	Pass FaultOp = iota
+	// Drop fails the call without ever reaching the peer (a lost request).
+	Drop
+	// Delay sleeps for the fault's Wait, then forwards the call. Models a
+	// slow link or a GC-pausing peer; the per-RPC deadline may expire
+	// during the wait.
+	Delay
+	// Fail forwards the call — the peer does the work — but discards the
+	// response and reports a transport error (a lost response).
+	Fail
+	// Truncate forwards the call and returns only the first half of the
+	// response payload: a peer killed mid-stream. The coordinator's codec
+	// rejects the torn frame, so this exercises the decode-failure path.
+	Truncate
+)
+
+// Fault is a scripted verdict. Wait applies only to Delay.
+type Fault struct {
+	Op   FaultOp
+	Wait time.Duration
+}
+
+// errInjected marks transport failures manufactured by the fault layer.
+var errInjected = errors.New("fleet: injected fault")
+
+// ErrPeerKilled is returned for every claim against a peer that Kill has
+// taken down; it is indistinguishable (by design) from a refused
+// connection to a crashed process.
+var ErrPeerKilled = errors.New("fleet: peer killed")
+
+// FaultTransport wraps a Transport with deterministic fault injection.
+// Verdicts come from two sources, checked in order:
+//
+//   - a per-peer script (Script), consumed one verdict per call — exact
+//     choreography for tests like "kill the peer between claim and collect";
+//   - a seeded random schedule (SeedFaults) drawing drop/delay/fail
+//     verdicts with configured probabilities from a splitmix64 stream, so a
+//     fault soak replays identically for the same seed.
+//
+// Unscripted, unseeded calls pass through. Kill flips a peer into a
+// permanent connection-refused state until Revive. The zero value passes
+// everything through; wrap with NewFaultTransport.
+type FaultTransport struct {
+	inner Transport
+
+	mu      sync.Mutex
+	scripts map[string][]Fault
+	killed  map[string]bool
+	calls   map[string]int
+
+	seeded bool
+	rng    uint64
+	dropP  float64
+	failP  float64
+	delayP float64
+	wait   time.Duration
+}
+
+// NewFaultTransport wraps inner with an initially fault-free injector.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{
+		inner:   inner,
+		scripts: make(map[string][]Fault),
+		killed:  make(map[string]bool),
+		calls:   make(map[string]int),
+	}
+}
+
+// Script appends verdicts for peer, consumed in order by subsequent
+// claims. Calls beyond the script fall through to the seeded schedule (or
+// pass).
+func (f *FaultTransport) Script(peer string, faults ...Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scripts[peer] = append(f.scripts[peer], faults...)
+}
+
+// SeedFaults arms the probabilistic schedule: each unscripted call draws
+// from a splitmix64 stream seeded here and suffers Drop with probability
+// dropP, Fail with failP, Delay (by wait) with delayP, in that precedence.
+func (f *FaultTransport) SeedFaults(seed uint64, dropP, failP, delayP float64, wait time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seeded = true
+	f.rng = splitmix64(seed)
+	f.dropP, f.failP, f.delayP = dropP, failP, delayP
+	f.wait = wait
+}
+
+// Kill crashes peer: every subsequent claim fails immediately with
+// ErrPeerKilled until Revive.
+func (f *FaultTransport) Kill(peer string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed[peer] = true
+}
+
+// Revive restores a killed peer.
+func (f *FaultTransport) Revive(peer string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.killed, peer)
+}
+
+// Calls reports how many claims have been attempted against peer
+// (including ones that drew a fault).
+func (f *FaultTransport) Calls(peer string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[peer]
+}
+
+// verdict draws the fault for the next call against peer.
+func (f *FaultTransport) verdict(peer string) (Fault, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[peer]++
+	if f.killed[peer] {
+		return Fault{}, fmt.Errorf("%w: %s", ErrPeerKilled, peer)
+	}
+	if script := f.scripts[peer]; len(script) > 0 {
+		v := script[0]
+		f.scripts[peer] = script[1:]
+		return v, nil
+	}
+	if f.seeded {
+		f.rng = splitmix64(f.rng)
+		draw := float64(f.rng>>11) / float64(1<<53)
+		switch {
+		case draw < f.dropP:
+			return Fault{Op: Drop}, nil
+		case draw < f.dropP+f.failP:
+			return Fault{Op: Fail}, nil
+		case draw < f.dropP+f.failP+f.delayP:
+			return Fault{Op: Delay, Wait: f.wait}, nil
+		}
+	}
+	return Fault{Op: Pass}, nil
+}
+
+// Claim applies the next verdict for peer, then (where the verdict allows)
+// forwards to the wrapped transport.
+func (f *FaultTransport) Claim(ctx context.Context, peer, traceparent string, body []byte) ([]byte, error) {
+	v, err := f.verdict(peer)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case Drop:
+		return nil, fmt.Errorf("%w: dropped request to %s", errInjected, peer)
+	case Delay:
+		select {
+		case <-time.After(v.Wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	payload, err := f.inner.Claim(ctx, peer, traceparent, body)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case Fail:
+		return nil, fmt.Errorf("%w: lost response from %s", errInjected, peer)
+	case Truncate:
+		return payload[:len(payload)/2], nil
+	}
+	return payload, nil
+}

@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"http://c:3", "http://a:1", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < NumShards; s++ {
+		if r1.Owner(uint8(s)) != r2.Owner(uint8(s)) {
+			t.Fatalf("shard %d: owner differs across peer orderings: %q vs %q",
+				s, r1.Owner(uint8(s)), r2.Owner(uint8(s)))
+		}
+	}
+}
+
+func TestRingCoversAllPeersReasonably(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range peers {
+		n := r.ShardCount(p)
+		total += n
+		// 256 shards over 3 peers: expect ~85 each; any peer owning
+		// fewer than 32 or more than 160 means the hash is badly skewed.
+		if n < 32 || n > 160 {
+			t.Fatalf("peer %s owns %d/256 shards; assignment badly skewed", p, n)
+		}
+	}
+	if total != NumShards {
+		t.Fatalf("shard counts sum to %d, want %d", total, NumShards)
+	}
+}
+
+func TestRingRemovalOnlyMovesVictimShards(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < NumShards; s++ {
+		was, now := full.Owner(uint8(s)), reduced.Owner(uint8(s))
+		if was != "b" && now != was {
+			t.Fatalf("shard %d moved %q->%q though its owner did not leave", s, was, now)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+}
+
+func TestTrackerSuspicionAndRecovery(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := NewTracker([]string{"p"}, 2, time.Minute)
+	boom := errors.New("boom")
+
+	if !tr.Allow("p", now) {
+		t.Fatal("healthy peer not allowed")
+	}
+	tr.Report("p", now, boom)
+	if tr.Suspected("p") {
+		t.Fatal("suspected after one failure with threshold 2")
+	}
+	tr.Report("p", now, boom)
+	if !tr.Suspected("p") {
+		t.Fatal("not suspected after reaching threshold")
+	}
+	// Suspected: no routing until a probe interval elapses.
+	if tr.Allow("p", now.Add(time.Second)) {
+		t.Fatal("suspected peer allowed before probe interval")
+	}
+	probeAt := now.Add(2 * time.Minute)
+	if !tr.Allow("p", probeAt) {
+		t.Fatal("half-open probe not admitted after interval")
+	}
+	// Only one probe per interval.
+	if tr.Allow("p", probeAt.Add(time.Second)) {
+		t.Fatal("second probe admitted within one interval")
+	}
+	// Probe succeeds: suspicion clears.
+	tr.Report("p", probeAt, nil)
+	if tr.Suspected("p") {
+		t.Fatal("suspicion not cleared by success")
+	}
+	if !tr.Allow("p", probeAt) {
+		t.Fatal("recovered peer not allowed")
+	}
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Peer != "p" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Requests != 3 || snap[0].Failures != 2 || snap[0].State != StateHealthy {
+		t.Fatalf("counters = %+v", snap[0])
+	}
+}
+
+func TestBackoffBoundsAndDeterminism(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 42)
+	var first []time.Duration
+	for i := 0; i < 6; i++ {
+		d := b.Delay(i)
+		ceil := 10 * time.Millisecond << uint(i)
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, ceil/2, ceil)
+		}
+		first = append(first, d)
+	}
+	b2 := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 42)
+	for i := 0; i < 6; i++ {
+		if d := b2.Delay(i); d != first[i] {
+			t.Fatalf("attempt %d: same seed gave %v then %v", i, first[i], d)
+		}
+	}
+	if d := b.DelayAfter(0, time.Second); d != time.Second {
+		t.Fatalf("DelayAfter ignored larger hint: %v", d)
+	}
+	if d := b.DelayAfter(0, time.Nanosecond); d < 5*time.Millisecond {
+		t.Fatalf("DelayAfter let tiny hint undercut backoff: %v", d)
+	}
+}
+
+func TestRetriable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), false},
+		{errors.New("connection refused"), true},
+		{&StatusError{Status: 429}, true},
+		{&StatusError{Status: 503}, true},
+		{&StatusError{Status: 400}, false},
+		{&StatusError{Status: 404}, false},
+		{fmt.Errorf("wrap: %w", &StatusError{Status: 502}), true},
+	}
+	for _, c := range cases {
+		if got := Retriable(c.err); got != c.want {
+			t.Fatalf("Retriable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if h := RetryHint(&StatusError{Status: 429, RetryAfter: 2 * time.Second}); h != 2*time.Second {
+		t.Fatalf("RetryHint = %v", h)
+	}
+	if h := RetryHint(errors.New("x")); h != 0 {
+		t.Fatalf("RetryHint on plain error = %v", h)
+	}
+}
+
+// echoTransport returns its body reversed so tests can tell a forwarded
+// call's payload from an injected one.
+type echoTransport struct{ calls int }
+
+func (e *echoTransport) Claim(_ context.Context, _, _ string, body []byte) ([]byte, error) {
+	e.calls++
+	out := make([]byte, len(body))
+	for i, b := range body {
+		out[len(body)-1-i] = b
+	}
+	return out, nil
+}
+
+func TestFaultTransportScriptAndKill(t *testing.T) {
+	inner := &echoTransport{}
+	ft := NewFaultTransport(inner)
+	ctx := context.Background()
+	body := []byte("abcd")
+
+	ft.Script("p", Fault{Op: Drop}, Fault{Op: Fail}, Fault{Op: Truncate}, Fault{Op: Pass})
+
+	if _, err := ft.Claim(ctx, "p", "", body); err == nil {
+		t.Fatal("drop verdict returned no error")
+	}
+	if inner.calls != 0 {
+		t.Fatal("drop verdict reached the inner transport")
+	}
+	if _, err := ft.Claim(ctx, "p", "", body); err == nil {
+		t.Fatal("fail verdict returned no error")
+	} else if inner.calls != 1 {
+		t.Fatal("fail verdict should forward the request before losing the response")
+	}
+	if payload, err := ft.Claim(ctx, "p", "", body); err != nil {
+		t.Fatal(err)
+	} else if string(payload) != "dc" {
+		t.Fatalf("truncate verdict payload = %q, want first half", payload)
+	}
+	if payload, err := ft.Claim(ctx, "p", "", body); err != nil || string(payload) != "dcba" {
+		t.Fatalf("pass verdict = %q, %v", payload, err)
+	}
+	// Script exhausted: passes through.
+	if _, err := ft.Claim(ctx, "p", "", body); err != nil {
+		t.Fatal(err)
+	}
+
+	ft.Kill("p")
+	if _, err := ft.Claim(ctx, "p", "", body); !errors.Is(err, ErrPeerKilled) {
+		t.Fatalf("killed peer error = %v", err)
+	}
+	ft.Revive("p")
+	if _, err := ft.Claim(ctx, "p", "", body); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Calls("p") != 7 {
+		t.Fatalf("Calls = %d, want 7", ft.Calls("p"))
+	}
+}
+
+func TestFaultTransportSeededScheduleReplays(t *testing.T) {
+	draw := func() []bool {
+		ft := NewFaultTransport(&echoTransport{})
+		ft.SeedFaults(7, 0.5, 0, 0, 0)
+		var outcome []bool
+		for i := 0; i < 32; i++ {
+			_, err := ft.Claim(context.Background(), "p", "", []byte("x"))
+			outcome = append(outcome, err == nil)
+		}
+		return outcome
+	}
+	a, b := draw(), draw()
+	passes := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across identically seeded schedules", i)
+		}
+		if a[i] {
+			passes++
+		}
+	}
+	if passes == 0 || passes == len(a) {
+		t.Fatalf("seeded 50%% drop schedule produced %d/%d passes", passes, len(a))
+	}
+}
+
+func TestFaultTransportDelayHonorsContext(t *testing.T) {
+	ft := NewFaultTransport(&echoTransport{})
+	ft.Script("p", Fault{Op: Delay, Wait: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := ft.Claim(ctx, "p", "", []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay verdict ignored context deadline")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := &Config{Self: "http://a:1/", Peers: []string{"http://a:1", "http://b:2/"}}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Self != "http://a:1" || c.Peers[1] != "http://b:2" {
+		t.Fatalf("normalize did not trim slashes: %+v", c)
+	}
+	if !c.Enabled() {
+		t.Fatal("two-peer config not enabled")
+	}
+	if c.ClaimTimeout == 0 || c.Attempts == 0 || c.SuspectAfter == 0 || c.HedgeDelay == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	bad := &Config{Self: "http://x:1", Peers: []string{"http://a:1"}}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("self outside peer list accepted")
+	}
+	single := &Config{Self: "http://a:1", Peers: []string{"http://a:1"}}
+	if err := single.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if single.Enabled() {
+		t.Fatal("single-peer config reported enabled")
+	}
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Fatal("nil config reported enabled")
+	}
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Peer health states. A peer starts Healthy; SuspectAfter consecutive
+// failed claims move it to Suspected, where the coordinator stops routing
+// to it except for one half-open probe per ProbeInterval. A single success
+// clears the suspicion.
+const (
+	StateHealthy   = "healthy"
+	StateSuspected = "suspected"
+)
+
+// PeerHealth is a point-in-time snapshot of one peer's detector state and
+// traffic counters, as surfaced on /v1/fleet and /metrics.
+type PeerHealth struct {
+	Peer                string
+	State               string
+	ConsecutiveFailures int
+	SuspectedSince      time.Time // zero when healthy
+	Requests            uint64    // claim RPC attempts sent
+	Failures            uint64    // claim RPC attempts that failed
+	Retries             uint64    // attempts beyond the first within one claim
+	Hedges              uint64    // local hedges fired while this peer was pending
+	FallbackSeeds       uint64    // seeds recomputed locally after this peer failed
+}
+
+type peerState struct {
+	consecutive    int
+	suspectedSince time.Time
+	lastProbe      time.Time
+	requests       uint64
+	failures       uint64
+	retries        uint64
+	hedges         uint64
+	fallbackSeeds  uint64
+}
+
+// Tracker is the fleet's failure detector: per-peer suspicion driven by
+// consecutive claim failures (timeouts count — per-RPC deadlines convert a
+// hung peer into an error), with half-open probes so a recovered peer is
+// readmitted within one ProbeInterval. It deliberately has the shape of
+// the eventually-perfect detectors the daemon simulates: suspicion is a
+// routing hint that can be wrong in both directions, never a correctness
+// input.
+type Tracker struct {
+	mu            sync.Mutex
+	peers         map[string]*peerState
+	suspectAfter  int
+	probeInterval time.Duration
+}
+
+// NewTracker builds a detector for the given peers. suspectAfter is the
+// consecutive-failure threshold (values < 1 are treated as 1) and
+// probeInterval the half-open probe spacing for suspected peers.
+func NewTracker(peers []string, suspectAfter int, probeInterval time.Duration) *Tracker {
+	if suspectAfter < 1 {
+		suspectAfter = 1
+	}
+	t := &Tracker{
+		peers:         make(map[string]*peerState, len(peers)),
+		suspectAfter:  suspectAfter,
+		probeInterval: probeInterval,
+	}
+	for _, p := range peers {
+		t.peers[p] = &peerState{}
+	}
+	return t
+}
+
+func (t *Tracker) state(peer string) *peerState {
+	ps := t.peers[peer]
+	if ps == nil {
+		ps = &peerState{}
+		t.peers[peer] = ps
+	}
+	return ps
+}
+
+// Allow reports whether a claim should be routed to peer at time now.
+// Healthy peers are always allowed. A suspected peer admits exactly one
+// probe per probeInterval; the probe's Report outcome decides whether the
+// peer is readmitted or stays suspected.
+func (t *Tracker) Allow(peer string, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.state(peer)
+	if ps.suspectedSince.IsZero() {
+		return true
+	}
+	if now.Sub(ps.lastProbe) >= t.probeInterval {
+		ps.lastProbe = now
+		return true
+	}
+	return false
+}
+
+// Report records the outcome of one claim RPC attempt. A nil err counts a
+// success and clears any suspicion; otherwise the consecutive-failure
+// count advances and the peer becomes suspected at the threshold.
+func (t *Tracker) Report(peer string, now time.Time, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.state(peer)
+	ps.requests++
+	if err == nil {
+		ps.consecutive = 0
+		ps.suspectedSince = time.Time{}
+		return
+	}
+	ps.failures++
+	ps.consecutive++
+	if ps.consecutive >= t.suspectAfter && ps.suspectedSince.IsZero() {
+		ps.suspectedSince = now
+		ps.lastProbe = now
+	}
+}
+
+// NoteRetry counts one retransmission (an attempt beyond the first) toward
+// peer.
+func (t *Tracker) NoteRetry(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state(peer).retries++
+}
+
+// NoteHedge counts one hedged local read fired while peer's claim was
+// still pending.
+func (t *Tracker) NoteHedge(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state(peer).hedges++
+}
+
+// NoteFallback counts seeds recomputed locally because peer's claim failed
+// or the peer was suspected.
+func (t *Tracker) NoteFallback(peer string, seeds int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state(peer).fallbackSeeds += uint64(seeds)
+}
+
+// Suspected reports whether peer is currently under suspicion.
+func (t *Tracker) Suspected(peer string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.state(peer).suspectedSince.IsZero()
+}
+
+// Snapshot returns the current health of every tracked peer, sorted by
+// peer name for deterministic exposition.
+func (t *Tracker) Snapshot() []PeerHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PeerHealth, 0, len(t.peers))
+	for name, ps := range t.peers {
+		h := PeerHealth{
+			Peer:                name,
+			State:               StateHealthy,
+			ConsecutiveFailures: ps.consecutive,
+			SuspectedSince:      ps.suspectedSince,
+			Requests:            ps.requests,
+			Failures:            ps.failures,
+			Retries:             ps.retries,
+			Hedges:              ps.hedges,
+			FallbackSeeds:       ps.fallbackSeeds,
+		}
+		if !ps.suspectedSince.IsZero() {
+			h.State = StateSuspected
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

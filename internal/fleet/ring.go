@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NumShards is the size of the partition space: the corpus stores per-seed
+// records in 256 shard directories keyed by the first byte of the record's
+// content-address digest, so that byte is the unit of placement.
+const NumShards = 256
+
+// Ring assigns each of the 256 corpus shards to one peer by rendezvous
+// (highest-random-weight) hashing. Every peer that builds a Ring from the
+// same peer set computes the identical assignment, regardless of the order
+// the peers were listed in, and removing a peer only reassigns the shards
+// that peer owned.
+type Ring struct {
+	peers []string
+	owner [NumShards]string
+}
+
+// NewRing builds the shard assignment for the given peer set. Peer names
+// must be non-empty and unique; they are compared byte-for-byte, so every
+// member must be configured with the same spelling of every address.
+func NewRing(peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one peer")
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("fleet: empty peer name")
+		}
+		if i > 0 && sorted[i-1] == p {
+			return nil, fmt.Errorf("fleet: duplicate peer %q", p)
+		}
+	}
+	r := &Ring{peers: sorted}
+	for shard := 0; shard < NumShards; shard++ {
+		best := -1
+		var bestScore uint64
+		for i, p := range sorted {
+			score := rendezvousScore(p, uint8(shard))
+			// Ties broken by the sort order above, so the walk is
+			// deterministic for every permutation of the input.
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		r.owner[shard] = sorted[best]
+	}
+	return r, nil
+}
+
+// Owner returns the peer that owns the given shard prefix.
+func (r *Ring) Owner(shard uint8) string { return r.owner[shard] }
+
+// Peers returns the sorted member list the ring was built from.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// ShardCount reports how many of the 256 shards the given peer owns.
+func (r *Ring) ShardCount(peer string) int {
+	n := 0
+	for _, p := range r.owner {
+		if p == peer {
+			n++
+		}
+	}
+	return n
+}
+
+// rendezvousScore mixes a peer name with a shard index into a 64-bit
+// weight. FNV-1a folds the name, splitmix64 finalizes so single-bit shard
+// differences diffuse across the whole word.
+func rendezvousScore(peer string, shard uint8) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= prime64
+	}
+	h ^= uint64(shard)
+	h *= prime64
+	return splitmix64(h)
+}
+
+// splitmix64 is the finalizer from the splitmix64 PRNG: a cheap, well-mixed
+// 64-bit permutation, also used to derive deterministic jitter streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

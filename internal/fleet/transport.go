@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Transport performs one fleet RPC: POST body to peer's claim endpoint and
+// return the raw response payload. Implementations must honor ctx
+// cancellation and deadlines — the coordinator relies on per-RPC deadlines
+// to convert hung peers into failures the detector can count. The HTTP
+// implementation lives in internal/server; this package only defines the
+// seam so faults can be injected under it.
+type Transport interface {
+	Claim(ctx context.Context, peer, traceparent string, body []byte) ([]byte, error)
+}
+
+// StatusError is a claim rejected by the peer with an HTTP status. It
+// carries the peer's Retry-After hint, if any, so backoff can honor
+// explicit pushback.
+type StatusError struct {
+	Peer       string
+	Status     int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("fleet: peer %s: status %d: %s", e.Peer, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("fleet: peer %s: status %d", e.Peer, e.Status)
+}
+
+// Retriable reports whether a failed claim attempt is worth retransmitting
+// to the same peer: transport-level errors and explicitly transient
+// statuses (429 shed, 502/503/504 unavailable) are; any other definite
+// HTTP rejection (malformed request, unknown scenario) would fail the same
+// way again. Context cancellation is never retriable — the request is gone.
+func Retriable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case 429, 502, 503, 504:
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RetryHint extracts the server's Retry-After hint from a claim error, or
+// zero when the error carries none.
+func RetryHint(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}

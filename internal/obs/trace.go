@@ -40,6 +40,8 @@ type SeedCounts struct {
 	Computed int `json:"computed"`
 	// Coalesced seeds were joined from another request's in-flight claim.
 	Coalesced int `json:"coalesced"`
+	// Remote seeds were resolved by a fleet peer's claim RPC.
+	Remote int `json:"remote"`
 }
 
 // TraceIDOrZero returns the trace's ID, tolerating a nil trace.
@@ -83,6 +85,7 @@ func (t *Trace) AddSeeds(c SeedCounts) {
 	t.seeds.Cached += c.Cached
 	t.seeds.Computed += c.Computed
 	t.seeds.Coalesced += c.Coalesced
+	t.seeds.Remote += c.Remote
 }
 
 // Seeds returns the accumulated seed accounting.

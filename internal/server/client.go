@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -51,6 +53,68 @@ type Client struct {
 	// the daemon-side trace identity, queryable at /debug/traces/<id>.
 	// Overwritten per call, like ServerTiming.
 	TraceID string
+	// Attempts caps how many times a sweep/extract request is tried: retried
+	// on transport failures and on 429/503 admission sheds (honoring the
+	// daemon's Retry-After hint), with jittered exponential backoff in
+	// between.  Sweeps and extracts are idempotent — the corpus is content
+	// addressed, so a duplicate delivery computes the same bytes — which is
+	// what makes blind retry safe.  0 means DefaultAttempts; 1 disables
+	// retries.
+	Attempts int
+	// RetryBase and RetryCap bound the backoff between attempts (defaults
+	// 100ms and 2s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+
+	backoff *fleet.Backoff
+}
+
+// DefaultAttempts is the client's retry budget (first try included) when
+// Attempts is unset.
+const DefaultAttempts = 3
+
+// attempts returns the retry budget.
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return DefaultAttempts
+}
+
+// retryDelay returns how long to sleep before retry attempt n (0-based),
+// never undercutting the server's Retry-After hint.
+func (c *Client) retryDelay(n int, hint time.Duration) time.Duration {
+	if c.backoff == nil {
+		base, cap := c.RetryBase, c.RetryCap
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		if cap <= 0 {
+			cap = 2 * time.Second
+		}
+		c.backoff = fleet.NewBackoff(base, cap, uint64(time.Now().UnixNano()))
+	}
+	return c.backoff.DelayAfter(n, hint)
+}
+
+// retryStatus reports whether an HTTP status is worth retrying: admission
+// sheds and drain/overload rejections, where the daemon explicitly asks the
+// client to come back (429, 503) or a gateway hiccuped (502, 504).
+func retryStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form.
+func parseRetryAfter(h string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -77,9 +141,25 @@ func (c *Client) accept() string {
 func (c *Client) post(path string, req any) (raw []byte, ct, cache string, err error) {
 	body := MarshalBody(req)
 	url := strings.TrimRight(c.BaseURL, "/") + path
+	attempts := c.attempts()
+	for attempt := 0; ; attempt++ {
+		var retriable bool
+		var hint time.Duration
+		raw, ct, cache, retriable, hint, err = c.postOnce(url, path, body)
+		if err == nil || !retriable || attempt+1 >= attempts {
+			return raw, ct, cache, err
+		}
+		time.Sleep(c.retryDelay(attempt, hint))
+	}
+}
+
+// postOnce is one attempt of post.  retriable marks failures worth another
+// try (transport errors and 429/502/503/504 statuses); hint carries the
+// daemon's Retry-After, if any.
+func (c *Client) postOnce(url, path string, body []byte) (raw []byte, ct, cache string, retriable bool, hint time.Duration, err error) {
 	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, "", "", err
+		return nil, "", "", false, 0, err
 	}
 	hreq.Header.Set("Content-Type", ctJSON)
 	hreq.Header.Set("Accept", c.accept())
@@ -88,20 +168,22 @@ func (c *Client) post(path string, req any) (raw []byte, ct, cache string, err e
 	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
-		return nil, "", "", err
+		return nil, "", "", true, 0, err
 	}
 	defer resp.Body.Close()
 	c.TraceID = resp.Header.Get("X-Trace-Id")
 	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", "", fmt.Errorf("%s: read response: %w", path, err)
+		return nil, "", "", true, 0, fmt.Errorf("%s: read response: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		retriable = retryStatus(resp.StatusCode)
+		hint = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var e errorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return nil, "", "", fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+			return nil, "", "", retriable, hint, fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
 		}
-		return nil, "", "", fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+		return nil, "", "", retriable, hint, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	ct, _, _ = strings.Cut(resp.Header.Get("Content-Type"), ";")
 	ct = strings.TrimSpace(ct)
@@ -111,7 +193,7 @@ func (c *Client) post(path string, req any) (raw []byte, ct, cache string, err e
 		c.WireFormat = formatBin
 	}
 	c.WireBytes = len(raw)
-	return raw, ct, resp.Header.Get("X-Cache"), nil
+	return raw, ct, resp.Header.Get("X-Cache"), false, 0, nil
 }
 
 // Sweep requests a sweep from the daemon.

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -50,7 +51,7 @@ type serverMetrics struct {
 	stageDuration *obs.HistogramVec
 }
 
-func newServerMetrics(sched *scheduler, st *store.Store, traces *obs.TraceLog, start time.Time) *serverMetrics {
+func newServerMetrics(sched *scheduler, st *store.Store, traces *obs.TraceLog, fc *fleetCoordinator, start time.Time) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{reg: reg}
 
@@ -146,6 +147,29 @@ func newServerMetrics(sched *scheduler, st *store.Store, traces *obs.TraceLog, s
 	fleetPasses := reg.Gauge("udc_fleet_active_passes",
 		"Fleet passes (SweepAll/RunAll rounds) in progress.")
 
+	// Fleet-mode (multi-peer) mirrors.  The families exist whatever the
+	// configuration — an exposition page's shape should not depend on flags —
+	// but per-peer children only appear when fleet mode is on, so single-node
+	// daemons keep their exact pre-fleet page (and idle-scrape determinism).
+	fleetPeers := reg.Gauge("udc_fleet_peers",
+		"Fleet membership size (1 when fleet mode is off).")
+	fleetSuspected := reg.Gauge("udc_fleet_suspected_peers",
+		"Peers currently suspected by the failure detector.")
+	remoteSeeds := reg.Counter("udc_fleet_remote_seeds_total",
+		"Seeds resolved by fleet peers' claim RPCs.")
+	peerRequests := reg.CounterVec("udc_fleet_peer_requests_total",
+		"Claim RPCs issued to each fleet peer (retries included).", "peer")
+	peerFailures := reg.CounterVec("udc_fleet_peer_failures_total",
+		"Claim RPCs against each fleet peer that failed.", "peer")
+	peerRetries := reg.CounterVec("udc_fleet_peer_retries_total",
+		"Claim RPC retry attempts against each fleet peer.", "peer")
+	peerHedges := reg.CounterVec("udc_fleet_peer_hedges_total",
+		"Hedged local recomputes fired while each fleet peer's claim was still outstanding.", "peer")
+	peerFallback := reg.CounterVec("udc_fleet_peer_fallback_seeds_total",
+		"Seeds recomputed locally because their owning peer's claim failed.", "peer")
+	peerSuspected := reg.GaugeVec("udc_fleet_peer_suspected",
+		"1 while the failure detector suspects the peer, else 0.", "peer")
+
 	// Process identity.  Start time is a constant so idle scrapes stay
 	// byte-identical; scrapers derive uptime as now() - start.
 	startSeconds := float64(start.UnixNano()) / 1e9
@@ -200,6 +224,29 @@ func newServerMetrics(sched *scheduler, st *store.Store, traces *obs.TraceLog, s
 		fleetInflight.Set(workload.Fleet.InflightSeeds.Load())
 		fleetBusy.Set(workload.Fleet.BusyWorkers.Load())
 		fleetPasses.Set(workload.Fleet.ActivePasses.Load())
+
+		remoteSeeds.Set(ss.SeedsRemote)
+		if fc == nil {
+			fleetPeers.Set(1)
+			fleetSuspected.Set(0)
+		} else {
+			fleetPeers.Set(int64(len(fc.ring.Peers())))
+			suspected := int64(0)
+			for _, ph := range fc.health.Snapshot() {
+				if ph.State == fleet.StateSuspected {
+					suspected++
+					peerSuspected.With(ph.Peer).Set(1)
+				} else {
+					peerSuspected.With(ph.Peer).Set(0)
+				}
+				peerRequests.With(ph.Peer).Set(ph.Requests)
+				peerFailures.With(ph.Peer).Set(ph.Failures)
+				peerRetries.With(ph.Peer).Set(ph.Retries)
+				peerHedges.With(ph.Peer).Set(ph.Hedges)
+				peerFallback.With(ph.Peer).Set(ph.FallbackSeeds)
+			}
+			fleetSuspected.Set(suspected)
+		}
 	})
 	return m
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,7 @@ type SourceStats struct {
 	SeedsCached    uint64 `json:"seedsCached"`
 	SeedsComputed  uint64 `json:"seedsComputed"`
 	SeedsCoalesced uint64 `json:"seedsCoalesced"`
+	SeedsRemote    uint64 `json:"seedsRemote"`
 	MinSeed        int64  `json:"minSeed"`
 	MaxSeed        int64  `json:"maxSeed"`
 }
@@ -74,6 +76,11 @@ type SchedulerStats struct {
 	SeedsCached    uint64 `json:"seedsCached"`
 	SeedsComputed  uint64 `json:"seedsComputed"`
 	SeedsCoalesced uint64 `json:"seedsCoalesced"`
+	// SeedsRemote counts seeds resolved by fleet peers' claim RPCs.  In
+	// fleet mode SeedsCached + SeedsComputed + SeedsCoalesced + SeedsRemote
+	// = SeedsRequested; seeds whose remote claim failed or was hedged into
+	// a local recompute land in SeedsComputed (they were simulated here).
+	SeedsRemote uint64 `json:"seedsRemote"`
 	// Computed counts jobs executed on the worker fleet: batched
 	// missing-seed simulation passes and extraction pipeline tails.
 	Computed uint64 `json:"computed"`
@@ -266,6 +273,11 @@ type scheduler struct {
 	// (cache hits still serve — the gate guards compute, not reads).  Zero
 	// disables the gate; negative admits nothing (drain mode).
 	maxQueue int
+
+	// fleet is the peer coordinator in fleet mode, nil on a single node.
+	// Set once at assembly, before any request, and never mutated, so the
+	// resolve path reads it without locking.
+	fleet *fleetCoordinator
 
 	mu         sync.Mutex
 	inflight   map[store.Key]*call
@@ -510,6 +522,9 @@ type resolution struct {
 	cached   int
 	computed int
 	joined   int
+	// remote counts seeds resolved by fleet peers' claims; like computed
+	// seeds they grade as non-cached for X-Cache.
+	remote int
 }
 
 // status classifies the resolution for the X-Cache header.
@@ -545,14 +560,23 @@ func (r resolution) status() CacheStatus {
 // ctx bounds the computation: an expired context sheds unclaimed work and
 // releases this request's seed claims; joiners of those claims do not inherit
 // this request's failure — they re-claim the seeds and recompute.
-func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns bool, tr *obs.Trace, emit func(workload.RunOutcome)) (resolution, error) {
+//
+// In fleet mode, claimed scenario seeds whose corpus shard is owned by a
+// remote peer are resolved by claim RPCs instead of the local fleet round
+// ("remote" stage), overlapping the local compute; failed, suspect or slow
+// peers degrade to local recompute (see the fleet commentary in fleet.go),
+// so the assembled resolution is identical either way.  localOnly forces
+// everything local — set on claim handling, so claims never recurse across
+// the fleet, and irrelevant when needRuns is set (extraction source runs
+// are too heavy to ship; they always resolve locally).
+func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary string, spec workload.Spec, eval workload.Evaluator, seeds []int64, needRuns, localOnly bool, tr *obs.Trace, emit func(workload.RunOutcome)) (resolution, error) {
 	n := len(seeds)
 	keys := make([]store.Key, n)
 	for i, seed := range seeds {
 		keys[i] = store.SeedKeySpec(qualifiedName, adversary, seed).Key()
 	}
 
-	var cachedOut, computedOut, joinedOut []workload.RunOutcome
+	var cachedOut, computedOut, joinedOut, remoteOut []workload.RunOutcome
 	var runsBySeed map[int64]*model.Run
 	if needRuns {
 		runsBySeed = make(map[int64]*model.Run, n)
@@ -670,56 +694,218 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 		owned = stillOwned
 		claimSpan.End()
 
-		// Simulate the claimed seeds in one dispatcher round, persist them as
-		// per-seed records, and publish them to any requests that joined.
+		// Simulate the claimed seeds — remote-owned ones via their peers'
+		// claim RPCs, the rest in one local dispatcher round — persist the
+		// local results as per-seed records, and publish every owned seed
+		// (outcome or failure) to any requests that joined.
 		if len(owned) > 0 {
-			ownedSeeds := make([]int64, len(owned))
-			for j, i := range owned {
-				ownedSeeds[j] = seeds[i]
+			localOwned := owned
+			var remoteGroups map[string][]int
+			if s.fleet != nil && !needRuns && !localOnly && strings.HasPrefix(qualifiedName, scenarioNamespace) {
+				localOwned, remoteGroups = s.fleet.partition(keys, owned)
 			}
-			job := &fleetJob{
-				runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
-				done: make(chan struct{}),
+
+			// published tracks which owned indices have had their flight
+			// entry closed this pass (success or failure), so the hedge and
+			// late remote results cannot double-publish; settled counts them,
+			// so the collection loop can stop waiting on a slow peer the
+			// moment a hedge has answered everything.
+			published := make(map[int]bool, len(owned))
+			settled := 0
+
+			// publishSeed resolves one owned index: the outcome joins the
+			// resolution (and the stream), the flight entry is deregistered
+			// and published.  Remote outcomes carry no run — sweeps never
+			// need one, and remote routing is gated on !needRuns, so every
+			// possible joiner of these keys consumes outcomes only.
+			publishSeed := func(i int, out workload.RunOutcome, run *model.Run, remote bool) {
+				if remote {
+					remoteOut = append(remoteOut, out)
+				} else {
+					computedOut = append(computedOut, out)
+				}
+				if emit != nil {
+					emit(out)
+				}
+				if needRuns {
+					runsBySeed[out.Seed] = run
+				}
+				resolved[i] = true
+				published[i] = true
+				settled++
+				c := ownedCalls[i]
+				c.outcome, c.run = out, run
+				s.mu.Lock()
+				delete(s.seedflight, keys[i])
+				s.mu.Unlock()
+				close(c.done)
 			}
-			computeSpan := tr.Span("compute")
-			computeErr = s.submit(ctx, job)
-			computeSpan.End()
-			if computeErr == nil {
+
+			// publishFailure releases still-claimed indices with ferr;
+			// joiners inspect it (ownerLocal) to decide whether to re-claim.
+			publishFailure := func(idxs []int, ferr error) {
+				for _, i := range idxs {
+					if published[i] {
+						continue
+					}
+					published[i] = true
+					settled++
+					c := ownedCalls[i]
+					c.err = ferr
+					s.mu.Lock()
+					delete(s.seedflight, keys[i])
+					s.mu.Unlock()
+					close(c.done)
+				}
+			}
+
+			// computeLocal simulates owned indices in one dispatcher round,
+			// persists them as per-seed records and publishes them.  It
+			// serves the local partition, the hedge, and degraded-mode
+			// fallback alike; a failed round publishes the failure.
+			computeLocal := func(idxs []int) error {
+				if len(idxs) == 0 {
+					return nil
+				}
+				ownedSeeds := make([]int64, len(idxs))
+				for j, i := range idxs {
+					ownedSeeds[j] = seeds[i]
+				}
+				job := &fleetJob{
+					runs: &workload.Task{Spec: spec, Seeds: ownedSeeds, Eval: eval},
+					done: make(chan struct{}),
+				}
+				computeSpan := tr.Span("compute")
+				err := s.submit(ctx, job)
+				computeSpan.End()
+				if err != nil {
+					publishFailure(idxs, err)
+					return err
+				}
 				persistSpan := tr.Span("persist")
-				putKeys := make([]store.Key, len(owned))
-				putPayloads := make([][]byte, len(owned))
-				for j, i := range owned {
-					sr := job.seedRuns[j]
-					computedOut = append(computedOut, sr.Outcome)
-					if emit != nil {
-						emit(sr.Outcome)
-					}
-					if needRuns {
-						runsBySeed[sr.Outcome.Seed] = sr.Run
-					}
-					resolved[i] = true
+				putKeys := make([]store.Key, len(idxs))
+				putPayloads := make([][]byte, len(idxs))
+				for j, i := range idxs {
 					putKeys[j] = keys[i]
-					putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(sr, eval != nil))
+					putPayloads[j] = store.EncodeSeedRecord(store.NewSeedRecord(job.seedRuns[j], eval != nil))
 				}
 				if failed, _ := s.store.PutMulti(putKeys, putPayloads); failed > 0 {
 					s.count(func(st *SchedulerStats) { st.PutErrors += uint64(failed) })
 				}
 				persistSpan.End()
-			}
-			s.mu.Lock()
-			for _, i := range owned {
-				delete(s.seedflight, keys[i])
-			}
-			s.mu.Unlock()
-			for j, i := range owned {
-				c := ownedCalls[i]
-				if computeErr != nil {
-					c.err = computeErr
-				} else {
+				for j, i := range idxs {
 					sr := job.seedRuns[j]
-					c.outcome, c.run = sr.Outcome, sr.Run
+					publishSeed(i, sr.Outcome, sr.Run, false)
 				}
-				close(c.done)
+				return nil
+			}
+
+			// Launch the remote claims first so they overlap the local
+			// round.  The goroutines touch nothing of the request's state —
+			// they speak to the transport and deliver on the channel; all
+			// publication happens here on the request goroutine (tr and emit
+			// are not concurrency-safe).
+			type remoteResult struct {
+				peer     string
+				idxs     []int
+				outcomes []workload.RunOutcome
+				err      error
+			}
+			var remoteCh chan remoteResult
+			if len(remoteGroups) > 0 {
+				remoteCh = make(chan remoteResult, len(remoteGroups))
+				traceID := tr.TraceIDOrZero()
+				scenario := strings.TrimPrefix(qualifiedName, scenarioNamespace)
+				for peer, idxs := range remoteGroups {
+					rseeds := make([]int64, len(idxs))
+					for j, i := range idxs {
+						rseeds[j] = seeds[i]
+					}
+					go func(peer string, idxs []int, rseeds []int64) {
+						outs, err := s.fleet.claim(ctx, peer, traceID, scenario, adversary, rseeds)
+						remoteCh <- remoteResult{peer: peer, idxs: idxs, outcomes: outs, err: err}
+					}(peer, idxs, rseeds)
+				}
+			}
+
+			computeErr = computeLocal(localOwned)
+
+			// Collect the remote claims.  The loop runs until every owned
+			// index is settled or the last group reports — claims honour
+			// ctx, so after an error or an expired context they return
+			// promptly, and every flight entry is published (outcome or
+			// failure) before this request lets go of its claims.
+			// Degradation: a failed group is recomputed locally; once
+			// HedgeDelay elapses every still-missing seed is hedged with a
+			// local recompute, at which point the loop exits without waiting
+			// for the slow peer (its goroutine delivers into the buffered
+			// channel and is dropped) — outcomes are deterministic, so
+			// either side's answer is the same bytes.
+			if remoteCh != nil {
+				var hedgeTimer *time.Timer
+				var hedgeC <-chan time.Time
+				if s.fleet.cfg.HedgeDelay > 0 && computeErr == nil {
+					hedgeTimer = time.NewTimer(s.fleet.cfg.HedgeDelay)
+					hedgeC = hedgeTimer.C
+				}
+				openIdxs := func(idxs []int) []int {
+					var open []int
+					for _, i := range idxs {
+						if !published[i] {
+							open = append(open, i)
+						}
+					}
+					return open
+				}
+				remoteSpan := tr.Span("remote")
+				ctxC := ctx.Done()
+				for pending := len(remoteGroups); pending > 0 && settled < len(owned); {
+					select {
+					case res := <-remoteCh:
+						pending--
+						if res.err == nil {
+							for j, i := range res.idxs {
+								if !published[i] {
+									publishSeed(i, res.outcomes[j], nil, true)
+								}
+							}
+							continue
+						}
+						open := openIdxs(res.idxs)
+						if len(open) == 0 {
+							continue
+						}
+						s.fleet.health.NoteFallback(res.peer, len(open))
+						if computeErr == nil {
+							computeErr = computeLocal(open)
+						} else {
+							publishFailure(open, computeErr)
+						}
+					case <-hedgeC:
+						hedgeC = nil
+						var open []int
+						for peer, idxs := range remoteGroups {
+							if g := openIdxs(idxs); len(g) > 0 {
+								s.fleet.health.NoteHedge(peer)
+								open = append(open, g...)
+							}
+						}
+						if computeErr == nil {
+							computeErr = computeLocal(open)
+						} else {
+							publishFailure(open, computeErr)
+						}
+					case <-ctxC:
+						ctxC = nil
+						if computeErr == nil {
+							computeErr = abandoned(ctx)
+						}
+					}
+				}
+				if hedgeTimer != nil {
+					hedgeTimer.Stop()
+				}
+				remoteSpan.End()
 			}
 		}
 
@@ -780,7 +966,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 	}
 
 	assembleSpan := tr.Span("assemble")
-	outcomes, err := workload.MergeOutcomes(seeds, cachedOut, computedOut, joinedOut)
+	outcomes, err := workload.MergeOutcomes(seeds, cachedOut, computedOut, joinedOut, remoteOut)
 	if err != nil {
 		return resolution{}, err
 	}
@@ -789,6 +975,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 		cached:   len(cachedOut),
 		computed: len(computedOut),
 		joined:   joinedTotal,
+		remote:   len(remoteOut),
 	}
 	if needRuns {
 		res.runs = make(model.System, n)
@@ -798,18 +985,19 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 	}
 	assembleSpan.End()
 
-	tr.AddSeeds(obs.SeedCounts{Requested: n, Cached: res.cached, Computed: res.computed, Coalesced: res.joined})
+	tr.AddSeeds(obs.SeedCounts{Requested: n, Cached: res.cached, Computed: res.computed, Coalesced: res.joined, Remote: res.remote})
 	s.count(func(st *SchedulerStats) {
 		st.SeedsRequested += uint64(n)
 		st.SeedsCached += uint64(res.cached)
 		st.SeedsComputed += uint64(res.computed)
 		st.SeedsCoalesced += uint64(res.joined)
+		st.SeedsRemote += uint64(res.remote)
 		if res.computed == 0 && res.joined > 0 {
 			st.Coalesced++
 		}
 	})
 	if n > 0 {
-		s.noteSource(qualifiedName, adversary, seeds[0], seeds[n-1], res.cached, res.computed, res.joined)
+		s.noteSource(qualifiedName, adversary, seeds[0], seeds[n-1], res.cached, res.computed, res.joined, res.remote)
 	}
 	return res, nil
 }
@@ -818,7 +1006,7 @@ func (s *scheduler) resolveSeeds(ctx context.Context, qualifiedName, adversary s
 // behind /v1/corpus.  Counters describe observed traffic since the server
 // started — per-seed corpus records do not carry their source name (keys are
 // digests), so live accounting is the only per-source view there is.
-func (s *scheduler) noteSource(qualifiedName, adversary string, first, last int64, cached, computed, joined int) {
+func (s *scheduler) noteSource(qualifiedName, adversary string, first, last int64, cached, computed, joined, remote int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := qualifiedName + "\x00" + adversary
@@ -832,6 +1020,7 @@ func (s *scheduler) noteSource(qualifiedName, adversary string, first, last int6
 	c.SeedsCached += uint64(cached)
 	c.SeedsComputed += uint64(computed)
 	c.SeedsCoalesced += uint64(joined)
+	c.SeedsRemote += uint64(remote)
 }
 
 // SourcesSnapshot returns the per-source seed counters, sorted by source then
@@ -898,7 +1087,7 @@ func (s *scheduler) Sweep(ctx context.Context, req SweepRequest, tr *obs.Trace, 
 		return payload, CacheHit, nil
 	}
 
-	res, err := s.resolveSeeds(ctx, scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false, tr, emit)
+	res, err := s.resolveSeeds(ctx, scenarioNamespace+sc.Name, req.Adversary, sc.Spec, sc.Eval, workload.Seeds(req.SeedBase, req.Seeds), false, false, tr, emit)
 	if err != nil {
 		s.finish(CacheMiss, err)
 		return nil, CacheMiss, err
@@ -917,7 +1106,7 @@ func (s *scheduler) Sweep(ctx context.Context, req SweepRequest, tr *obs.Trace, 
 	// pure per-seed assembly and persists then.  Pure assemblies do persist,
 	// so a repeatedly requested subset graduates to the window-record fast
 	// path instead of re-assembling forever.
-	if res.computed > 0 || res.joined == 0 {
+	if res.computed > 0 || res.remote > 0 || res.joined == 0 {
 		persistSpan := tr.Span("persist")
 		if perr := s.store.Put(key, payload); perr != nil {
 			s.count(func(st *SchedulerStats) { st.PutErrors++ })
@@ -1032,7 +1221,7 @@ func (s *scheduler) Extract(ctx context.Context, req ExtractRequest, tr *obs.Tra
 		seeds := workload.Seeds(ext.BaseSeed, ext.Runs)[reused:]
 		var res resolution
 		if len(seeds) > 0 {
-			res, c.err = s.resolveSeeds(ctx, extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true, tr, nil)
+			res, c.err = s.resolveSeeds(ctx, extractionNamespace+req.Extraction, req.Adversary, ext.Source, nil, seeds, true, false, tr, nil)
 		}
 		if c.err == nil {
 			job := &fleetJob{extract: &ext, sampled: res.runs, exState: exState, done: make(chan struct{})}

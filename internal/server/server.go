@@ -12,9 +12,12 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness probe
+//	GET  /healthz                    liveness probe (always 200 while the process serves)
+//	GET  /readyz                     readiness probe (503 once draining begins)
 //	GET|POST /v1/sweep               sweep a catalogued scenario
 //	GET|POST /v1/extract             run a catalogued extraction pipeline
+//	POST /v1/claim                   fleet-internal: compute a peer's claimed seeds
+//	GET  /v1/fleet                   fleet membership, shard ownership and peer health
 //	GET  /v1/scenarios               the scenario + extraction catalogs
 //	GET  /v1/adversaries             the adversary catalog
 //	GET  /v1/stats                   store + scheduler counters
@@ -47,8 +50,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -95,6 +100,13 @@ type Config struct {
 	// context; an expired request releases its seed claims.  0 means no
 	// server-side deadline (the client's disconnect still cancels).
 	RequestTimeout time.Duration
+	// Fleet configures fleet mode: sharded seed ownership across peers with
+	// failure detection and degraded-mode fallback.  Nil or single-peer
+	// means single-node operation (every seed is computed locally).
+	Fleet *fleet.Config
+	// FleetTransport overrides the claim RPC transport (tests inject fault
+	// layers here).  Nil means plain HTTP against each peer's /v1/claim.
+	FleetTransport fleet.Transport
 }
 
 // Server is the daemon: an http.Handler plus the scheduler and store behind
@@ -109,6 +121,14 @@ type Server struct {
 	reqTimeout time.Duration
 	slow       time.Duration
 	logger     *slog.Logger
+	fleet      *fleetCoordinator
+
+	// draining flips once at shutdown: corpus-backed routes stop admitting
+	// (503 + Retry-After) while in-flight requests — counted by active —
+	// finish.  /healthz stays 200 (the process is alive and draining);
+	// /readyz turns 503 so load balancers stop routing new work here.
+	draining atomic.Bool
+	active   atomic.Int64
 }
 
 // New assembles a server from the config.
@@ -135,8 +155,17 @@ func New(cfg Config) (*Server, error) {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
-	s.metrics = newServerMetrics(s.sched, st, s.traces, time.Now())
+	fc, err := newFleetCoordinator(cfg.Fleet, cfg.FleetTransport)
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = fc
+	s.sched.fleet = fc
+	s.metrics = newServerMetrics(s.sched, st, s.traces, fc, time.Now())
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("/v1/claim", s.instrument("/v1/claim", s.handleClaim))
+	s.mux.HandleFunc("/v1/fleet", s.instrument("/v1/fleet", s.handleFleet))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/extract", s.instrument("/v1/extract", s.handleExtract))
 	s.mux.HandleFunc("/v1/scenarios", s.instrument("/v1/scenarios", s.handleScenarios))
@@ -204,6 +233,48 @@ func (s *Server) SchedulerStats() SchedulerStats { return s.sched.Stats() }
 
 // Close stops the scheduler's dispatcher.  In-flight requests complete first.
 func (s *Server) Close() { s.sched.close() }
+
+// BeginDrain flips the server into drain mode: /readyz turns 503, corpus
+// routes stop admitting new work (503 + Retry-After), and in-flight requests
+// (streams included) run to completion.  Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveRequests returns how many corpus-route requests (sweep, extract,
+// claim — streams included) are currently in flight.
+func (s *Server) ActiveRequests() int64 { return s.active.Load() }
+
+// Drain waits for in-flight corpus requests to finish, polling until the
+// count reaches zero or ctx expires.  Call BeginDrain first so the count
+// cannot grow.  Returns nil on a clean drain, ctx.Err() on timeout.
+func (s *Server) Drain(ctx context.Context) error {
+	for {
+		if s.active.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// admitDrain rejects new corpus-route work while the server drains.  The
+// rejection is a retryable 503 — a restarting peer or load balancer should
+// try another replica (or this one, shortly, after the restart).
+func (s *Server) admitDrain() error {
+	if s.draining.Load() {
+		return &httpError{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: time.Second,
+			err:        errors.New("server: draining, not admitting new work"),
+		}
+	}
+	return nil
+}
 
 // writeJSON writes a response body through MarshalBody, the same rendering
 // the golden tests and remote clients use.  It returns the body size for the
@@ -296,8 +367,27 @@ func decodeRequest(r *http.Request, fields map[string]any) error {
 
 var errMethod = errors.New("method not allowed (use GET or POST)")
 
+// HealthResponse is the /healthz and /readyz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+}
+
+// handleHealthz is liveness: 200 as long as the process serves, draining
+// included — killing a draining process would defeat the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: !s.draining.Load()})
+}
+
+// handleReadyz is readiness: 503 once draining begins, so load balancers and
+// fleet peers stop routing new work to a departing replica.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", Ready: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: true})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -329,10 +419,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, route, format, tr, start, badRequest(err))
 		return
 	}
+	if err := s.admitDrain(); err != nil {
+		s.failRequest(w, route, format, tr, start, err)
+		return
+	}
 	if err := s.admitRate(r); err != nil {
 		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if format == formatNDJSON || format == formatBinStream {
@@ -394,10 +490,16 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, route, format, tr, start, badRequest(err))
 		return
 	}
+	if err := s.admitDrain(); err != nil {
+		s.failRequest(w, route, format, tr, start, err)
+		return
+	}
 	if err := s.admitRate(r); err != nil {
 		s.failRequest(w, route, format, tr, start, err)
 		return
 	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if format == formatNDJSON {

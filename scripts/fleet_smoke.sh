@@ -1,0 +1,127 @@
+#!/bin/sh
+# fleet_smoke.sh — end-to-end smoke of udcd fleet mode and graceful drain.
+#
+# Boots a 3-peer fleet over throwaway stores and drives the robustness story
+# end to end: a healthy fleet sweep whose seeds fan out to the peers' claim
+# RPCs, a cold single-node reference daemon proving the fleet body is
+# byte-identical to a from-scratch computation, a kill -9 of one peer followed
+# by a fresh sweep that must degrade to local recompute — same bytes, with
+# udc_fleet_peer_failures_total counting the failures on /metrics — and a
+# SIGTERM drain of the coordinator that must exit cleanly with /healthz alive
+# while /readyz and new work answer 503.
+# Run by `make fleet-smoke` and by CI.
+set -eu
+
+GO="${GO:-go}"
+workdir="$(mktemp -d)"
+pids=""
+
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$workdir/udcd" ./cmd/udcd
+
+# wait_up url logfile pid — poll /healthz until the daemon answers.
+wait_up() {
+    for _ in $(seq 1 100); do
+        curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$3" 2>/dev/null || { echo "udcd exited early:"; cat "$2"; exit 1; }
+        sleep 0.1
+    done
+    echo "udcd at $1 never answered /healthz:"; cat "$2"; exit 1
+}
+
+# Fixed ports, because every peer must know the full membership before any of
+# them is up.  Derive from the PID and retry a few bases on collision.
+fleet_up=""
+for try in 0 1 2 3 4; do
+    baseport=$(( 20000 + ($$ + try * 531) % 20000 ))
+    p1=$baseport; p2=$((baseport + 1)); p3=$((baseport + 2))
+    peers="http://127.0.0.1:$p1,http://127.0.0.1:$p2,http://127.0.0.1:$p3"
+    trypids=""
+    ok=1
+    for port in $p1 $p2 $p3; do
+        "$workdir/udcd" -addr "127.0.0.1:$port" -store "$workdir/store$port" \
+            -fleet-self "http://127.0.0.1:$port" -fleet-peers "$peers" \
+            >"$workdir/udcd$port.log" 2>&1 &
+        trypids="$trypids $!"
+    done
+    sleep 0.3
+    for port in $p1 $p2 $p3; do
+        grep -q "listening on" "$workdir/udcd$port.log" || ok=0
+    done
+    if [ "$ok" = 1 ]; then
+        pids="$trypids"
+        fleet_up=1
+        break
+    fi
+    for p in $trypids; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+done
+[ -n "$fleet_up" ] || { echo "could not find three free ports for the fleet"; exit 1; }
+
+coord="http://127.0.0.1:$p1"
+set -- $pids
+coordpid=$1; peer2pid=$2; peer3pid=$3
+wait_up "$coord" "$workdir/udcd$p1.log" "$coordpid"
+wait_up "http://127.0.0.1:$p2" "$workdir/udcd$p2.log" "$peer2pid"
+wait_up "http://127.0.0.1:$p3" "$workdir/udcd$p3.log" "$peer3pid"
+echo "3-peer fleet up at $peers"
+
+# The membership agrees on the shard layout.
+curl -sf "$coord/v1/fleet" | grep -q '"enabled":true' || { echo "/v1/fleet not enabled:"; curl -sf "$coord/v1/fleet"; exit 1; }
+
+# Healthy fleet sweep: 32 seeds fan out across the three owners.
+curl -sf -D "$workdir/h1" -o "$workdir/fleet1" "$coord/v1/sweep?scenario=prop3.1-strong-udc&seeds=32"
+grep -qi '^x-cache: miss' "$workdir/h1" || { echo "cold fleet sweep was not a miss:"; cat "$workdir/h1"; exit 1; }
+curl -sf "$coord/v1/fleet" | grep -q '"seedsRemote":0' && { echo "fleet sweep resolved no seeds remotely:"; curl -sf "$coord/v1/fleet"; exit 1; }
+
+# Cold single-node reference: the fleet-assembled body must be byte-identical
+# to a from-scratch single daemon's.
+"$workdir/udcd" -addr 127.0.0.1:0 -store "$workdir/refstore" >"$workdir/ref.log" 2>&1 &
+refpid=$!
+pids="$pids $refpid"
+refbase=""
+for _ in $(seq 1 100); do
+    refbase="$(sed -n 's#^udcd listening on \(http://[0-9.:]*\).*#\1#p' "$workdir/ref.log")"
+    [ -n "$refbase" ] && break
+    sleep 0.1
+done
+[ -n "$refbase" ] || { echo "reference daemon never announced:"; cat "$workdir/ref.log"; exit 1; }
+curl -sf -o "$workdir/ref1" "$refbase/v1/sweep?scenario=prop3.1-strong-udc&seeds=32"
+cmp "$workdir/fleet1" "$workdir/ref1" || { echo "healthy fleet body differs from a cold single daemon's"; exit 1; }
+echo "healthy fleet sweep byte-identical to cold single-node computation"
+
+# Kill one peer outright (a crash, not a drain) and sweep a fresh window: the
+# coordinator must retry, give up, recompute the dead peer's seeds locally,
+# and still serve the exact cold-daemon bytes.
+kill -9 "$peer3pid" 2>/dev/null
+wait "$peer3pid" 2>/dev/null || true
+curl -sf -o "$workdir/fleet2" "$coord/v1/sweep?scenario=prop3.1-strong-udc&seeds=32&seedBase=500"
+curl -sf -o "$workdir/ref2" "$refbase/v1/sweep?scenario=prop3.1-strong-udc&seeds=32&seedBase=500"
+cmp "$workdir/fleet2" "$workdir/ref2" || { echo "degraded fleet body differs from a cold single daemon's"; exit 1; }
+curl -sf "$coord/metrics" >"$workdir/metrics.txt"
+grep -E '^udc_fleet_peer_failures_total\{peer="[^"]+"\} [1-9]' "$workdir/metrics.txt" >/dev/null \
+    || { echo "no nonzero udc_fleet_peer_failures_total after the kill:"; grep udc_fleet_peer "$workdir/metrics.txt" || true; exit 1; }
+echo "peer-killed sweep byte-identical with failures counted on /metrics"
+
+# Graceful drain: SIGTERM the coordinator; liveness holds while readiness and
+# new work flip to 503, and the process exits reporting a clean drain.
+kill -TERM "$coordpid"
+sleep 0.2
+for _ in $(seq 1 50); do
+    kill -0 "$coordpid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$coordpid" 2>/dev/null; then
+    echo "coordinator did not exit within the drain window:"; cat "$workdir/udcd$p1.log"; exit 1
+fi
+grep -q "drained cleanly" "$workdir/udcd$p1.log" || { echo "coordinator did not drain cleanly:"; cat "$workdir/udcd$p1.log"; exit 1; }
+
+# The surviving peer still serves, and sheds its own work once draining.
+curl -sf "http://127.0.0.1:$p2/readyz" | grep -q '"ready":true' || { echo "surviving peer not ready"; exit 1; }
+
+echo "fleet smoke OK: healthy + degraded sweeps byte-identical to a cold daemon, peer failures on /metrics, coordinator drained cleanly on SIGTERM"
